@@ -1,0 +1,48 @@
+"""Benchmark: ablation studies (DESIGN.md Section 5).
+
+Not a paper figure — isolates each co-design ingredient's contribution and
+sweeps eta_thresh and banks-per-task.
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_components(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.component_study(runner, workload="WL-6"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_components", ablations.format_results(rows))
+
+    by_variant = {r.variant: r.improvement for r in rows}
+    full = by_variant["full co-design (soft)"]
+    # Neither half of the co-design alone reaches the full combination.
+    assert full > by_variant["same-bank schedule only"]
+    assert full > by_variant["partitioning only"]
+    # Best-effort mode matches the plain co-design when nothing spills.
+    assert abs(by_variant["co-design, best effort"] - full) < 0.03
+
+
+def test_ablation_banks_sweep(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.banks_sweep(runner, workload="WL-6"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_banks", ablations.format_results(rows))
+    by_banks = {r.variant: r.improvement for r in rows}
+    # Paper footnote 11: 6 banks is the dual-core 1:4 sweet spot.
+    assert by_banks["6 banks"] >= by_banks["4 banks"] >= by_banks["2 banks"] - 0.02
+
+
+def test_ablation_eta_sweep(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: ablations.eta_sweep(runner, workload="WL-6"),
+        rounds=1,
+        iterations=1,
+    )
+    save_table("ablation_eta", ablations.format_results(rows))
+    by_eta = {r.variant: r.improvement for r in rows}
+    # eta=1 disables refresh awareness; large eta recovers the full gain.
+    assert by_eta["eta=8"] >= by_eta["eta=1"]

@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 10 (the headline co-design result).
+
+Paper averages vs all-bank refresh: co-design +16.2%/+12.1%/+9.03% and
+per-bank +9.9%/+6.7%/+6.5% at 32/24/16Gb.  The asserted *shape*: both
+schemes win, the co-design beats per-bank, and the margin grows with
+density.
+"""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure10.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure10", figure10.format_results(rows))
+
+    avg = figure10.averages(rows)
+    for density in (16, 24, 32):
+        assert avg[(density, "codesign")] > 0
+        assert avg[(density, "per_bank")] > 0
+    # Co-design beats per-bank at the high densities the paper targets.
+    assert avg[(32, "codesign")] > avg[(32, "per_bank")]
+    assert avg[(24, "codesign")] > avg[(24, "per_bank")]
+    # Improvements grow with density.
+    assert avg[(32, "codesign")] > avg[(24, "codesign")] > avg[(16, "codesign")]
+
+    # Per-workload claims (Section 6.2): the low-MPKI mixes gain little;
+    # WL-2 (povray, MPKI 0.05) gains essentially nothing.
+    low = [
+        r.improvement
+        for r in rows
+        if r.workload in ("WL-2", "WL-3", "WL-4") and r.scheme == "codesign"
+    ]
+    assert all(abs(v) < 0.08 for v in low)
+    wl2 = [
+        r.improvement
+        for r in rows
+        if r.workload == "WL-2" and r.scheme == "codesign"
+    ]
+    assert all(abs(v) < 0.01 for v in wl2)

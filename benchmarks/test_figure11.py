@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 11 (average memory access latency).
+
+Paper: the co-design cuts average memory latency because scheduled tasks'
+demand requests never queue behind a tRFC.
+"""
+
+from repro.experiments import figure11
+
+
+def test_figure11(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure11.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure11", figure11.format_results(rows))
+
+    by_key = {(r.workload, r.scheme): r.avg_latency_mem_cycles for r in rows}
+    workloads = {r.workload for r in rows}
+    memory_bound = [w for w in workloads if w not in ("WL-2", "WL-3", "WL-4")]
+    better = sum(
+        1 for w in memory_bound
+        if by_key[(w, "codesign")] < by_key[(w, "all_bank")]
+    )
+    # The co-design reduces latency on (at least almost) every
+    # memory-intensive workload.
+    assert better >= len(memory_bound) - 1

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 12 (DDR4 Fine Granularity Refresh).
+
+Paper: DDR4 2x/4x modes fare *worse* than 1x (tRFC shrinks sub-linearly),
+while the co-design masks the refresh overhead entirely.
+"""
+
+from repro.experiments import figure12
+
+
+def test_figure12(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure12.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure12", figure12.format_results(rows))
+
+    def avg(scheme):
+        values = [r.improvement for r in rows if r.scheme == scheme]
+        return sum(values) / len(values)
+
+    # Finer FGR modes hurt on average (normalized to 1x = 0).
+    assert avg("ddr4_2x") <= 0.01
+    assert avg("ddr4_4x") <= avg("ddr4_2x") + 0.01
+    # The co-design wins over every FGR mode.
+    assert avg("codesign") > avg("ddr4_2x")
+    assert avg("codesign") > avg("ddr4_4x")
+    assert avg("codesign") > 0

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 14 (comparison with prior proposals, 32Gb).
+
+Paper averages vs all-bank: OOO per-bank +9.5% (marginal over per-bank),
+AR +1.9%, co-design ahead of both (+6.1% over OOO per-bank, +14.6% over
+AR).
+"""
+
+from repro.experiments import figure14
+
+
+def test_figure14(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure14.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure14", figure14.format_results(rows))
+
+    avg = figure14.averages(rows)
+    # Everything beats (or at least matches) the all-bank baseline.
+    for scheme, value in avg.items():
+        assert value > -0.02, scheme
+    # OOO per-bank is only marginally better than per-bank (Section 6.5).
+    assert abs(avg["ooo_per_bank"] - avg["per_bank"]) < 0.05
+    # AR is the weakest of the per-bank-or-better alternatives.
+    assert avg["adaptive"] <= avg["per_bank"] + 0.01
+    # The co-design leads the field.
+    assert avg["codesign"] >= max(
+        avg["per_bank"], avg["ooo_per_bank"], avg["adaptive"]
+    ) - 0.005

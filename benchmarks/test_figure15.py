@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 15 (cores x consolidation sensitivity).
+
+Paper: the co-design beats all-bank and per-bank at every (cores, ratio)
+point; 1:2 gains are smaller than 1:4 (tasks keep only 4 banks/rank).
+"""
+
+import os
+
+from repro.experiments import figure15
+
+
+def test_figure15(benchmark, runner, save_table):
+    workloads = (
+        ("WL-1", "WL-5", "WL-6", "WL-8")
+        if os.environ.get("REPRO_PROFILE") == "full"
+        else ("WL-5", "WL-6")
+    )
+    rows = benchmark.pedantic(
+        lambda: figure15.run(runner, workloads=workloads), rounds=1, iterations=1
+    )
+    save_table("figure15", figure15.format_results(rows))
+
+    by_key = {
+        (r.num_cores, r.ratio, r.density_gbit, r.scheme): r.improvement
+        for r in rows
+    }
+    # Co-design positive at every sensitivity point and density.
+    for cores, ratio in ((2, 2), (2, 4), (4, 2), (4, 4)):
+        for density in (16, 24, 32):
+            assert by_key[(cores, ratio, density, "codesign")] > -0.02, (
+                cores, ratio, density,
+            )
+    # At 32Gb, the dual-core 1:4 sweet spot beats 1:2 (more banks/task).
+    assert by_key[(2, 4, 32, "codesign")] > by_key[(2, 2, 32, "codesign")]

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 3 (refresh-induced IPC degradation).
+
+Paper: all-bank degrades 5.4% -> 17.2% (8 -> 32Gb) at 64ms and up to
+34.8% at 32ms; per-bank 0.24% -> 9.8% and up to 20.3%.
+"""
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure3.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure3", figure3.format_results(rows))
+
+    by_key = {(r.density_gbit, r.trefw_ms, r.scheme): r.degradation for r in rows}
+    # Degradation grows monotonically with density for all-bank at 64ms.
+    series = [by_key[(d, 64, "all_bank")] for d in (8, 16, 24, 32)]
+    assert series == sorted(series)
+    # Per-bank is always gentler than all-bank.
+    for density in (8, 16, 24, 32):
+        for trefw in (64, 32):
+            assert by_key[(density, trefw, "per_bank")] <= by_key[
+                (density, trefw, "all_bank")
+            ]
+    # 32ms roughly doubles the pain at 32Gb.
+    assert by_key[(32, 32, "all_bank")] > 1.5 * by_key[(32, 64, "all_bank")]

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4 (tRFC vs bank-level parallelism).
+
+Paper: with refresh eliminated, confining tasks to >= 4 banks/rank still
+beats the all-bank baseline at 16Gb+; at 8Gb confinement loses.
+"""
+
+from repro.experiments import figure4
+
+
+def test_figure4(benchmark, runner, save_table):
+    rows = benchmark.pedantic(
+        lambda: figure4.run(runner), rounds=1, iterations=1
+    )
+    save_table("figure4", figure4.format_results(rows))
+
+    by_key = {(r.density_gbit, r.banks_per_task): r.improvement for r in rows}
+    # Unconfined no-refresh is the best case at every density.
+    for density in (8, 16, 24, 32):
+        for banks in (4, 2, 1):
+            assert by_key[(density, 8)] >= by_key[(density, banks)] - 0.02
+    # More confinement -> less improvement (BLP cost), at every density.
+    for density in (8, 16, 24, 32):
+        assert by_key[(density, 4)] >= by_key[(density, 1)] - 0.02
+    # At 32Gb, even 4-bank confinement beats the all-bank baseline.
+    assert by_key[(32, 4)] > 0

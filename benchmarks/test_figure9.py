@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 9 (schedule rotation, as data).
+
+Asserts the figure's defining property: under the co-design, zero
+dispatched quanta conflict with the ongoing refresh stretch; under
+refresh-oblivious scheduling on the same hardware, nearly all do.
+"""
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, save_table):
+    results = benchmark.pedantic(lambda: figure9.run(), rounds=1, iterations=1)
+    save_table("figure9", figure9.format_results(results))
+
+    by_scenario = {r.scenario: r for r in results}
+    assert by_scenario["codesign"].conflict_free_fraction == 1.0
+    assert by_scenario["same_bank_hw_only"].conflict_free_fraction < 0.2
+    assert by_scenario["codesign"].quanta >= 16

@@ -1,0 +1,106 @@
+"""Micro-benchmarks: raw throughput of the simulator's hot components.
+
+Unlike the figure benchmarks (one-shot experiment regenerations), these
+use pytest-benchmark conventionally — many rounds of small operations —
+to track the simulator's own performance over time.
+"""
+
+import random
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import default_system_config
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+from repro.os.buddy import BuddyAllocator
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.task import Task
+
+
+def test_engine_event_throughput(benchmark):
+    def run_events():
+        engine = Engine()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+            if counter[0] < 5000:
+                engine.schedule(1, tick)
+
+        engine.schedule(0, tick)
+        engine.run()
+        return counter[0]
+
+    assert benchmark(run_events) == 5000
+
+
+def test_controller_request_throughput(benchmark):
+    config = default_system_config(refresh_scale=1024)
+    timing = DramTiming.from_config(config)
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=64)
+    rng = random.Random(7)
+    addresses = [
+        mapping.frame_offset_to_address(
+            rng.randrange(mapping.total_frames), rng.randrange(64) * 64
+        )
+        for _ in range(2000)
+    ]
+
+    def run_requests():
+        engine = Engine()
+        mc = MemoryController(engine, timing, org, mapping)
+        done = []
+        for address in addresses:
+            mc.enqueue(
+                MemoryRequest(
+                    RequestType.READ, address,
+                    mapping.address_to_coordinate(address),
+                    on_complete=done.append,
+                )
+            )
+        engine.run_until(50_000_000)
+        return len(done)
+
+    assert benchmark(run_requests) == 2000
+
+
+def test_buddy_alloc_free_throughput(benchmark):
+    def churn():
+        buddy = BuddyAllocator(4096)
+        frames = [buddy.alloc_page() for _ in range(4096)]
+        for frame in frames:
+            buddy.free(frame)
+        return buddy.free_frames()
+
+    assert benchmark(churn) == 4096
+
+
+def test_partition_allocator_throughput(benchmark):
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=256)
+
+    def churn():
+        memory = PhysicalMemory(mapping)
+        allocator = PartitioningAllocator(memory, PartitionPolicy.SOFT)
+        task = Task("bench", None, possible_banks=frozenset(range(0, 16, 2)))
+        allocated = allocator.alloc_footprint(task, 2000)
+        allocator.free_task(task)
+        return allocated
+
+    assert benchmark(churn) == 2000
+
+
+def test_full_quantum_simulation_rate(benchmark):
+    """End-to-end cost of one scheduling quantum of WL-6 under codesign."""
+    from repro.core.simulator import build_system
+
+    def one_quantum():
+        system = build_system("WL-6", "codesign", refresh_scale=2048)
+        result = system.run(num_windows=0.25, warmup_windows=0.0)
+        return result.reads_completed
+
+    assert benchmark(one_quantum) >= 0

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Consolidation study: does the co-design hold up as you pack more tasks
+per core (the virtualized-server scenario that motivates the paper)?
+
+Sweeps consolidation ratios 1:2 / 1:4 / 1:8 on a dual-core system and
+reports the co-design's improvement over all-bank and per-bank refresh.
+Higher consolidation leaves fewer banks per task (Section 6.6), trading
+bank-level parallelism for refresh immunity.
+"""
+
+from repro import run_simulation
+from repro.experiments.report import format_percent, format_table
+from repro.workloads.mixes import scaled_mix
+
+
+def main() -> None:
+    rows = []
+    for ratio in (2, 4, 8):
+        num_tasks = 2 * ratio
+        specs = scaled_mix("WL-6", num_tasks)
+        results = {
+            name: run_simulation(specs, name, num_windows=1.0)
+            for name in ("all_bank", "per_bank", "codesign")
+        }
+        all_bank = results["all_bank"].hmean_ipc
+        per_bank = results["per_bank"].hmean_ipc
+        codesign = results["codesign"].hmean_ipc
+        rows.append(
+            [
+                f"1:{ratio}",
+                num_tasks,
+                f"{codesign:.4f}",
+                format_percent(codesign / all_bank - 1.0),
+                format_percent(codesign / per_bank - 1.0),
+            ]
+        )
+    print(
+        format_table(
+            ["ratio", "tasks", "co-design IPC", "vs all-bank", "vs per-bank"],
+            rows,
+            title="Co-design vs consolidation ratio (WL-6 mix, dual-core, 32Gb)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

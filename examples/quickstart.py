@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: compare DRAM refresh strategies on one consolidated workload.
+
+Runs the paper's WL-6 mix (4x mcf + 4x povray on 2 cores, 1:4
+consolidation) under the main scenarios and prints the IPC improvement of
+each over the all-bank-refresh baseline.
+
+Usage:  python examples/quickstart.py [WL-name]
+"""
+
+import sys
+
+from repro import compare_scenarios
+from repro.experiments.report import format_percent, format_table
+
+SCENARIOS = ["no_refresh", "all_bank", "per_bank", "codesign"]
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "WL-6"
+    print(f"Simulating {workload} under {', '.join(SCENARIOS)} (32Gb, 64ms)...")
+    results = compare_scenarios(workload, SCENARIOS, num_windows=1.0)
+
+    baseline = results["all_bank"].hmean_ipc
+    rows = []
+    for name in SCENARIOS:
+        r = results[name]
+        rows.append(
+            [
+                name,
+                f"{r.hmean_ipc:.4f}",
+                format_percent(r.hmean_ipc / baseline - 1.0),
+                f"{r.avg_read_latency_mem_cycles:.1f}",
+                f"{r.refresh_stall_fraction:.2%}",
+            ]
+        )
+    print(
+        format_table(
+            ["scenario", "hmean IPC", "vs all-bank", "mem latency", "reads stalled"],
+            rows,
+        )
+    )
+    codesign = results["codesign"]
+    print(
+        f"\nrefresh-aware scheduler picks: {codesign.scheduler_clean_picks} clean, "
+        f"{codesign.scheduler_fallback_picks} fairness fallbacks"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Visualize the co-design in action (the paper's Figure 9, in ASCII).
+
+Prints the per-quantum schedule of each core alongside the bank being
+refreshed by the same-bank schedule.  Under the refresh-aware scheduler,
+no dispatched task ever has data in the refreshed bank (no ``*`` marks);
+under plain CFS on the same hardware, almost every quantum conflicts.
+"""
+
+from repro.core.simulator import build_system
+from repro.core.trace import ScheduleTracer
+
+
+def show(scenario: str) -> None:
+    system = build_system("WL-1", scenario, refresh_scale=512)
+    tracer = ScheduleTracer(system)
+    system.run(num_windows=1.0, warmup_windows=0.0)
+    print(f"--- {scenario} "
+          f"(conflict-free quanta: {tracer.conflict_free_fraction():.0%}) ---")
+    print(tracer.timeline(max_quanta=16))
+    print()
+
+
+def main() -> None:
+    print("WL-1 (8x mcf) on a dual-core, 32Gb, same-bank refresh hardware.\n")
+    show("codesign")
+    show("same_bank_hw_only")
+    print("The co-design rotates tasks so the refreshed bank is always one")
+    print("nobody scheduled is using; refresh-oblivious CFS conflicts on")
+    print("nearly every quantum.")
+
+
+if __name__ == "__main__":
+    main()

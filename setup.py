@@ -1,0 +1,6 @@
+"""Thin setup.py so legacy editable installs work without the wheel package
+(this environment is offline; pyproject.toml carries the real metadata)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Hardware-Software Co-design to Mitigate DRAM
+Refresh Overheads: A Case for Refresh-Aware Process Scheduling"
+(Kotra et al., ASPLOS 2017).
+
+Public API
+----------
+:func:`run_simulation`
+    Simulate one workload mix under one scenario; returns a
+    :class:`~repro.core.results.RunResult`.
+:func:`compare_scenarios`
+    Run the same workload under several refresh/OS scenarios.
+:func:`default_system_config`
+    The paper's Table 1 configuration with simulation scaling applied.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.config.system_configs import SystemConfig, default_system_config
+from repro.core.results import RunResult, TaskResult
+from repro.core.simulator import (
+    available_scenarios,
+    available_workloads,
+    build_system,
+    compare_scenarios,
+    run_simulation,
+)
+from repro.core.system import SCENARIOS, Scenario, System
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.mixes import WORKLOAD_MIXES, workload_mix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_simulation",
+    "compare_scenarios",
+    "build_system",
+    "available_scenarios",
+    "available_workloads",
+    "SystemConfig",
+    "default_system_config",
+    "RunResult",
+    "TaskResult",
+    "System",
+    "Scenario",
+    "SCENARIOS",
+    "BenchmarkSpec",
+    "WORKLOAD_MIXES",
+    "workload_mix",
+    "__version__",
+]

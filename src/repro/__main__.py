@@ -1,0 +1,94 @@
+"""Command-line simulation runner.
+
+Usage::
+
+    python -m repro WL-6 codesign
+    python -m repro WL-1 all_bank --density 24 --trefw-ms 32 --windows 2
+    python -m repro WL-8 codesign --json result.json
+
+(For regenerating the paper's figures, use ``python -m repro.experiments``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+
+from repro import available_scenarios, available_workloads, run_simulation
+from repro.units import ms
+
+
+def result_to_dict(result) -> dict:
+    """JSON-serializable view of a RunResult."""
+    data = dataclasses.asdict(result)
+    data["hmean_ipc"] = result.hmean_ipc
+    data["avg_read_latency_mem_cycles"] = result.avg_read_latency_mem_cycles
+    data["refresh_stall_fraction"] = result.refresh_stall_fraction
+    energy = data.pop("energy", None)
+    if energy is not None:
+        data["energy"] = {
+            **energy,
+            "total_mj": result.energy.total_mj,
+            "refresh_fraction": result.energy.refresh_fraction,
+        }
+    return data
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Simulate one workload mix under one refresh scenario.",
+    )
+    parser.add_argument("workload", help="Table 2 mix name (WL-1 .. WL-10)")
+    parser.add_argument(
+        "scenario",
+        choices=available_scenarios(),
+        help="refresh/OS scenario",
+    )
+    parser.add_argument("--density", type=int, default=32,
+                        help="chip density in Gbit (default 32)")
+    parser.add_argument("--trefw-ms", type=float, default=64.0,
+                        help="retention window in ms (default 64)")
+    parser.add_argument("--windows", type=float, default=2.0,
+                        help="measured retention windows (default 2)")
+    parser.add_argument("--warmup", type=float, default=0.25,
+                        help="warm-up windows (default 0.25)")
+    parser.add_argument("--refresh-scale", type=int, default=256,
+                        help="simulation scaling factor (default 256)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--banks-per-task", type=int, default=None,
+                        help="partition width override (co-design scenarios)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the full result as JSON")
+    args = parser.parse_args(argv)
+
+    if args.workload not in available_workloads():
+        parser.error(
+            f"unknown workload {args.workload!r}; known: {available_workloads()}"
+        )
+
+    result = run_simulation(
+        args.workload,
+        args.scenario,
+        num_windows=args.windows,
+        warmup_windows=args.warmup,
+        banks_per_task=args.banks_per_task,
+        density_gbit=args.density,
+        trefw_ps=ms(args.trefw_ms),
+        refresh_scale=args.refresh_scale,
+        seed=args.seed,
+    )
+    print(result.summary())
+    if result.energy is not None:
+        print(f"  energy             : {result.energy}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(result_to_dict(result), f, indent=2)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

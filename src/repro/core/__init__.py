@@ -1,0 +1,5 @@
+"""Simulation core: event engine, full-system wiring, metrics, results."""
+
+from repro.core.engine import Engine, Event
+
+__all__ = ["Engine", "Event"]

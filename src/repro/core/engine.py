@@ -1,0 +1,129 @@
+"""Discrete-event simulation engine.
+
+Time is measured in integer **CPU cycles**.  Events are callbacks scheduled
+at absolute times; ties are broken by insertion order, which makes every run
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Engine.schedule` so the
+    caller can cancel it with :meth:`Event.cancel`."""
+
+    __slots__ = ("time", "seq", "fn", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event's callback from running."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time}, seq={self.seq}, {state})"
+
+
+class Engine:
+    """A minimal, deterministic event-driven simulator core.
+
+    >>> eng = Engine()
+    >>> hits = []
+    >>> _ = eng.schedule(10, lambda: hits.append(eng.now))
+    >>> eng.run_until(100)
+    >>> hits
+    [10]
+    """
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule *fn* to run *delay* cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self.now + delay, fn)
+
+    def schedule_at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule *fn* to run at absolute *time*."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time}, current time is {self.now}"
+            )
+        event = Event(int(time), self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution ----------------------------------------------------------
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns ``False`` when no events remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run_until(self, end_time: int) -> None:
+        """Run every event scheduled strictly before or at *end_time*, then
+        advance the clock to *end_time*."""
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event.time > end_time:
+                break
+            heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.fn()
+        if end_time > self.now:
+            self.now = end_time
+
+    def run(self) -> None:
+        """Run until the event queue drains."""
+        while self.step():
+            pass
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of (non-cancelled) events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled stubs)."""
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now}, pending={self.pending_events})"

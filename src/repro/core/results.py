@@ -1,0 +1,88 @@
+"""Result containers produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics import harmonic_mean
+
+
+@dataclass
+class TaskResult:
+    """Frozen snapshot of one task's performance."""
+
+    task_id: int
+    name: str
+    instructions: int
+    scheduled_cycles: int
+    quanta: int
+    reads_completed: int
+    avg_read_latency_cycles: float
+    refresh_stall_cycles: int
+
+    @property
+    def ipc(self) -> float:
+        if self.scheduled_cycles == 0:
+            return 0.0
+        return self.instructions / self.scheduled_cycles
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one simulation run."""
+
+    scenario: str
+    workload: str
+    density_gbit: int
+    trefw_ms: float
+    simulated_cycles: int
+    tasks: list[TaskResult] = field(default_factory=list)
+    reads_completed: int = 0
+    writes_completed: int = 0
+    avg_read_latency_cycles: float = 0.0
+    cpu_per_mem_cycle: int = 4
+    row_hit_rate: float = 0.0
+    refresh_commands: int = 0
+    refresh_stall_cycles: int = 0
+    refresh_stalled_reads: int = 0
+    context_switches: int = 0
+    scheduler_clean_picks: int = 0
+    scheduler_fallback_picks: int = 0
+    bus_utilization: float = 0.0
+    #: DRAM energy estimate over the measured interval (None when the
+    #: result was constructed directly, e.g. in unit tests).
+    energy: object = None
+
+    @property
+    def hmean_ipc(self) -> float:
+        """Harmonic mean of per-task IPC — the paper's headline metric."""
+        return harmonic_mean([t.ipc for t in self.tasks])
+
+    @property
+    def avg_read_latency_mem_cycles(self) -> float:
+        """Average read latency in memory-bus cycles (Figure 11 units)."""
+        return self.avg_read_latency_cycles / self.cpu_per_mem_cycle
+
+    @property
+    def refresh_stall_fraction(self) -> float:
+        """Fraction of completed reads whose start was delayed by refresh."""
+        if self.reads_completed == 0:
+            return 0.0
+        return self.refresh_stalled_reads / self.reads_completed
+
+    def task_ipc(self, name: str) -> list[float]:
+        return [t.ipc for t in self.tasks if t.name == name]
+
+    def summary(self) -> str:
+        lines = [
+            f"scenario={self.scenario} workload={self.workload} "
+            f"density={self.density_gbit}Gb tREFW={self.trefw_ms}ms",
+            f"  hmean IPC          : {self.hmean_ipc:.4f}",
+            f"  avg read latency   : {self.avg_read_latency_mem_cycles:.1f} mem cycles",
+            f"  row hit rate       : {self.row_hit_rate:.2%}",
+            f"  reads / writes     : {self.reads_completed} / {self.writes_completed}",
+            f"  refresh commands   : {self.refresh_commands}",
+            f"  refresh-stalled rd : {self.refresh_stalled_reads} "
+            f"({self.refresh_stall_fraction:.2%})",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Top-level simulation API.
+
+:func:`run_simulation` is the one-call entry point used by the examples and
+the benchmark harness:
+
+>>> from repro import run_simulation
+>>> result = run_simulation(workload="WL-6", scenario="codesign")
+>>> result.hmean_ipc > 0
+True
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.config.system_configs import SystemConfig, default_system_config
+from repro.core.results import RunResult
+from repro.core.system import SCENARIOS, Scenario, System, scenario as get_scenario
+from repro.errors import ConfigError
+from repro.workloads.benchmark import BenchmarkSpec
+from repro.workloads.mixes import WORKLOAD_MIXES, workload_mix
+
+
+def resolve_workload(
+    workload: str | Sequence[BenchmarkSpec],
+) -> tuple[str, list[BenchmarkSpec]]:
+    """Accept either a Table 2 mix name or an explicit spec list."""
+    if isinstance(workload, str):
+        return workload, workload_mix(workload)
+    specs = list(workload)
+    if not specs:
+        raise ConfigError("workload spec list must not be empty")
+    return "custom", specs
+
+
+def build_system(
+    workload: str | Sequence[BenchmarkSpec] = "WL-6",
+    scenario: str | Scenario = "codesign",
+    config: Optional[SystemConfig] = None,
+    banks_per_task: int | None = None,
+    **config_overrides,
+) -> System:
+    """Construct (but do not run) a fully wired :class:`System`."""
+    if config is None:
+        config = default_system_config(**config_overrides)
+    elif config_overrides:
+        config = config.with_(**config_overrides)
+        config.validate()
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    name, specs = resolve_workload(workload)
+    return System(
+        config, specs, scenario, workload_name=name, banks_per_task=banks_per_task
+    )
+
+
+def run_simulation(
+    workload: str | Sequence[BenchmarkSpec] = "WL-6",
+    scenario: str | Scenario = "codesign",
+    config: Optional[SystemConfig] = None,
+    num_windows: float = 2.0,
+    warmup_windows: float = 0.25,
+    banks_per_task: int | None = None,
+    **config_overrides,
+) -> RunResult:
+    """Simulate one workload under one scenario.
+
+    Parameters
+    ----------
+    workload:
+        A Table 2 mix name (``"WL-1"`` .. ``"WL-10"``) or an explicit list
+        of :class:`BenchmarkSpec` (one task per entry).
+    scenario:
+        A scenario name from :data:`repro.core.system.SCENARIOS` —
+        ``"all_bank"``, ``"per_bank"``, ``"codesign"``, ... — or a
+        :class:`Scenario`.
+    config:
+        Optional :class:`SystemConfig`; keyword overrides (``density_gbit``,
+        ``trefw_ps``, ``refresh_scale``, ...) are applied on top.
+    num_windows / warmup_windows:
+        Measured and warm-up duration in (scaled) retention windows.
+    """
+    system = build_system(
+        workload,
+        scenario,
+        config,
+        banks_per_task=banks_per_task,
+        **config_overrides,
+    )
+    return system.run(num_windows=num_windows, warmup_windows=warmup_windows)
+
+
+def compare_scenarios(
+    workload: str | Sequence[BenchmarkSpec],
+    scenarios: Sequence[str],
+    config: Optional[SystemConfig] = None,
+    num_windows: float = 2.0,
+    warmup_windows: float = 0.25,
+    **config_overrides,
+) -> dict[str, RunResult]:
+    """Run the same workload under several scenarios (same seed/config)."""
+    return {
+        name: run_simulation(
+            workload,
+            name,
+            config,
+            num_windows=num_windows,
+            warmup_windows=warmup_windows,
+            **config_overrides,
+        )
+        for name in scenarios
+    }
+
+
+def available_scenarios() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def available_workloads() -> list[str]:
+    return list(WORKLOAD_MIXES)

@@ -1,0 +1,336 @@
+"""Full-system assembly: cores + caches + controller + OS + workloads.
+
+:class:`System` builds every component from a :class:`SystemConfig` and a
+scenario description, allocates task footprints through the configured
+allocator, and runs the simulation for a number of (scaled) retention
+windows, returning a :class:`~repro.core.results.RunResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.config.system_configs import SystemConfig
+from repro.core.engine import Engine
+from repro.core.results import RunResult, TaskResult
+from repro.cpu.core import Core
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.refresh import make_scheduler
+from repro.dram.timing import DramTiming
+from repro.errors import ConfigError
+from repro.os.codesign import assign_bank_vectors
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.refresh_aware import RefreshAwareScheduler
+from repro.os.scheduler import CfsScheduler
+from repro.os.task import Task
+from repro.workloads.benchmark import BenchmarkSpec, StatisticalWorkload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named combination of refresh policy, OS scheduler and allocator."""
+
+    name: str
+    refresh_policy: str
+    refresh_aware: bool = False
+    partition: PartitionPolicy = PartitionPolicy.NONE
+    best_effort: bool = False
+
+
+#: The scenarios evaluated in the paper (Section 6) plus ablations.
+SCENARIOS: dict[str, Scenario] = {
+    s.name: s
+    for s in [
+        Scenario("no_refresh", "no_refresh"),
+        Scenario("all_bank", "all_bank"),
+        Scenario("per_bank", "per_bank"),
+        Scenario("ooo_per_bank", "ooo_per_bank"),
+        Scenario("adaptive", "adaptive"),
+        Scenario("elastic", "elastic"),
+        Scenario("pausing", "pausing"),
+        # The full co-design: same-bank refresh + soft partitioning +
+        # refresh-aware scheduling (Section 5.3).
+        Scenario(
+            "codesign",
+            "same_bank",
+            refresh_aware=True,
+            partition=PartitionPolicy.SOFT,
+        ),
+        # Section 5.4.1 generalization for spilling footprints.
+        Scenario(
+            "codesign_best_effort",
+            "same_bank",
+            refresh_aware=True,
+            partition=PartitionPolicy.SOFT,
+            best_effort=True,
+        ),
+        # Hard partitioning variant (Section 5.2.1).
+        Scenario(
+            "codesign_hard",
+            "same_bank",
+            refresh_aware=True,
+            partition=PartitionPolicy.HARD,
+        ),
+        # Ablation: proposed hardware schedule without the OS changes.
+        Scenario("same_bank_hw_only", "same_bank"),
+        # Ablation: partitioning + refresh-aware OS on round-robin per-bank
+        # refresh is impossible (unpredictable); partitioning alone:
+        Scenario(
+            "partition_only",
+            "per_bank",
+            partition=PartitionPolicy.SOFT,
+        ),
+    ]
+}
+
+
+def scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+class System:
+    """One fully wired simulated machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        specs: list[BenchmarkSpec],
+        scenario: Scenario,
+        workload_name: str = "custom",
+        banks_per_task: int | None = None,
+    ):
+        config.validate()
+        if not specs:
+            raise ConfigError("at least one task is required")
+        self.config = config
+        self.scenario = scenario
+        self.workload_name = workload_name
+
+        self.engine = Engine()
+        self.timing = DramTiming.from_config(config)
+
+        rows_for_mapping = max(
+            1, config.bank_capacity_bytes // config.organization.row_size_bytes
+        )
+        self.mapping = AddressMapping(
+            config.organization, rows_for_mapping, layout=config.address_layout
+        )
+        self.controller = MemoryController(
+            self.engine,
+            self.timing,
+            config.organization,
+            self.mapping,
+            read_queue_depth=config.read_queue_depth,
+            write_queue_depth=config.write_queue_depth,
+            write_drain_low=config.write_drain_low,
+            write_drain_high=config.write_drain_high,
+            row_policy=config.row_policy,
+        )
+        self.refresh_scheduler = make_scheduler(scenario.refresh_policy)
+        self.refresh_scheduler.attach(self.controller, self.engine, self.timing)
+
+        self.memory = PhysicalMemory(self.mapping)
+        self.allocator = PartitioningAllocator(self.memory, scenario.partition)
+
+        self.cores = [
+            Core(i, self.engine, self.controller, rob_entries=config.cores.rob_entries)
+            for i in range(config.cores.num_cores)
+        ]
+
+        self.tasks = self._build_tasks(specs, banks_per_task)
+        self._allocate_footprints()
+
+        quantum = self._quantum_cycles()
+        if scenario.refresh_aware:
+            self.scheduler = RefreshAwareScheduler(
+                self.engine,
+                self.cores,
+                quantum,
+                self.refresh_scheduler,
+                eta_thresh=config.os.eta_thresh,
+                best_effort=scenario.best_effort,
+            )
+        else:
+            self.scheduler = CfsScheduler(self.engine, self.cores, quantum)
+        for i, task in enumerate(self.tasks):
+            self.scheduler.add_task(task, cpu=i % len(self.cores))
+
+        self.load_balancer = None
+        if config.os.load_balance:
+            from repro.os.loadbalance import LoadBalancer
+
+            self.load_balancer = LoadBalancer(
+                self.scheduler,
+                interval_quanta=config.os.load_balance_interval_quanta,
+                bank_aware=scenario.refresh_aware,
+                total_banks=config.organization.total_banks,
+            )
+
+        self._started = False
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _quantum_cycles(self) -> int:
+        from repro.units import ClockDomain
+
+        cpu = ClockDomain(self.config.cores.freq_mhz)
+        return max(1, cpu.cycles(self.config.quantum_ps))
+
+    def _build_tasks(
+        self, specs: list[BenchmarkSpec], banks_per_task: int | None
+    ) -> list[Task]:
+        vectors: list = [None] * len(specs)
+        if self.scenario.partition is not PartitionPolicy.NONE:
+            vectors = assign_bank_vectors(
+                len(specs),
+                len(self.cores),
+                self.config.organization,
+                banks_per_task=banks_per_task,
+            )
+        tasks = []
+        for i, spec in enumerate(specs):
+            workload = StatisticalWorkload(
+                spec, self.mapping, line_bytes=self.config.organization.cacheline_bytes
+            )
+            task = Task(
+                name=spec.name,
+                workload=workload,
+                possible_banks=vectors[i],
+            )
+            task.rng = random.Random(self.config.seed * 100_003 + i)
+            tasks.append(task)
+        return tasks
+
+    def _allocate_footprints(self) -> None:
+        from repro.os.vm import VirtualMemory
+
+        page_bytes = self.mapping.page_bytes
+        os_config = self.config.os
+        for task in self.tasks:
+            footprint = self.config.scale_footprint(
+                task.workload.spec.footprint_bytes
+            )
+            pages = max(1, footprint // page_bytes)
+            if os_config.demand_paging:
+                vm = VirtualMemory(
+                    task,
+                    self.allocator,
+                    footprint_pages=pages,
+                    minor_fault_cycles=os_config.minor_fault_cycles,
+                    major_fault_cycles=os_config.major_fault_cycles,
+                )
+                if os_config.prefault:
+                    vm.prefault_all()
+            else:
+                self.allocator.alloc_footprint(task, pages)
+
+    # -- execution -------------------------------------------------------------------
+
+    @property
+    def window_cycles(self) -> int:
+        """CPU cycles in one (scaled) retention window."""
+        return self.timing.trefw
+
+    def run(self, num_windows: float = 2.0, warmup_windows: float = 0.25) -> RunResult:
+        """Simulate ``warmup + num_windows`` retention windows; statistics
+        cover only the measured portion."""
+        if self._started:
+            raise ConfigError("a System can only be run once")
+        self._started = True
+        self.refresh_scheduler.start()
+        self.scheduler.start()
+        if self.load_balancer is not None:
+            self.load_balancer.start()
+
+        if warmup_windows > 0:
+            self.engine.run_until(int(self.window_cycles * warmup_windows))
+            self._reset_stats()
+        measure_start = self.engine.now
+        end = measure_start + int(self.window_cycles * num_windows)
+        self.engine.run_until(end)
+        return self._collect(measure_start)
+
+    def _reset_stats(self) -> None:
+        from repro.dram.controller import ControllerStats
+        from repro.dram.refresh.base import RefreshStats
+        from repro.os.task import TaskStats
+
+        from repro.dram.bank import BankStats
+
+        now = self.engine.now
+        self.controller.stats = ControllerStats()
+        self.refresh_scheduler.stats = RefreshStats()
+        for bank in self.controller.banks:
+            bank.stats = BankStats()
+        for bus in self.controller.buses:
+            bus.busy_cycles = 0
+        for task in self.tasks:
+            task.stats = TaskStats()
+            if task.current_core is not None:
+                task._scheduled_at = now
+                task.stats.quanta = 1
+        self.scheduler.context_switches = 0
+        if isinstance(self.scheduler, RefreshAwareScheduler):
+            self.scheduler.clean_picks = 0
+            self.scheduler.fallback_picks = 0
+
+    def _collect(self, measure_start: int) -> RunResult:
+        now = self.engine.now
+        # Close each running task's accounting interval.
+        for core in self.cores:
+            task = core.current_task
+            if task is not None and task._scheduled_at is not None:
+                task.stats.scheduled_cycles += now - task._scheduled_at
+                task._scheduled_at = now
+
+        elapsed = now - measure_start
+        mc_stats = self.controller.stats
+        task_results = [
+            TaskResult(
+                task_id=t.task_id,
+                name=t.name,
+                instructions=t.stats.instructions,
+                scheduled_cycles=t.stats.scheduled_cycles,
+                quanta=t.stats.quanta,
+                reads_completed=t.stats.reads_completed,
+                avg_read_latency_cycles=t.stats.avg_read_latency,
+                refresh_stall_cycles=t.stats.refresh_stall_sum,
+            )
+            for t in self.tasks
+        ]
+        clean = fallback = 0
+        if isinstance(self.scheduler, RefreshAwareScheduler):
+            clean = self.scheduler.clean_picks
+            fallback = self.scheduler.fallback_picks
+        from repro.dram.power import estimate_energy
+
+        energy = estimate_energy(self.controller, elapsed)
+        return RunResult(
+            energy=energy,
+            scenario=self.scenario.name,
+            workload=self.workload_name,
+            density_gbit=self.config.density_gbit,
+            trefw_ms=self.config.trefw_ps / 1e9,
+            simulated_cycles=elapsed,
+            tasks=task_results,
+            reads_completed=mc_stats.reads_completed,
+            writes_completed=mc_stats.writes_completed,
+            avg_read_latency_cycles=mc_stats.avg_read_latency,
+            cpu_per_mem_cycle=self.timing.cpu_per_mem_cycle,
+            row_hit_rate=mc_stats.row_hit_rate,
+            refresh_commands=self.refresh_scheduler.stats.commands_issued,
+            refresh_stall_cycles=mc_stats.refresh_stall_sum,
+            refresh_stalled_reads=mc_stats.refresh_stalled_reads,
+            context_switches=self.scheduler.context_switches,
+            scheduler_clean_picks=clean,
+            scheduler_fallback_picks=fallback,
+            bus_utilization=self.controller.buses[0].utilization(elapsed),
+        )

@@ -1,0 +1,7 @@
+"""CPU substrate: set-associative caches and the interval core model."""
+
+from repro.cpu.cache import Cache, CacheStats
+from repro.cpu.hierarchy import AccessResult, CacheHierarchy
+from repro.cpu.core import Core
+
+__all__ = ["Cache", "CacheStats", "CacheHierarchy", "AccessResult", "Core"]

@@ -1,0 +1,120 @@
+"""Set-associative write-back cache with LRU replacement.
+
+Used by the trace-driven workload front-end and directly unit-tested; the
+statistical workload models (Section 3 of DESIGN.md) bypass it by
+generating LLC misses directly from measured MPKI.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class _Line:
+    __slots__ = ("tag", "dirty")
+
+    def __init__(self, tag: int, dirty: bool = False):
+        self.tag = tag
+        self.dirty = dirty
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    >>> c = Cache(size_bytes=1024, assoc=2, line_bytes=64)
+    >>> c.access(0, is_write=False)      # cold miss
+    (False, None)
+    >>> c.access(0, is_write=False)[0]   # now a hit
+    True
+    """
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int = 64,
+                 name: str = "cache"):
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ConfigError(f"{name}: sizes must be positive")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ConfigError(
+                f"{name}: size {size_bytes} not divisible by assoc*line"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(f"{name}: number of sets must be a power of two")
+        # Each set is an OrderedDict tag -> _Line; order = LRU (front oldest).
+        self._sets: list[OrderedDict[int, _Line]] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_addr = address // self.line_bytes
+        return line_addr % self.num_sets, line_addr // self.num_sets
+
+    def access(self, address: int, is_write: bool) -> tuple[bool, Optional[int]]:
+        """Access one address.  Returns ``(hit, victim_address)`` where
+        *victim_address* is the address of a dirty evicted line needing
+        writeback (or ``None``)."""
+        set_idx, tag = self._locate(address)
+        cache_set = self._sets[set_idx]
+        line = cache_set.get(tag)
+        if line is not None:
+            cache_set.move_to_end(tag)
+            if is_write:
+                line.dirty = True
+            self.stats.hits += 1
+            return True, None
+
+        self.stats.misses += 1
+        victim_address = None
+        if len(cache_set) >= self.assoc:
+            victim_tag, victim = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim.dirty:
+                self.stats.writebacks += 1
+                victim_line_addr = victim_tag * self.num_sets + set_idx
+                victim_address = victim_line_addr * self.line_bytes
+        cache_set[tag] = _Line(tag, dirty=is_write)
+        return False, victim_address
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or stats."""
+        set_idx, tag = self._locate(address)
+        return tag in self._sets[set_idx]
+
+    def invalidate_all(self) -> None:
+        """Drop every line (no writebacks) — used between test scenarios."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def occupied_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name}: {self.size_bytes}B, {self.assoc}-way, "
+            f"{self.num_sets} sets)"
+        )

@@ -1,0 +1,227 @@
+"""Interval-model out-of-order core with ROB retirement blocking.
+
+The core alternates compute gaps (derived from the running task's LLC MPKI
+and base CPI) with LLC-miss memory requests.  Two windows limit how far the
+front end can run ahead:
+
+* the task's **MLP** — maximum concurrently outstanding misses;
+* the **ROB** — instructions retire in order, so the front end may be at
+  most ``rob_entries`` instructions past the oldest incomplete miss.
+
+The ROB constraint is the paper's stall mechanism (Figure 6: "cores
+stalled on the outstanding loads"): a single miss delayed by a
+refresh-busy bank blocks retirement, the window fills within a few dozen
+instructions, and the core stops — even if younger misses completed.
+
+Instruction accounting: a compute gap's instructions are credited when its
+trailing miss issues; a gap cut short by a context switch credits its
+prorated fraction.  Per-task IPC is retired instructions over scheduled
+cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.core.engine import Engine
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.errors import SimulationError
+
+
+class _RobEntry:
+    """One outstanding miss: its preceding instruction gap and done flag."""
+
+    __slots__ = ("instructions", "done")
+
+    def __init__(self, instructions: int):
+        self.instructions = instructions
+        self.done = False
+
+
+class Core:
+    """One CPU core executing whichever task the OS scheduler assigns."""
+
+    def __init__(
+        self,
+        core_id: int,
+        engine: Engine,
+        controller: MemoryController,
+        rob_entries: int = 128,
+    ):
+        self.core_id = core_id
+        self.engine = engine
+        self.controller = controller
+        self.rob_entries = rob_entries
+        self.current_task = None
+        self.quantum_start = 0
+        # Epoch token: bumped on every context switch so in-flight events
+        # belonging to the previous occupant become no-ops.
+        self._epoch = 0
+        self._outstanding = 0
+        self._window: deque[_RobEntry] = deque()
+        self._inflight_instr = 0
+        self._stalled = False
+        self._deferred = None
+        self._pending_gap_start = 0
+        self._pending_gap_cycles = 0
+        self._pending_instructions = 0
+        self.idle_cycles = 0
+        self._idle_since: Optional[int] = None
+
+    # -- scheduler interface -----------------------------------------------------
+
+    def run_task(self, task) -> None:
+        """Context-switch *task* onto this core (or go idle with ``None``)."""
+        if self.current_task is not None:
+            raise SimulationError(
+                f"core {self.core_id} already running {self.current_task}"
+            )
+        self._epoch += 1
+        if task is None:
+            if self._idle_since is None:
+                self._idle_since = self.engine.now
+            return
+        if self._idle_since is not None:
+            self.idle_cycles += self.engine.now - self._idle_since
+            self._idle_since = None
+        self.current_task = task
+        task.on_scheduled(self.engine.now, self.core_id)
+        self.quantum_start = self.engine.now
+        self._outstanding = 0
+        self._window.clear()
+        self._inflight_instr = 0
+        self._stalled = False
+        self._deferred = None
+        self._schedule_next_issue()
+
+    def preempt(self):
+        """Remove the current task at a quantum boundary; returns it."""
+        task = self.current_task
+        if task is None:
+            if self._idle_since is None:
+                self._idle_since = self.engine.now
+            return None
+        now = self.engine.now
+        # Credit the fraction of the in-progress compute gap.
+        if self._pending_gap_cycles > 0:
+            elapsed = now - self._pending_gap_start
+            fraction = min(1.0, max(0.0, elapsed / self._pending_gap_cycles))
+            task.stats.instructions += int(self._pending_instructions * fraction)
+        self._pending_gap_cycles = 0
+        self._deferred = None
+        task.on_descheduled(now)
+        self.current_task = None
+        self._epoch += 1
+        return task
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current_task is None
+
+    # -- issue loop -----------------------------------------------------------------
+
+    def _schedule_next_issue(self) -> None:
+        task = self.current_task
+        access = task.workload.next_access(task)
+        gap_cycles = max(1, access.gap_cycles)
+        self._pending_gap_start = self.engine.now
+        self._pending_gap_cycles = gap_cycles
+        self._pending_instructions = access.instructions
+        epoch = self._epoch
+        self.engine.schedule(gap_cycles, lambda: self._issue(epoch, access))
+
+    def _issue(self, epoch: int, access) -> None:
+        if epoch != self._epoch:
+            return  # stale: the task was switched out
+        task = self.current_task
+        if access.address is not None and not self._can_issue(task):
+            # The gap elapsed but the window is full: the front end is
+            # actually stalled — defer the miss until retirement frees room.
+            self._deferred = access
+            self._stalled = True
+            self._pending_gap_cycles = 0
+            task.stats.mlp_stalls += 1
+            return
+        self._do_issue(epoch, task, access)
+
+    def _do_issue(self, epoch: int, task, access) -> None:
+        task.stats.instructions += access.instructions
+        self._pending_gap_cycles = 0
+
+        if access.address is None:
+            # Pure-compute gap (no LLC miss): keep the front end running.
+            self._schedule_next_issue()
+            return
+
+        entry = _RobEntry(access.instructions)
+        self._window.append(entry)
+        self._inflight_instr += access.instructions
+        request = MemoryRequest(
+            RequestType.READ,
+            access.address,
+            self.controller.mapping.address_to_coordinate(access.address),
+            task_id=task.task_id,
+            on_complete=self._completion_callback(epoch, task, entry),
+        )
+        self.controller.enqueue(request)
+        task.stats.reads_issued += 1
+        self._outstanding += 1
+
+        if access.writeback_address is not None:
+            wb = MemoryRequest(
+                RequestType.WRITE,
+                access.writeback_address,
+                self.controller.mapping.address_to_coordinate(
+                    access.writeback_address
+                ),
+                task_id=task.task_id,
+            )
+            self.controller.enqueue(wb)
+            task.stats.writes_issued += 1
+
+        if self._can_issue(task):
+            self._schedule_next_issue()
+        else:
+            self._stalled = True
+            task.stats.mlp_stalls += 1
+
+    def _can_issue(self, task) -> bool:
+        """Front end may run ahead: MLP window and ROB both have room.
+
+        Instructions *older* than the oldest outstanding miss have retired,
+        so the head entry's gap does not occupy the ROB.
+        """
+        if self._outstanding >= task.workload.mlp:
+            return False
+        head_gap = self._window[0].instructions if self._window else 0
+        return self._inflight_instr - head_gap < self.rob_entries
+
+    def _completion_callback(self, epoch: int, task, entry: _RobEntry):
+        def on_complete(request: MemoryRequest) -> None:
+            task.stats.record_read_latency(request.latency, request.refresh_stall)
+            if epoch != self._epoch:
+                return  # completion for a task no longer on this core
+            entry.done = True
+            self._outstanding -= 1
+            # In-order retirement: only entries at the head of the window
+            # (every older miss complete) free ROB space.
+            window = self._window
+            while window and window[0].done:
+                retired = window.popleft()
+                self._inflight_instr -= retired.instructions
+            if self._stalled and self._can_issue(task):
+                self._stalled = False
+                deferred = self._deferred
+                if deferred is not None:
+                    self._deferred = None
+                    self._do_issue(epoch, task, deferred)
+                else:
+                    self._schedule_next_issue()
+
+        return on_complete
+
+    def __repr__(self) -> str:
+        running = self.current_task.task_id if self.current_task else "idle"
+        return f"Core({self.core_id}, task={running})"

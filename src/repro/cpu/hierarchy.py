@@ -1,0 +1,91 @@
+"""Two-level cache hierarchy (Table 1: 32KB 4-way L1, 1MB/core 16-way L2).
+
+The hierarchy classifies each access as an L1 hit, L2 hit, or LLC miss and
+reports dirty victims that must be written back to DRAM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.system_configs import CacheConfig
+from repro.cpu.cache import Cache
+
+
+class AccessLevel(enum.Enum):
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    level: AccessLevel
+    latency_cycles: int
+    writeback_address: Optional[int] = None
+
+    @property
+    def is_llc_miss(self) -> bool:
+        return self.level is AccessLevel.MEMORY
+
+
+class CacheHierarchy:
+    """Private L1 + private L2 slice for one core."""
+
+    def __init__(self, config: CacheConfig, core_id: int = 0):
+        config.validate()
+        self.config = config
+        self.l1 = Cache(
+            config.l1_size_bytes,
+            config.l1_assoc,
+            config.line_bytes,
+            name=f"core{core_id}.L1",
+        )
+        self.l2 = Cache(
+            config.l2_size_per_core_bytes,
+            config.l2_assoc,
+            config.line_bytes,
+            name=f"core{core_id}.L2",
+        )
+
+    def access(self, address: int, is_write: bool) -> AccessResult:
+        """Walk the hierarchy for one load/store.
+
+        The memory latency component is *not* included in
+        ``latency_cycles`` for LLC misses — the DRAM model supplies it.
+        """
+        cfg = self.config
+        l1_hit, l1_victim = self.l1.access(address, is_write)
+        if l1_hit:
+            return AccessResult(AccessLevel.L1, cfg.l1_hit_cycles)
+
+        # L1 victim writeback is absorbed by the (inclusive) L2.
+        if l1_victim is not None:
+            self.l2.access(l1_victim, is_write=True)
+
+        l2_hit, l2_victim = self.l2.access(address, is_write)
+        writeback = l2_victim
+        if l2_hit:
+            return AccessResult(
+                AccessLevel.L2, cfg.l1_hit_cycles + cfg.l2_hit_cycles,
+                writeback_address=writeback,
+            )
+        return AccessResult(
+            AccessLevel.MEMORY,
+            cfg.l1_hit_cycles + cfg.l2_hit_cycles,
+            writeback_address=writeback,
+        )
+
+    @property
+    def llc_misses(self) -> int:
+        return self.l2.stats.misses
+
+    def mpki(self, instructions: int) -> float:
+        """LLC misses per kilo-instruction over *instructions* retired."""
+        if instructions <= 0:
+            return 0.0
+        return self.l2.stats.misses * 1000.0 / instructions

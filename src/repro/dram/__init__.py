@@ -1,0 +1,14 @@
+"""DRAM substrate: timing, address mapping, banks, controller, refresh."""
+
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+
+__all__ = [
+    "AddressMapping",
+    "MemoryController",
+    "MemoryRequest",
+    "RequestType",
+    "DramTiming",
+]

@@ -1,0 +1,326 @@
+"""Per-bank DRAM state machine and command timing.
+
+Each bank tracks its open row and the earliest times the next CAS, ACT, PRE
+or REF command may start, derived from the JEDEC parameters in
+:class:`repro.dram.timing.DramTiming`.  The controller calls
+:meth:`Bank.service` to schedule one column access, and
+:meth:`Bank.begin_refresh` to start a refresh cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dram.request import MemoryRequest
+from repro.dram.timing import DramTiming
+from repro.errors import ProtocolError
+
+
+@dataclass
+class BankStats:
+    activations: int = 0
+    precharges: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+    reads: int = 0
+    writes: int = 0
+    refreshes: int = 0
+    refresh_busy_cycles: int = 0
+
+
+@dataclass
+class ServiceTiming:
+    """Resolved command times for one column access."""
+
+    cas_time: int
+    data_start: int
+    finish: int
+    row_hit: bool
+
+
+class Bank:
+    """State machine for a single DRAM bank."""
+
+    __slots__ = (
+        "channel",
+        "rank_id",
+        "bank_id",
+        "flat_index",
+        "open_row",
+        "cas_ready",
+        "act_ready",
+        "pre_ready",
+        "refresh_until",
+        "refresh_started",
+        "num_subarrays",
+        "rows_per_bank",
+        "sa_refresh_id",
+        "sa_refresh_until",
+        "sa_refresh_started",
+        "stats",
+    )
+
+    def __init__(
+        self,
+        channel: int,
+        rank_id: int,
+        bank_id: int,
+        flat_index: int,
+        num_subarrays: int = 1,
+        rows_per_bank: int = 1,
+    ):
+        self.channel = channel
+        self.rank_id = rank_id
+        self.bank_id = bank_id
+        self.flat_index = flat_index
+        self.open_row: Optional[int] = None
+        self.cas_ready = 0  # earliest next CAS to the open row
+        self.act_ready = 0  # earliest next ACT (bank-local: tRC from last ACT)
+        self.pre_ready = 0  # earliest next PRE (tRAS / tRTP / tWR)
+        self.refresh_until = 0  # bank unavailable until this time (refresh)
+        self.refresh_started = 0  # start of the current refresh-busy interval
+        # Subarray-granularity refresh (paper Section 7 extension): when a
+        # refresh targets one subarray, accesses to the others proceed.
+        self.num_subarrays = num_subarrays
+        self.rows_per_bank = max(1, rows_per_bank)
+        self.sa_refresh_id = -1
+        self.sa_refresh_until = 0
+        self.sa_refresh_started = 0
+        self.stats = BankStats()
+
+    def subarray_of_row(self, row: int) -> int:
+        """Which subarray a row belongs to (contiguous row blocks)."""
+        return row * self.num_subarrays // self.rows_per_bank
+
+    # -- availability ---------------------------------------------------------
+
+    def available_at(self, now: int) -> int:
+        """Earliest time a new command sequence may begin."""
+        return max(now, self.refresh_until)
+
+    def is_refreshing(self, now: int) -> bool:
+        return now < self.refresh_until
+
+    # -- demand access --------------------------------------------------------
+
+    def service(
+        self,
+        request: MemoryRequest,
+        now: int,
+        timing: DramTiming,
+        rank: "Rank",
+        bus: "ChannelBus",
+        close_row: bool = False,
+    ) -> ServiceTiming:
+        """Schedule one read/write column access; mutates bank/rank/bus state
+        and returns the resolved command times.
+
+        The refresh-stall attribution (how long the start was pushed out by
+        a refresh-busy bank) is recorded on *request*.
+        """
+        earliest = max(now, self.refresh_until)
+        # Refresh-stall attribution: overlap between the request's wait
+        # [arrive, service] and the bank's refresh-busy interval.
+        blocked_from = max(request.arrive_time, self.refresh_started)
+        refresh_stall = max(0, min(self.refresh_until, earliest) - blocked_from)
+        row = request.coord.row
+        # Subarray refresh blocks only requests into the refreshing subarray.
+        if (
+            self.sa_refresh_until > earliest
+            and self.subarray_of_row(row) == self.sa_refresh_id
+        ):
+            sa_blocked_from = max(request.arrive_time, self.sa_refresh_started)
+            refresh_stall += max(0, self.sa_refresh_until - max(earliest, sa_blocked_from))
+            earliest = self.sa_refresh_until
+
+        if self.open_row == row:
+            # Row hit: CAS only.
+            row_hit = True
+            cas_earliest = max(earliest, self.cas_ready)
+            self.stats.row_hits += 1
+        else:
+            row_hit = False
+            if self.open_row is None:
+                # Row closed: ACT + CAS.
+                act_earliest = max(earliest, self.act_ready)
+                self.stats.row_misses += 1
+            else:
+                # Row conflict: PRE + ACT + CAS.
+                pre_time = max(earliest, self.pre_ready)
+                act_earliest = max(pre_time + timing.tRP, self.act_ready)
+                self.stats.row_conflicts += 1
+                self.stats.precharges += 1
+            act_time = rank.earliest_activate(act_earliest, timing)
+            rank.record_activate(act_time, timing)
+            self.stats.activations += 1
+            self.open_row = row
+            self.act_ready = act_time + timing.tRC
+            self.pre_ready = act_time + timing.tRAS
+            cas_earliest = act_time + timing.tRCD
+
+        if request.is_read:
+            cas_to_data = timing.tCL
+        else:
+            cas_to_data = timing.tCWL
+        # Reserve a burst slot on the shared data bus; the CAS is delayed so
+        # its data lands exactly in the granted slot.
+        data_start = bus.reserve(
+            cas_earliest + cas_to_data,
+            is_read=request.is_read,
+            rank_key=(self.channel, self.rank_id),
+            timing=timing,
+        )
+        cas_time = data_start - cas_to_data
+        finish = data_start + timing.tBL
+
+        self.cas_ready = cas_time + timing.tCCD
+        if request.is_read:
+            self.pre_ready = max(self.pre_ready, cas_time + timing.tRTP)
+            self.stats.reads += 1
+        else:
+            self.pre_ready = max(self.pre_ready, data_start + timing.tBL + timing.tWR)
+            self.stats.writes += 1
+
+        if close_row:
+            # Closed-row policy: auto-precharge after the access; the next
+            # access pays ACT but never a conflict PRE.
+            self.open_row = None
+            self.act_ready = max(self.act_ready, self.pre_ready + timing.tRP)
+            self.stats.precharges += 1
+
+        request.refresh_stall = refresh_stall
+        request.row_hit = row_hit
+        return ServiceTiming(
+            cas_time=cas_time, data_start=data_start, finish=finish, row_hit=row_hit
+        )
+
+    # -- refresh ---------------------------------------------------------------
+
+    def refresh_start_time(self, now: int, timing: DramTiming) -> int:
+        """Earliest time a refresh command may begin on this bank.
+
+        An open row must be precharged first; in-flight constraints
+        (tRAS/tWR/tRTP already folded into ``pre_ready``) are honored.
+        """
+        start = max(now, self.refresh_until)
+        if self.open_row is not None:
+            start = max(start, self.pre_ready) + timing.tRP
+        else:
+            # A just-issued CAS keeps the bank busy briefly.
+            start = max(start, self.cas_ready)
+        return start
+
+    def begin_refresh(self, start: int, trfc: int, subarray: int | None = None) -> int:
+        """Mark the bank (or one *subarray*) refresh-busy for
+        [start, start + trfc).
+
+        With *subarray* set (SALP-style hardware, the paper's Section 7
+        extension), only requests into that subarray are blocked; the rest
+        of the bank keeps serving.  An open row inside the refreshing
+        subarray is precharged.
+        """
+        if trfc <= 0:
+            raise ProtocolError(f"tRFC must be positive, got {trfc}")
+        end = start + trfc
+        self.stats.refreshes += 1
+        self.stats.refresh_busy_cycles += trfc
+        if subarray is not None and self.num_subarrays > 1:
+            if start > self.sa_refresh_until:
+                self.sa_refresh_started = start
+            self.sa_refresh_id = subarray
+            self.sa_refresh_until = max(self.sa_refresh_until, end)
+            if (
+                self.open_row is not None
+                and self.subarray_of_row(self.open_row) == subarray
+            ):
+                self.stats.precharges += 1
+                self.open_row = None
+            return end
+        if start > self.refresh_until:
+            # New refresh-busy interval (not back-to-back with the last).
+            self.refresh_started = start
+        if self.open_row is not None:
+            self.stats.precharges += 1
+        self.open_row = None
+        self.refresh_until = max(self.refresh_until, end)
+        self.cas_ready = max(self.cas_ready, end)
+        self.act_ready = max(self.act_ready, end)
+        self.pre_ready = max(self.pre_ready, end)
+        return end
+
+    def __repr__(self) -> str:
+        return (
+            f"Bank(ch{self.channel} rk{self.rank_id} bk{self.bank_id} "
+            f"row={self.open_row})"
+        )
+
+
+class Rank:
+    """Rank-level activate constraints: tRRD and the four-activate window."""
+
+    __slots__ = ("channel", "rank_id", "_act_times")
+
+    FAW_WINDOW = 4
+
+    def __init__(self, channel: int, rank_id: int):
+        self.channel = channel
+        self.rank_id = rank_id
+        self._act_times: list[int] = []
+
+    def earliest_activate(self, wanted: int, timing: DramTiming) -> int:
+        """Earliest ACT time >= *wanted* honoring tRRD and tFAW."""
+        t = wanted
+        if self._act_times:
+            t = max(t, self._act_times[-1] + timing.tRRD)
+            if len(self._act_times) >= self.FAW_WINDOW:
+                t = max(t, self._act_times[-self.FAW_WINDOW] + timing.tFAW)
+        return t
+
+    def record_activate(self, time: int, timing: DramTiming) -> None:
+        self._act_times.append(time)
+        if len(self._act_times) > self.FAW_WINDOW:
+            del self._act_times[: -self.FAW_WINDOW]
+
+    def __repr__(self) -> str:
+        return f"Rank(ch{self.channel} rk{self.rank_id})"
+
+
+class ChannelBus:
+    """Shared data bus of one channel: serialises burst transfers and applies
+    read/write and rank-switch turnaround penalties."""
+
+    __slots__ = ("ready", "last_was_read", "last_rank_key", "busy_cycles")
+
+    def __init__(self):
+        self.ready = 0
+        self.last_was_read: Optional[bool] = None
+        self.last_rank_key: Optional[tuple[int, int]] = None
+        self.busy_cycles = 0
+
+    def reserve(
+        self,
+        wanted: int,
+        is_read: bool,
+        rank_key: tuple[int, int],
+        timing: DramTiming,
+    ) -> int:
+        """Grant a burst slot starting at or after *wanted*; returns the
+        granted start time and advances the bus state."""
+        start = max(wanted, self.ready)
+        if self.last_was_read is not None:
+            if self.last_was_read != is_read and not self.last_was_read:
+                # write -> read turnaround
+                start = max(start, self.ready + timing.tWTR)
+            if self.last_rank_key is not None and self.last_rank_key != rank_key:
+                start = max(start, self.ready + timing.tRTRS)
+        self.ready = start + timing.tBL
+        self.last_was_read = is_read
+        self.last_rank_key = rank_key
+        self.busy_cycles += timing.tBL
+        return start
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of elapsed cycles the bus spent transferring data."""
+        return self.busy_cycles / elapsed if elapsed > 0 else 0.0

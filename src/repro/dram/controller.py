@@ -1,0 +1,262 @@
+"""Memory controller: per-bank FR-FCFS scheduling, read/write queues with
+batch write draining, shared-bus arbitration and refresh injection.
+
+Matches Table 1: FR-FCFS, open-row policy, 64/64 read/write queues, writes
+drained in batches between low/high watermarks 32/54.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config.dram_configs import DramOrganization
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.bank import Bank, ChannelBus, Rank
+from repro.dram.request import MemoryRequest
+from repro.dram.timing import DramTiming
+from repro.errors import SimulationError
+
+
+@dataclass
+class ControllerStats:
+    reads_completed: int = 0
+    writes_completed: int = 0
+    read_latency_sum: int = 0
+    refresh_stall_sum: int = 0
+    refresh_stalled_reads: int = 0
+    row_hits: int = 0
+    rank_refreshes: int = 0
+    bank_refreshes: int = 0
+
+    @property
+    def avg_read_latency(self) -> float:
+        """Average read latency in CPU cycles (queueing + service)."""
+        if self.reads_completed == 0:
+            return 0.0
+        return self.read_latency_sum / self.reads_completed
+
+    @property
+    def row_hit_rate(self) -> float:
+        if self.reads_completed == 0:
+            return 0.0
+        return self.row_hits / self.reads_completed
+
+
+class MemoryController:
+    """One controller managing every channel of the memory system."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        timing: DramTiming,
+        organization: DramOrganization,
+        mapping: AddressMapping,
+        read_queue_depth: int = 64,
+        write_queue_depth: int = 64,
+        write_drain_low: int = 32,
+        write_drain_high: int = 54,
+        row_policy: str = "open",
+    ):
+        if row_policy not in ("open", "closed"):
+            raise SimulationError(f"unknown row policy {row_policy!r}")
+        self.engine = engine
+        self.timing = timing
+        self.org = organization
+        self.mapping = mapping
+        self.read_queue_depth = read_queue_depth
+        self.write_queue_depth = write_queue_depth
+        self.write_drain_low = write_drain_low
+        self.write_drain_high = write_drain_high
+        self.row_policy = row_policy
+
+        total = organization.total_banks
+        self.banks: list[Bank] = []
+        for flat in range(total):
+            channel, rank, bank = mapping.unflatten_bank_index(flat)
+            self.banks.append(
+                Bank(
+                    channel,
+                    rank,
+                    bank,
+                    flat,
+                    num_subarrays=organization.subarrays_per_bank,
+                    rows_per_bank=mapping.rows_per_bank,
+                )
+            )
+        self.ranks: dict[tuple[int, int], Rank] = {
+            (c, r): Rank(c, r)
+            for c in range(organization.channels)
+            for r in range(organization.ranks_per_channel)
+        }
+        self.buses: list[ChannelBus] = [
+            ChannelBus() for _ in range(organization.channels)
+        ]
+
+        self._read_q: list[list[MemoryRequest]] = [[] for _ in range(total)]
+        self._write_q: list[list[MemoryRequest]] = [[] for _ in range(total)]
+        self.read_count = 0
+        self.write_count = 0
+        self.drain_mode = False
+        # One in-flight pick per bank: time of the next scheduled pick event,
+        # or None when the bank is idle and must be kicked on enqueue.
+        self._pick_pending: list[bool] = [False] * total
+        self.stats = ControllerStats()
+
+    # -- admission ---------------------------------------------------------------
+
+    def can_accept_read(self) -> bool:
+        return self.read_count < self.read_queue_depth
+
+    def can_accept_write(self) -> bool:
+        return self.write_count < self.write_queue_depth
+
+    def enqueue(self, request: MemoryRequest) -> None:
+        """Accept a request into its bank queue and kick the bank."""
+        coord = request.coord
+        flat = self.mapping.flat_bank_index(coord.channel, coord.rank, coord.bank)
+        request.arrive_time = self.engine.now
+        if request.is_read:
+            self._read_q[flat].append(request)
+            self.read_count += 1
+        else:
+            self._write_q[flat].append(request)
+            self.write_count += 1
+            if self.write_count >= self.write_drain_high:
+                self.drain_mode = True
+        self._kick(flat)
+
+    # -- refresh entry points (called by refresh schedulers) ----------------------
+
+    def refresh_bank(
+        self,
+        channel: int,
+        rank: int,
+        bank: int,
+        trfc: int,
+        subarray: int | None = None,
+    ) -> int:
+        """Begin a per-bank (or per-subarray) refresh; returns completion."""
+        flat = self.mapping.flat_bank_index(channel, rank, bank)
+        bank_obj = self.banks[flat]
+        start = bank_obj.refresh_start_time(self.engine.now, self.timing)
+        end = bank_obj.begin_refresh(start, trfc, subarray=subarray)
+        self.stats.bank_refreshes += 1
+        self._kick(flat, at=end)
+        return end
+
+    def refresh_rank(self, channel: int, rank: int, trfc: int) -> int:
+        """Begin an all-bank refresh on a rank; returns its completion time."""
+        base = self.mapping.flat_bank_index(channel, rank, 0)
+        members = self.banks[base : base + self.org.banks_per_rank]
+        start = max(
+            b.refresh_start_time(self.engine.now, self.timing) for b in members
+        )
+        end = start + trfc
+        for b in members:
+            b.begin_refresh(start, trfc)
+        self.stats.rank_refreshes += 1
+        for offset in range(self.org.banks_per_rank):
+            self._kick(base + offset, at=end)
+        return end
+
+    # -- introspection (used by OOO refresh and AR) --------------------------------
+
+    def queued_requests_per_bank(self) -> list[int]:
+        return [
+            len(self._read_q[f]) + len(self._write_q[f])
+            for f in range(self.org.total_banks)
+        ]
+
+    def bus_for_channel(self, channel: int) -> ChannelBus:
+        return self.buses[channel]
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def _kick(self, flat: int, at: Optional[int] = None) -> None:
+        """Ensure a pick event is pending for bank *flat*."""
+        if self._pick_pending[flat]:
+            return
+        self._pick_pending[flat] = True
+        when = self.engine.now if at is None else max(at, self.engine.now)
+        self.engine.schedule_at(when, lambda: self._pick(flat))
+
+    def _pick(self, flat: int) -> None:
+        """Issue the FR-FCFS-best request for bank *flat*, if any."""
+        self._pick_pending[flat] = False
+        bank = self.banks[flat]
+        now = self.engine.now
+
+        if bank.is_refreshing(now):
+            self._kick(flat, at=bank.refresh_until)
+            return
+
+        request = self._select(flat, bank)
+        if request is None:
+            return
+
+        rank = self.ranks[(bank.channel, bank.rank_id)]
+        bus = self.buses[bank.channel]
+        timing = self.timing
+        service = bank.service(
+            request, now, timing, rank, bus,
+            close_row=self.row_policy == "closed",
+        )
+        request.start_time = service.cas_time
+        self.engine.schedule_at(
+            service.finish, lambda: self._complete(request)
+        )
+        if request.is_read:
+            self.read_count -= 1
+        else:
+            self.write_count -= 1
+            if self.drain_mode and self.write_count <= self.write_drain_low:
+                self.drain_mode = False
+        # Next pick once this command has gone out on the command bus.
+        self._kick(flat, at=max(service.cas_time, now + 1))
+
+    def _select(self, flat: int, bank: Bank) -> Optional[MemoryRequest]:
+        """FR-FCFS: prefer row hits, then oldest; reads before writes except
+        in drain mode (writes drained in batches), with opportunistic writes
+        when the bank has no reads."""
+        reads = self._read_q[flat]
+        writes = self._write_q[flat]
+        if self.drain_mode:
+            queues = (writes, reads)
+        else:
+            queues = (reads, writes) if reads else (writes,)
+        for queue in queues:
+            if not queue:
+                continue
+            chosen_idx = 0
+            open_row = bank.open_row
+            if open_row is not None:
+                for i, req in enumerate(queue):
+                    if req.coord.row == open_row:
+                        chosen_idx = i
+                        break
+            return queue.pop(chosen_idx)
+        return None
+
+    def _complete(self, request: MemoryRequest) -> None:
+        request.finish_time = self.engine.now
+        stats = self.stats
+        if request.is_read:
+            stats.reads_completed += 1
+            stats.read_latency_sum += request.latency
+            if request.row_hit:
+                stats.row_hits += 1
+            if request.refresh_stall > 0:
+                stats.refresh_stall_sum += request.refresh_stall
+                stats.refresh_stalled_reads += 1
+        else:
+            stats.writes_completed += 1
+        if request.on_complete is not None:
+            request.on_complete(request)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryController(reads={self.stats.reads_completed}, "
+            f"writes={self.stats.writes_completed}, drain={self.drain_mode})"
+        )

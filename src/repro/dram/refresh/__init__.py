@@ -1,0 +1,49 @@
+"""Refresh schedulers: the paper's proposal and every evaluated baseline."""
+
+from repro.dram.refresh.base import RefreshScheduler, RefreshStats
+from repro.dram.refresh.no_refresh import NoRefresh
+from repro.dram.refresh.all_bank import AllBankRefresh
+from repro.dram.refresh.per_bank_rr import PerBankRoundRobin
+from repro.dram.refresh.same_bank import SameBankSequential
+from repro.dram.refresh.ooo_per_bank import OutOfOrderPerBank
+from repro.dram.refresh.adaptive import AdaptiveRefresh
+from repro.dram.refresh.elastic import ElasticRefresh
+from repro.dram.refresh.pausing import RefreshPausing
+
+SCHEDULERS = {
+    "no_refresh": NoRefresh,
+    "all_bank": AllBankRefresh,
+    "per_bank": PerBankRoundRobin,
+    "same_bank": SameBankSequential,
+    "ooo_per_bank": OutOfOrderPerBank,
+    "adaptive": AdaptiveRefresh,
+    "elastic": ElasticRefresh,
+    "pausing": RefreshPausing,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> RefreshScheduler:
+    """Instantiate a refresh scheduler by registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown refresh scheduler {name!r}; known: {sorted(SCHEDULERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "RefreshScheduler",
+    "RefreshStats",
+    "NoRefresh",
+    "AllBankRefresh",
+    "PerBankRoundRobin",
+    "SameBankSequential",
+    "OutOfOrderPerBank",
+    "AdaptiveRefresh",
+    "ElasticRefresh",
+    "RefreshPausing",
+    "SCHEDULERS",
+    "make_scheduler",
+]

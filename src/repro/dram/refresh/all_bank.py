@@ -1,0 +1,36 @@
+"""All-bank (rank-level) refresh: the DDRx baseline (paper Section 2.2.1).
+
+Every tREFI_ab each rank receives one refresh command covering a group of
+rows in *all* of its banks; the whole rank is unavailable for tRFC_ab.
+Ranks are staggered by tREFI_ab / num_ranks, as in Figure 2a.
+
+DDR4 Fine Granularity Refresh (Section 6.3) is this same scheduler running
+on a :class:`~repro.dram.timing.DramTiming` built with ``FgrMode.X2``/``X4``
+(tREFI divided by 2/4, tRFC divided by only 1.35/1.63).
+"""
+
+from __future__ import annotations
+
+from repro.dram.refresh.base import RefreshScheduler
+
+
+class AllBankRefresh(RefreshScheduler):
+    name = "all_bank"
+
+    def start(self) -> None:
+        mc = self.controller
+        trefi = self.timing.trefi_ab
+        for channel in range(mc.org.channels):
+            for rank in range(mc.org.ranks_per_channel):
+                offset = rank * trefi // mc.org.ranks_per_channel
+                self._schedule_rank(channel, rank, offset)
+
+    def _schedule_rank(self, channel: int, rank: int, at: int) -> None:
+        def fire() -> None:
+            self.controller.refresh_rank(channel, rank, self.timing.trfc_ab)
+            base_flat = self.controller.mapping.flat_bank_index(channel, rank, 0)
+            for bank in range(self.controller.org.banks_per_rank):
+                self.stats.record(base_flat + bank, row_units=1.0)
+            self._schedule_rank(channel, rank, self.timing.trefi_ab)
+
+        self.engine.schedule(at, fire)

@@ -1,0 +1,76 @@
+"""Refresh scheduler interface and shared bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import Engine
+    from repro.dram.controller import MemoryController
+    from repro.dram.timing import DramTiming
+
+
+@dataclass
+class RefreshStats:
+    """Counters shared by all refresh schedulers."""
+
+    commands_issued: int = 0
+    rows_refreshed_units: float = 0.0
+    per_bank_commands: dict[int, int] = field(default_factory=dict)
+
+    def record(self, flat_bank: int, row_units: float = 1.0) -> None:
+        self.commands_issued += 1
+        self.rows_refreshed_units += row_units
+        self.per_bank_commands[flat_bank] = (
+            self.per_bank_commands.get(flat_bank, 0) + 1
+        )
+
+
+class RefreshScheduler:
+    """Base class: a refresh scheduler is attached to a controller and
+    drives itself with engine events.
+
+    Subclasses implement :meth:`start`.  Schedulers that make their schedule
+    *predictable by the OS* (the paper's same-bank schedule) additionally
+    implement :meth:`stretch_bank_at`, returning which flat bank index is
+    being refreshed during the stretch containing a given time; others
+    return ``None`` (the OS cannot co-schedule against them).
+    """
+
+    name = "base"
+
+    def __init__(self):
+        self.controller: Optional["MemoryController"] = None
+        self.engine: Optional["Engine"] = None
+        self.timing: Optional["DramTiming"] = None
+        self.stats = RefreshStats()
+
+    def attach(
+        self,
+        controller: "MemoryController",
+        engine: "Engine",
+        timing: "DramTiming",
+    ) -> None:
+        """Wire the scheduler to its controller/engine; call before start."""
+        self.controller = controller
+        self.engine = engine
+        self.timing = timing
+
+    def start(self) -> None:
+        """Schedule the first refresh event.  Subclasses override."""
+        raise NotImplementedError
+
+    # -- OS-visible schedule (co-design hardware/software interface) ---------
+
+    def stretch_bank_at(self, time: int) -> Optional[int]:
+        """Flat bank index refresh-busy during the stretch containing *time*,
+        or ``None`` when the schedule is not stretch-structured."""
+        return None
+
+    def is_predictable(self) -> bool:
+        """True when the OS can learn the refresh target for a quantum."""
+        return self.stretch_bank_at(0) is not None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(commands={self.stats.commands_issued})"

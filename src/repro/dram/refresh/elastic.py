@@ -1,0 +1,86 @@
+"""Elastic Refresh — Stuecheli et al., MICRO 2010 (paper Section 7).
+
+An all-bank scheme that *postpones* refresh commands (JEDEC allows up to 8
+outstanding) hoping to issue them in idle periods: a refresh is sent early
+when the rank has no queued demand requests, and is forced when the
+postponement budget is exhausted.
+
+The paper's related-work observation — and what the model shows — is that
+this helps low-intensity workloads but cannot help memory-intensive ones,
+where idle periods are scarce and the postponed refreshes eventually fire
+back-to-back into busy ranks.
+"""
+
+from __future__ import annotations
+
+from repro.dram.refresh.base import RefreshScheduler
+
+
+class ElasticRefresh(RefreshScheduler):
+    name = "elastic"
+
+    #: JEDEC DDRx allows up to 8 postponed refresh commands.
+    MAX_POSTPONED = 8
+    #: How often (in fractions of tREFI) the idle detector re-checks.
+    CHECK_DIVISOR = 8
+
+    def __init__(self):
+        super().__init__()
+        self._debt: dict[tuple[int, int], int] = {}
+        self.forced_refreshes = 0
+        self.idle_refreshes = 0
+
+    def start(self) -> None:
+        mc = self.controller
+        trefi = self.timing.trefi_ab
+        for channel in range(mc.org.channels):
+            for rank in range(mc.org.ranks_per_channel):
+                key = (channel, rank)
+                self._debt[key] = 0
+                offset = rank * trefi // mc.org.ranks_per_channel
+                self.engine.schedule(offset, self._accrue(key))
+                self.engine.schedule(offset, self._poll(key))
+
+    # -- debt accrual: one obligation per tREFI -------------------------------
+
+    def _accrue(self, key: tuple[int, int]):
+        def fire() -> None:
+            self._debt[key] += 1
+            if self._debt[key] > self.MAX_POSTPONED:
+                # Budget exhausted: a refresh must go out now.
+                self._issue(key)
+                self.forced_refreshes += 1
+            self.engine.schedule(self.timing.trefi_ab, fire)
+
+        return fire
+
+    # -- idle detection ---------------------------------------------------------
+
+    def _poll(self, key: tuple[int, int]):
+        def fire() -> None:
+            if self._debt[key] > 0 and self._rank_idle(key):
+                self._issue(key)
+                self.idle_refreshes += 1
+            self.engine.schedule(
+                self.timing.trefi_ab // self.CHECK_DIVISOR, fire
+            )
+
+        return fire
+
+    def _rank_idle(self, key: tuple[int, int]) -> bool:
+        channel, rank = key
+        mc = self.controller
+        queued = mc.queued_requests_per_bank()
+        base = mc.mapping.flat_bank_index(channel, rank, 0)
+        return all(
+            queued[base + bank] == 0 for bank in range(mc.org.banks_per_rank)
+        )
+
+    def _issue(self, key: tuple[int, int]) -> None:
+        channel, rank = key
+        mc = self.controller
+        mc.refresh_rank(channel, rank, self.timing.trfc_ab)
+        base = mc.mapping.flat_bank_index(channel, rank, 0)
+        for bank in range(mc.org.banks_per_rank):
+            self.stats.record(base + bank, row_units=1.0)
+        self._debt[key] -= 1

@@ -1,0 +1,14 @@
+"""Ideal no-refresh scheduler (upper bound used by Figures 3 and 4)."""
+
+from __future__ import annotations
+
+from repro.dram.refresh.base import RefreshScheduler
+
+
+class NoRefresh(RefreshScheduler):
+    """Never issues a refresh: models ideal refresh-free DRAM."""
+
+    name = "no_refresh"
+
+    def start(self) -> None:
+        return None

@@ -1,0 +1,91 @@
+"""Refresh Pausing — Nair et al., HPCA 2013 (paper Section 7).
+
+An all-bank refresh whose tRFC is split into segments (refresh "pause
+points"); between segments the controller checks for pending demand
+requests to the rank and, if any exist, pauses the remaining refresh work
+until the rank drains or the deadline forces completion (the whole
+command must finish before the next tREFI obligation).
+
+The paper notes this needs vendor-specific knowledge of the internal
+refresh sequence; as a *model* it upper-bounds what pausing can buy.
+"""
+
+from __future__ import annotations
+
+from repro.dram.refresh.base import RefreshScheduler
+
+
+class RefreshPausing(RefreshScheduler):
+    name = "pausing"
+
+    #: tRFC is divided into this many pausable segments.
+    SEGMENTS = 4
+    #: How often a paused refresh re-checks the rank, as a fraction of the
+    #: segment length.
+    RECHECK_DIVISOR = 2
+
+    def __init__(self):
+        super().__init__()
+        self.pauses = 0
+        self.forced_completions = 0
+
+    def start(self) -> None:
+        mc = self.controller
+        trefi = self.timing.trefi_ab
+        for channel in range(mc.org.channels):
+            for rank in range(mc.org.ranks_per_channel):
+                offset = rank * trefi // mc.org.ranks_per_channel
+                self.engine.schedule(
+                    offset, self._begin_command(channel, rank)
+                )
+
+    def _begin_command(self, channel: int, rank: int):
+        def fire() -> None:
+            deadline = self.engine.now + self.timing.trefi_ab
+            self._run_segments(channel, rank, self.SEGMENTS, deadline)
+            self.engine.schedule(
+                self.timing.trefi_ab, self._begin_command(channel, rank)
+            )
+
+        return fire
+
+    def _run_segments(
+        self, channel: int, rank: int, remaining: int, deadline: int
+    ) -> None:
+        if remaining == 0:
+            base = self.controller.mapping.flat_bank_index(channel, rank, 0)
+            for bank in range(self.controller.org.banks_per_rank):
+                self.stats.record(base + bank, row_units=1.0)
+            return
+        segment = max(1, self.timing.trfc_ab // self.SEGMENTS)
+        now = self.engine.now
+        # Forced completion: the rest must fit before the deadline.
+        must_finish_by = deadline - remaining * segment
+        if now >= must_finish_by:
+            if remaining == self.SEGMENTS:
+                pass  # command never got to pause
+            self.forced_completions += 1
+            for _ in range(remaining):
+                self.controller.refresh_rank(channel, rank, segment)
+            self._run_segments(channel, rank, 0, deadline)
+            return
+        if self._rank_has_demand(channel, rank) and remaining < self.SEGMENTS:
+            # Pause: let demand through, re-check shortly.
+            self.pauses += 1
+            self.engine.schedule(
+                max(1, segment // self.RECHECK_DIVISOR),
+                lambda: self._run_segments(channel, rank, remaining, deadline),
+            )
+            return
+        end = self.controller.refresh_rank(channel, rank, segment)
+        self.engine.schedule_at(
+            end, lambda: self._run_segments(channel, rank, remaining - 1, deadline)
+        )
+
+    def _rank_has_demand(self, channel: int, rank: int) -> bool:
+        mc = self.controller
+        queued = mc.queued_requests_per_bank()
+        base = mc.mapping.flat_bank_index(channel, rank, 0)
+        return any(
+            queued[base + bank] > 0 for bank in range(mc.org.banks_per_rank)
+        )

@@ -1,0 +1,80 @@
+"""Memory request objects exchanged between cores and the controller."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Callable, Optional
+
+from repro.dram.address import DramCoordinate
+
+
+class RequestType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+_request_ids = itertools.count()
+
+
+class MemoryRequest:
+    """One cache-line-sized DRAM transaction.
+
+    Latency accounting fields are filled in by the controller:
+
+    ``arrive_time``   when the request entered the controller queue
+    ``start_time``    when its first DRAM command issued
+    ``finish_time``   when its data burst completed
+    ``refresh_stall`` cycles its start was delayed by a refresh-busy bank
+    """
+
+    __slots__ = (
+        "req_id",
+        "rtype",
+        "address",
+        "coord",
+        "task_id",
+        "arrive_time",
+        "start_time",
+        "finish_time",
+        "refresh_stall",
+        "on_complete",
+        "row_hit",
+    )
+
+    def __init__(
+        self,
+        rtype: RequestType,
+        address: int,
+        coord: DramCoordinate,
+        task_id: int = -1,
+        on_complete: Optional[Callable[["MemoryRequest"], None]] = None,
+    ):
+        self.req_id = next(_request_ids)
+        self.rtype = rtype
+        self.address = address
+        self.coord = coord
+        self.task_id = task_id
+        self.arrive_time = -1
+        self.start_time = -1
+        self.finish_time = -1
+        self.refresh_stall = 0
+        self.on_complete = on_complete
+        self.row_hit = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.rtype is RequestType.READ
+
+    @property
+    def latency(self) -> int:
+        """Total queueing + service latency in CPU cycles."""
+        if self.finish_time < 0 or self.arrive_time < 0:
+            raise ValueError("request has not completed")
+        return self.finish_time - self.arrive_time
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryRequest(#{self.req_id} {self.rtype.value} "
+            f"bank={self.coord.bank_key} row={self.coord.row})"
+        )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class AddressMapError(ReproError):
+    """A physical address or frame cannot be decoded/encoded."""
+
+
+class AllocationError(ReproError):
+    """The physical-memory allocator could not satisfy a request."""
+
+
+class OutOfMemoryError(AllocationError):
+    """No free frame exists anywhere in physical memory."""
+
+
+class SchedulerError(ReproError):
+    """The OS scheduler was driven into an invalid state."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProtocolError(SimulationError):
+    """A DRAM timing or protocol constraint was violated."""

@@ -1,0 +1,17 @@
+"""Experiment harness: one module per paper figure (see DESIGN.md §4)."""
+
+from repro.experiments.runner import (
+    ExperimentProfile,
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    active_profile,
+    SweepRunner,
+)
+
+__all__ = [
+    "ExperimentProfile",
+    "FULL_PROFILE",
+    "QUICK_PROFILE",
+    "active_profile",
+    "SweepRunner",
+]

@@ -1,0 +1,90 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments figure10          # one figure
+    python -m repro.experiments all               # everything
+    python -m repro.experiments figure3 --profile full
+
+Each experiment prints the same table its pytest benchmark saves under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ablations
+from repro.experiments import figure3, figure4, figure5, figure9
+from repro.experiments import figure10, figure11, figure12, figure13
+from repro.experiments import figure14, figure15
+from repro.experiments.runner import FULL_PROFILE, QUICK_PROFILE, SweepRunner
+
+
+def _simple(module):
+    def run(runner):
+        return module.format_results(module.run(runner))
+
+    return run
+
+
+def _figure5(runner):
+    return figure5.format_results(figure5.run())
+
+
+def _ablations(runner):
+    rows = []
+    rows += ablations.component_study(runner)
+    rows += ablations.banks_sweep(runner)
+    rows += ablations.eta_sweep(runner)
+    return ablations.format_results(rows)
+
+
+EXPERIMENTS = {
+    "figure3": _simple(figure3),
+    "figure4": _simple(figure4),
+    "figure5": _figure5,
+    "figure9": lambda runner: figure9.format_results(figure9.run()),
+    "figure10": _simple(figure10),
+    "figure11": _simple(figure11),
+    "figure12": _simple(figure12),
+    "figure13": _simple(figure13),
+    "figure14": _simple(figure14),
+    "figure15": _simple(figure15),
+    "ablations": _ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["quick", "full"],
+        default="quick",
+        help="simulation effort per data point (default: quick)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
+    runner = SweepRunner(profile)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(EXPERIMENTS[name](runner))
+        print(f"[{name}: {time.time() - start:.1f}s, "
+              f"{runner.runs_executed} runs total]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Ablation studies for the design choices DESIGN.md Section 5 calls out.
+
+These are not paper figures; they isolate the contribution of each
+co-design ingredient:
+
+* ``eta_sweep``         — fairness threshold vs refresh avoidance.
+* ``banks_sweep``       — banks-per-task (the paper's footnote 11: 6 is the
+                          dual-core 1:4 sweet spot; 4 and 2 help less).
+* ``component_study``   — hardware schedule alone, partitioning alone,
+                          soft vs hard partitioning, best-effort mode,
+                          versus the full co-design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import speedup
+from repro.core.system import Scenario
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import SweepRunner
+from repro.os.partition import PartitionPolicy
+
+
+@dataclass
+class AblationRow:
+    study: str
+    variant: str
+    improvement: float  # vs all-bank refresh
+
+
+def eta_sweep(
+    runner: SweepRunner | None = None,
+    workload: str = "WL-6",
+    etas: tuple[int, ...] = (1, 2, 3, 8),
+) -> list[AblationRow]:
+    """Vary Algorithm 3's eta_thresh; 1 disables refresh awareness almost
+    entirely, large values always wait for a clean task."""
+    from repro.config.system_configs import OsConfig
+
+    runner = runner or SweepRunner()
+    base = runner.run(workload, "all_bank").hmean_ipc
+    rows = []
+    for eta in etas:
+        value = runner.run(
+            workload, "codesign", os=OsConfig(eta_thresh=eta)
+        ).hmean_ipc
+        rows.append(AblationRow("eta_thresh", f"eta={eta}", speedup(value, base)))
+    return rows
+
+
+def banks_sweep(
+    runner: SweepRunner | None = None,
+    workload: str = "WL-6",
+    banks: tuple[int, ...] = (2, 4, 6),
+) -> list[AblationRow]:
+    """Banks-per-task sweep (paper footnote 11)."""
+    runner = runner or SweepRunner()
+    base = runner.run(workload, "all_bank").hmean_ipc
+    rows = []
+    for b in banks:
+        value = runner.run(workload, "codesign", banks_per_task=b).hmean_ipc
+        rows.append(AblationRow("banks_per_task", f"{b} banks", speedup(value, base)))
+    return rows
+
+
+def component_study(
+    runner: SweepRunner | None = None, workload: str = "WL-6"
+) -> list[AblationRow]:
+    """Which ingredient buys what."""
+    runner = runner or SweepRunner()
+    base = runner.run(workload, "all_bank").hmean_ipc
+    variants = [
+        ("per_bank (hw baseline)", "per_bank"),
+        ("same-bank schedule only", "same_bank_hw_only"),
+        ("partitioning only", "partition_only"),
+        ("full co-design (soft)", "codesign"),
+        ("co-design, hard partition", "codesign_hard"),
+        ("co-design, best effort", "codesign_best_effort"),
+    ]
+    rows = []
+    for label, scenario_name in variants:
+        value = runner.run(workload, scenario_name).hmean_ipc
+        rows.append(AblationRow("components", label, speedup(value, base)))
+    return rows
+
+
+def format_results(rows: list[AblationRow]) -> str:
+    return format_table(
+        ["study", "variant", "IPC vs all-bank"],
+        [[r.study, r.variant, format_percent(r.improvement)] for r in rows],
+        title="Ablation studies",
+    )

@@ -1,0 +1,81 @@
+"""Figure 10: co-design IPC improvements (the headline result).
+
+Per Table 2 workload and for 16/24/32 Gb chips, the IPC improvement of
+per-bank refresh and of the full co-design, normalized to all-bank refresh.
+
+Paper averages: co-design +16.2%/+12.1%/+9.03% over all-bank and
++6.3%/+5.4%/+2.5% over per-bank at 32/24/16 Gb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import speedup
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import SweepRunner
+
+DENSITIES = (16, 24, 32)
+SCHEMES = ("per_bank", "codesign")
+
+
+@dataclass
+class Figure10Row:
+    density_gbit: int
+    workload: str
+    scheme: str
+    improvement: float  # vs all-bank refresh
+
+
+def run(runner: SweepRunner | None = None) -> list[Figure10Row]:
+    runner = runner or SweepRunner()
+    rows = []
+    for density in DENSITIES:
+        overrides = {"density_gbit": density}
+        for workload in runner.profile.workloads:
+            base = runner.run(workload, "all_bank", **overrides).hmean_ipc
+            for scheme in SCHEMES:
+                value = runner.run(workload, scheme, **overrides).hmean_ipc
+                rows.append(
+                    Figure10Row(
+                        density_gbit=density,
+                        workload=workload,
+                        scheme=scheme,
+                        improvement=speedup(value, base),
+                    )
+                )
+    return rows
+
+
+def averages(rows: list[Figure10Row]) -> dict[tuple[int, str], float]:
+    """Mean improvement per (density, scheme)."""
+    result: dict[tuple[int, str], float] = {}
+    for density in DENSITIES:
+        for scheme in SCHEMES:
+            values = [
+                r.improvement
+                for r in rows
+                if r.density_gbit == density and r.scheme == scheme
+            ]
+            if values:
+                result[(density, scheme)] = sum(values) / len(values)
+    return result
+
+
+def format_results(rows: list[Figure10Row]) -> str:
+    table = format_table(
+        ["density", "workload", "scheme", "IPC vs all-bank"],
+        [
+            [f"{r.density_gbit}Gb", r.workload, r.scheme,
+             format_percent(r.improvement)]
+            for r in rows
+        ],
+        title="Figure 10: IPC improvement normalized to all-bank refresh",
+    )
+    avg = averages(rows)
+    summary = "\n".join(
+        f"  average @ {d}Gb: {s} {format_percent(avg[(d, s)])}"
+        for d in DENSITIES
+        for s in SCHEMES
+    )
+    return f"{table}\n{summary}"

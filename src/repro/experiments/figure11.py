@@ -1,0 +1,47 @@
+"""Figure 11: average memory access latency per workload (memory cycles).
+
+Same sweep as Figure 10 (the runner memoizes, so shared runs are free);
+reports the controller's average read latency for all-bank, per-bank and
+the co-design.  Lower is better; the co-design should cut latency because
+no scheduled task's demand requests queue behind a tRFC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import SweepRunner
+
+SCHEMES = ("all_bank", "per_bank", "codesign")
+
+
+@dataclass
+class Figure11Row:
+    workload: str
+    scheme: str
+    avg_latency_mem_cycles: float
+
+
+def run(runner: SweepRunner | None = None, density_gbit: int = 32) -> list[Figure11Row]:
+    runner = runner or SweepRunner()
+    rows = []
+    for workload in runner.profile.workloads:
+        for scheme in SCHEMES:
+            result = runner.run(workload, scheme, density_gbit=density_gbit)
+            rows.append(
+                Figure11Row(
+                    workload=workload,
+                    scheme=scheme,
+                    avg_latency_mem_cycles=result.avg_read_latency_mem_cycles,
+                )
+            )
+    return rows
+
+
+def format_results(rows: list[Figure11Row]) -> str:
+    return format_table(
+        ["workload", "scheme", "avg latency (mem cycles)"],
+        [[r.workload, r.scheme, f"{r.avg_latency_mem_cycles:.1f}"] for r in rows],
+        title="Figure 11: average memory access latency",
+    )

@@ -1,0 +1,92 @@
+"""Figure 15: sensitivity to core count and consolidation ratio.
+
+Sweeps dual/quad cores at 1:2 and 1:4 consolidation (4-16 tasks) across
+16/24/32 Gb densities, reporting average improvements of per-bank refresh
+and the co-design over all-bank refresh.
+
+Partition sizing follows Section 6.6: at 1:4 each task keeps 6 banks per
+rank; at 1:2, 4 banks.  Quad-core runs use 2 DIMMs per channel (4 ranks),
+the scaling the paper applies when more tasks need more capacity and BLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.dram_configs import DramOrganization
+from repro.core.metrics import speedup
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import SweepRunner
+from repro.workloads.mixes import scaled_mix
+
+DENSITIES = (16, 24, 32)
+#: (cores, consolidation ratio)
+POINTS = ((2, 2), (2, 4), (4, 2), (4, 4))
+SCHEMES = ("per_bank", "codesign")
+
+
+@dataclass
+class Figure15Row:
+    num_cores: int
+    ratio: int
+    density_gbit: int
+    scheme: str
+    improvement: float  # vs all-bank
+
+
+def _config_overrides(num_cores: int, density: int) -> dict:
+    from repro.config.system_configs import CoreConfig
+
+    overrides: dict = {
+        "density_gbit": density,
+        "cores": CoreConfig(num_cores=num_cores),
+    }
+    if num_cores >= 4:
+        overrides["organization"] = DramOrganization(ranks_per_channel=4)
+    return overrides
+
+
+def run(runner: SweepRunner | None = None,
+        workloads: tuple[str, ...] = ("WL-1", "WL-5", "WL-6", "WL-8")) -> list[Figure15Row]:
+    runner = runner or SweepRunner()
+    rows = []
+    for num_cores, ratio in POINTS:
+        num_tasks = num_cores * ratio
+        for density in DENSITIES:
+            overrides = _config_overrides(num_cores, density)
+            improvements: dict[str, list[float]] = {s: [] for s in SCHEMES}
+            for workload in workloads:
+                specs = scaled_mix(workload, num_tasks)
+                label = f"{workload}x{num_tasks}"
+                base = runner.run_specs(
+                    label, specs, "all_bank", **overrides
+                ).hmean_ipc
+                for scheme in SCHEMES:
+                    value = runner.run_specs(
+                        label, specs, scheme, **overrides
+                    ).hmean_ipc
+                    improvements[scheme].append(speedup(value, base))
+            for scheme in SCHEMES:
+                values = improvements[scheme]
+                rows.append(
+                    Figure15Row(
+                        num_cores=num_cores,
+                        ratio=ratio,
+                        density_gbit=density,
+                        scheme=scheme,
+                        improvement=sum(values) / len(values),
+                    )
+                )
+    return rows
+
+
+def format_results(rows: list[Figure15Row]) -> str:
+    return format_table(
+        ["cores", "ratio", "density", "scheme", "IPC vs all-bank"],
+        [
+            [r.num_cores, f"1:{r.ratio}", f"{r.density_gbit}Gb", r.scheme,
+             format_percent(r.improvement)]
+            for r in rows
+        ],
+        title="Figure 15: sensitivity to cores x consolidation ratio",
+    )

@@ -1,0 +1,79 @@
+"""Figure 3: performance degradation due to refresh.
+
+For DRAM densities 8/16/24/32 Gb and retention windows 64 ms (< 85C) and
+32 ms (> 85C), measures the average IPC degradation of all-bank and
+per-bank refresh relative to ideal refresh-free DRAM.
+
+Paper's reported averages (Section 3.1): at 64 ms, all-bank degrades
+5.4% -> 17.2% and per-bank 0.24% -> 9.8% as density grows 8 -> 32 Gb; at
+32 ms, up to 34.8% (all-bank) and 20.3% (per-bank) for 32 Gb.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import degradation
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import SweepRunner
+from repro.units import ms
+
+DENSITIES = (8, 16, 24, 32)
+RETENTIONS_MS = (64, 32)
+SCHEMES = ("all_bank", "per_bank")
+#: Table 2 mixes with at least one M/H benchmark; the paper's averages are
+#: dominated by these (the all-L mixes barely touch memory).
+MEMORY_INTENSIVE = ("WL-1", "WL-5", "WL-6", "WL-7", "WL-8", "WL-9", "WL-10")
+
+
+@dataclass
+class Figure3Row:
+    density_gbit: int
+    trefw_ms: int
+    scheme: str
+    degradation: float  # vs no-refresh, averaged over all workloads
+    degradation_intensive: float  # averaged over M/H workloads only
+
+
+def run(runner: SweepRunner | None = None) -> list[Figure3Row]:
+    runner = runner or SweepRunner()
+    intensive = [w for w in runner.profile.workloads if w in MEMORY_INTENSIVE]
+    rows = []
+    for trefw_ms_value in RETENTIONS_MS:
+        for density in DENSITIES:
+            overrides = {
+                "density_gbit": density,
+                "trefw_ps": ms(trefw_ms_value),
+            }
+            ideal = runner.average_hmean_ipc("no_refresh", **overrides)
+            ideal_hot = runner.average_hmean_ipc(
+                "no_refresh", workloads=intensive, **overrides
+            )
+            for scheme in SCHEMES:
+                value = runner.average_hmean_ipc(scheme, **overrides)
+                value_hot = runner.average_hmean_ipc(
+                    scheme, workloads=intensive, **overrides
+                )
+                rows.append(
+                    Figure3Row(
+                        density_gbit=density,
+                        trefw_ms=trefw_ms_value,
+                        scheme=scheme,
+                        degradation=degradation(value, ideal),
+                        degradation_intensive=degradation(value_hot, ideal_hot),
+                    )
+                )
+    return rows
+
+
+def format_results(rows: list[Figure3Row]) -> str:
+    return format_table(
+        ["density", "tREFW", "scheme", "degradation (all)", "degradation (M/H)"],
+        [
+            [f"{r.density_gbit}Gb", f"{r.trefw_ms}ms", r.scheme,
+             format_percent(r.degradation),
+             format_percent(r.degradation_intensive)]
+            for r in rows
+        ],
+        title="Figure 3: performance degradation due to refresh (vs no-refresh)",
+    )

@@ -1,0 +1,67 @@
+"""Figure 4: refresh cycle time vs bank-level parallelism.
+
+IPC of a *refresh-free* system whose tasks are confined to 8/4/2/1 banks
+per rank, normalized to the all-bank-refresh baseline where every task
+spans all 8 banks.  Shows that once the entire tRFC overhead is removed,
+confining tasks to >= 4 banks still wins for high-density chips (the BLP
+loss is smaller than the refresh gain), while at 8 Gb it loses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import speedup
+from repro.core.system import Scenario
+from repro.experiments.report import format_percent, format_table
+from repro.experiments.runner import SweepRunner
+from repro.os.partition import PartitionPolicy
+
+DENSITIES = (8, 16, 24, 32)
+BANKS_PER_TASK = (8, 4, 2, 1)
+
+#: No refresh + soft partitioning, baseline CFS (isolates the BLP effect).
+_CONFINED = Scenario(
+    "confined_no_refresh", "no_refresh", partition=PartitionPolicy.SOFT
+)
+
+
+@dataclass
+class Figure4Row:
+    density_gbit: int
+    banks_per_task: int
+    improvement: float  # vs all-bank refresh with all 8 banks
+
+
+def run(runner: SweepRunner | None = None) -> list[Figure4Row]:
+    runner = runner or SweepRunner()
+    rows = []
+    for density in DENSITIES:
+        overrides = {"density_gbit": density}
+        baseline = runner.average_hmean_ipc("all_bank", **overrides)
+        for banks in BANKS_PER_TASK:
+            if banks == 8:
+                value = runner.average_hmean_ipc("no_refresh", **overrides)
+            else:
+                value = runner.average_hmean_ipc(
+                    _CONFINED, banks_per_task=banks, **overrides
+                )
+            rows.append(
+                Figure4Row(
+                    density_gbit=density,
+                    banks_per_task=banks,
+                    improvement=speedup(value, baseline),
+                )
+            )
+    return rows
+
+
+def format_results(rows: list[Figure4Row]) -> str:
+    return format_table(
+        ["density", "banks/task", "IPC vs all-bank(8 banks)"],
+        [
+            [f"{r.density_gbit}Gb", r.banks_per_task, format_percent(r.improvement)]
+            for r in rows
+        ],
+        title="Figure 4: no-refresh IPC with confined banks vs all-bank baseline",
+    )

@@ -1,0 +1,144 @@
+"""Sweep infrastructure shared by all figure experiments.
+
+A :class:`SweepRunner` memoizes simulation runs within one process so
+figures that share underlying runs (e.g. Figure 10's IPC and Figure 11's
+latency views of the same sweep) pay for each configuration once.
+
+Profiles control simulation cost: ``QUICK_PROFILE`` (default; suitable for
+the pytest-benchmark harness) and ``FULL_PROFILE`` (longer windows, finer
+refresh scaling) — select with the ``REPRO_PROFILE=full`` environment
+variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.config.system_configs import SystemConfig, default_system_config
+from repro.core.results import RunResult
+from repro.core.simulator import run_simulation
+from repro.core.system import Scenario
+from repro.workloads.mixes import mix_names
+
+
+@dataclass(frozen=True)
+class ExperimentProfile:
+    """How much simulation to spend per data point."""
+
+    name: str
+    num_windows: float
+    warmup_windows: float
+    refresh_scale: int
+    workloads: tuple[str, ...]
+
+
+QUICK_PROFILE = ExperimentProfile(
+    name="quick",
+    num_windows=1.0,
+    warmup_windows=0.25,
+    refresh_scale=256,
+    workloads=tuple(mix_names()),
+)
+
+FULL_PROFILE = ExperimentProfile(
+    name="full",
+    num_windows=2.0,
+    warmup_windows=0.5,
+    refresh_scale=64,
+    workloads=tuple(mix_names()),
+)
+
+_PROFILES = {"quick": QUICK_PROFILE, "full": FULL_PROFILE}
+
+
+def active_profile() -> ExperimentProfile:
+    """Profile selected by ``REPRO_PROFILE`` (default: quick)."""
+    return _PROFILES.get(os.environ.get("REPRO_PROFILE", "quick"), QUICK_PROFILE)
+
+
+class SweepRunner:
+    """Runs and memoizes simulations keyed by their full configuration."""
+
+    def __init__(self, profile: Optional[ExperimentProfile] = None):
+        self.profile = profile or active_profile()
+        self._cache: dict[tuple, RunResult] = {}
+        self.runs_executed = 0
+
+    def run(
+        self,
+        workload: str,
+        scenario: str | Scenario,
+        banks_per_task: int | None = None,
+        **config_overrides,
+    ) -> RunResult:
+        """One simulation under the active profile (memoized)."""
+        overrides = dict(config_overrides)
+        overrides.setdefault("refresh_scale", self.profile.refresh_scale)
+        scenario_key = scenario if isinstance(scenario, str) else scenario.name
+        key = (
+            workload,
+            scenario_key,
+            banks_per_task,
+            tuple(sorted(overrides.items())),
+        )
+        if key not in self._cache:
+            self.runs_executed += 1
+            self._cache[key] = run_simulation(
+                workload,
+                scenario,
+                num_windows=self.profile.num_windows,
+                warmup_windows=self.profile.warmup_windows,
+                banks_per_task=banks_per_task,
+                **overrides,
+            )
+        return self._cache[key]
+
+    def run_specs(
+        self,
+        label: str,
+        specs,
+        scenario: str | Scenario,
+        banks_per_task: int | None = None,
+        **config_overrides,
+    ) -> RunResult:
+        """Like :meth:`run` but with an explicit benchmark-spec list,
+        memoized under *label* (which must uniquely describe *specs*)."""
+        overrides = dict(config_overrides)
+        overrides.setdefault("refresh_scale", self.profile.refresh_scale)
+        scenario_key = scenario if isinstance(scenario, str) else scenario.name
+        key = (
+            "specs:" + label,
+            scenario_key,
+            banks_per_task,
+            tuple(sorted(overrides.items())),
+        )
+        if key not in self._cache:
+            self.runs_executed += 1
+            self._cache[key] = run_simulation(
+                list(specs),
+                scenario,
+                num_windows=self.profile.num_windows,
+                warmup_windows=self.profile.warmup_windows,
+                banks_per_task=banks_per_task,
+                **overrides,
+            )
+        return self._cache[key]
+
+    def average_hmean_ipc(
+        self,
+        scenario: str | Scenario,
+        workloads: Optional[Sequence[str]] = None,
+        banks_per_task: int | None = None,
+        **config_overrides,
+    ) -> float:
+        """Arithmetic mean of hmean-IPC across workloads (paper averages)."""
+        names = list(workloads or self.profile.workloads)
+        values = [
+            self.run(
+                w, scenario, banks_per_task=banks_per_task, **config_overrides
+            ).hmean_ipc
+            for w in names
+        ]
+        return sum(values) / len(values)

@@ -1,0 +1,22 @@
+"""NAS Parallel Benchmarks: UA (unstructured adaptive mesh), class C.
+
+UA's irregular mesh traversal gives it medium memory intensity with poor
+spatial locality — the paper classifies it M in WL-9.
+"""
+
+from __future__ import annotations
+
+from repro.units import MB
+from repro.workloads.benchmark import AccessPattern, BenchmarkSpec
+
+NPB_UA = BenchmarkSpec(
+    name="npb_ua",
+    mpki=5.0,
+    footprint_bytes=480 * MB,
+    base_cpi=0.55,
+    mlp=4,
+    row_locality=0.45,
+    write_fraction=0.30,
+    pattern=AccessPattern.RANDOM,
+    suite="nas",
+)

@@ -1,0 +1,23 @@
+"""STREAM benchmark model (McCalpin; 800MB footprint per Section 5.4.1).
+
+STREAM walks large arrays with unit stride: near-perfect row-buffer
+locality, very high MLP, and a high store fraction (copy/scale/add/triad
+all write one array per read pair).
+"""
+
+from __future__ import annotations
+
+from repro.units import MB
+from repro.workloads.benchmark import AccessPattern, BenchmarkSpec
+
+STREAM = BenchmarkSpec(
+    name="stream",
+    mpki=8.0,
+    footprint_bytes=800 * MB,  # Section 5.4.1
+    base_cpi=0.45,
+    mlp=10,
+    row_locality=0.90,
+    write_fraction=0.45,
+    pattern=AccessPattern.SEQUENTIAL,
+    suite="stream",
+)

@@ -1,0 +1,117 @@
+"""Trace-driven workload front-end.
+
+An alternative to the statistical models: replay an explicit list of
+(virtual address, is_write) records through a real
+:class:`~repro.cpu.hierarchy.CacheHierarchy`; only LLC misses reach the
+DRAM model.  Virtual pages are translated through the task's allocated
+frames, so the allocator's bank placement applies exactly as it does for
+the statistical models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.errors import ConfigError
+from repro.workloads.benchmark import MemAccess
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One memory reference: instruction gap since the previous one,
+    virtual address, and read/write flag."""
+
+    gap_instructions: int
+    vaddr: int
+    is_write: bool = False
+
+
+class TraceWorkload:
+    """Replays a trace through a private cache hierarchy.
+
+    The trace wraps around when exhausted, so a short trace can drive an
+    arbitrarily long simulation (footprint behaviour is periodic).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        trace: Sequence[TraceRecord],
+        hierarchy: CacheHierarchy,
+        page_bytes: int = 4096,
+        base_cpi: float = 0.5,
+        mlp: int = 4,
+    ):
+        if not trace:
+            raise ConfigError("trace must not be empty")
+        self.name = name
+        self.trace = list(trace)
+        self.hierarchy = hierarchy
+        self.page_bytes = page_bytes
+        self.base_cpi = base_cpi
+        self.mlp = mlp
+        self._cursor = 0
+        self.records_replayed = 0
+
+    def _translate(self, task, vaddr: int) -> Optional[int]:
+        """Virtual -> physical through the task's frame list (demand-zero
+        pages beyond the footprint alias back into it)."""
+        if not task.frames:
+            return None
+        vpage, offset = divmod(vaddr, self.page_bytes)
+        frame = task.frames[vpage % len(task.frames)]
+        return frame * self.page_bytes + offset
+
+    def next_access(self, task) -> MemAccess:
+        """Replay until the next LLC miss; hits only add to the gap."""
+        instructions = 0
+        extra_hit_cycles = 0
+        while True:
+            record = self.trace[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self.trace)
+            self.records_replayed += 1
+            instructions += max(1, record.gap_instructions)
+            paddr = self._translate(task, record.vaddr)
+            if paddr is None:
+                gap = max(1, int(instructions * self.base_cpi))
+                return MemAccess(instructions, gap, address=None)
+            result = self.hierarchy.access(paddr, record.is_write)
+            extra_hit_cycles += result.latency_cycles
+            if result.is_llc_miss:
+                gap = max(1, int(instructions * self.base_cpi) + extra_hit_cycles)
+                writeback = result.writeback_address
+                return MemAccess(instructions, gap, paddr, writeback)
+            if self.records_replayed % len(self.trace) == 0 and instructions > 0:
+                # One full pass without an LLC miss: emit a compute gap so
+                # the core makes progress on cache-resident traces.
+                gap = max(1, int(instructions * self.base_cpi) + extra_hit_cycles)
+                return MemAccess(instructions, gap, address=None)
+
+
+def sequential_trace(
+    num_records: int, stride_bytes: int = 64, gap_instructions: int = 10,
+    write_every: int = 0,
+) -> list[TraceRecord]:
+    """A unit-stride streaming trace (STREAM-like)."""
+    records = []
+    for i in range(num_records):
+        is_write = write_every > 0 and i % write_every == write_every - 1
+        records.append(
+            TraceRecord(gap_instructions, i * stride_bytes, is_write)
+        )
+    return records
+
+
+def strided_trace(
+    num_records: int, stride_bytes: int, span_bytes: int,
+    gap_instructions: int = 10,
+) -> list[TraceRecord]:
+    """A fixed-stride trace wrapping within *span_bytes*."""
+    if span_bytes <= 0:
+        raise ConfigError("span must be positive")
+    return [
+        TraceRecord(gap_instructions, (i * stride_bytes) % span_bytes, False)
+        for i in range(num_records)
+    ]

@@ -1,0 +1,91 @@
+"""Integration tests for the Section 5.4 caveats: sleeping tasks,
+priority tasks, and the eta_thresh fairness valve under disruption."""
+
+import pytest
+
+from repro.config.system_configs import OsConfig
+from repro.core.metrics import fairness_index
+from repro.core.simulator import build_system
+
+FAST = dict(refresh_scale=512)
+
+
+def run_system(system, windows=1.0, warmup=0.1):
+    return system.run(num_windows=windows, warmup_windows=warmup)
+
+
+def test_sleeping_tasks_force_fallback_picks():
+    """When the clean task for a stretch is asleep, the scheduler must
+    fall back to the leftmost runnable task instead of idling."""
+    # WL-1: every task is an mcf with data in all of its allowed banks
+    # (tiny-footprint tasks would be "clean" almost everywhere, since the
+    # scheduler tests actual data placement, not the allocation mask).
+    system = build_system("WL-1", "codesign", **FAST)
+    # Put the first two tasks of each core to sleep periodically; their
+    # exclusion windows cover half the banks, so during those stretches no
+    # awake task is clean.
+    sleepy = system.tasks[:4]
+
+    def toggle():
+        for task in sleepy:
+            task.runnable = not task.runnable
+        system.engine.schedule(system.scheduler.quantum_cycles * 3, toggle)
+
+    system.engine.schedule(system.scheduler.quantum_cycles, toggle)
+    result = run_system(system)
+    # The system kept running and fairness degraded gracefully.
+    assert result.hmean_ipc > 0
+    assert result.scheduler_fallback_picks > 0
+    for core in system.cores:
+        assert core.idle_cycles < result.simulated_cycles
+
+
+def test_all_tasks_asleep_idles_cores():
+    system = build_system("WL-9", "codesign", **FAST)
+    for task in system.tasks:
+        task.runnable = False
+    result = run_system(system, windows=0.25, warmup=0.0)
+    assert result.reads_completed == 0
+    assert all(t.instructions == 0 for t in result.tasks)
+
+
+def test_priority_diluted_by_refresh_awareness_restored_by_eta():
+    """Section 5.4's caveat, demonstrated: the refresh-aware pick ignores
+    vruntime order whenever a clean task exists, so a nice-boosted task
+    gains nothing — setting eta_thresh=1 restores CFS priority behavior."""
+
+    def vip_share(eta):
+        os_config = OsConfig(eta_thresh=eta)
+        system = build_system("WL-6", "codesign", os=os_config, **FAST)
+        vip = system.tasks[0]
+        vip.weight = 4.0
+        result = run_system(system, windows=2.0)
+        vip_cycles = next(
+            t.scheduled_cycles for t in result.tasks if t.task_id == vip.task_id
+        )
+        return vip_cycles / result.simulated_cycles
+
+    aware_share = vip_share(eta=None)  # full refresh awareness
+    cfs_share = vip_share(eta=1)  # awareness disabled
+    assert cfs_share > aware_share * 1.3
+
+
+def test_eta_one_degenerates_to_cfs_and_stalls_return():
+    """eta_thresh=1 inspects only the leftmost task (Section 5.4:
+    'disable ... immediately by setting this parameter to 1'); refresh
+    stalls reappear relative to the full co-design."""
+    default = run_system(build_system("WL-6", "codesign", **FAST))
+    eta1 = run_system(
+        build_system("WL-6", "codesign", os=OsConfig(eta_thresh=1), **FAST)
+    )
+    assert eta1.refresh_stalled_reads > default.refresh_stalled_reads
+    assert eta1.scheduler_fallback_picks > 0
+
+
+def test_fairness_preserved_with_refresh_awareness():
+    """Refresh-aware picking reorders quanta but CFS vruntime still
+    equalizes CPU time over a full window."""
+    system = build_system("WL-6", "codesign", **FAST)
+    result = run_system(system, windows=2.0, warmup=0.25)
+    cycles = [t.scheduled_cycles for t in result.tasks]
+    assert fairness_index(cycles) > 0.95

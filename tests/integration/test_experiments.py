@@ -1,0 +1,107 @@
+"""Integration tests for the experiment harness (tiny profiles)."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentProfile, SweepRunner
+
+TINY = ExperimentProfile(
+    name="tiny",
+    num_windows=0.5,
+    warmup_windows=0.1,
+    refresh_scale=1024,
+    workloads=("WL-6",),
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SweepRunner(TINY)
+
+
+def test_runner_memoizes(runner):
+    before = runner.runs_executed
+    a = runner.run("WL-6", "all_bank")
+    mid = runner.runs_executed
+    b = runner.run("WL-6", "all_bank")
+    assert mid == before + 1
+    assert runner.runs_executed == mid  # cached
+    assert a is b
+
+
+def test_runner_distinguishes_overrides(runner):
+    runner.run("WL-6", "all_bank", density_gbit=16)
+    n = runner.runs_executed
+    runner.run("WL-6", "all_bank", density_gbit=24)
+    assert runner.runs_executed == n + 1
+
+
+def test_figure3_shape(runner):
+    from repro.experiments import figure3
+
+    rows = figure3.run(runner)
+    assert len(rows) == 4 * 2 * 2  # densities x retentions x schemes
+    by_key = {(r.density_gbit, r.trefw_ms, r.scheme): r.degradation for r in rows}
+    # All-bank hurts more than per-bank at 32Gb/64ms.
+    assert by_key[(32, 64, "all_bank")] > by_key[(32, 64, "per_bank")]
+    # 32ms hurts more than 64ms.
+    assert by_key[(32, 32, "all_bank")] > by_key[(32, 64, "all_bank")]
+    assert "Figure 3" in figure3.format_results(rows)
+
+
+def test_figure5_shape():
+    from repro.experiments import figure5
+
+    rows = figure5.run(capacity_scale=2048)
+    avg = figure5.averages(rows)
+    # Fraction on one bank grows with density (Section 3.3).
+    assert avg[8] <= avg[16] <= avg[24] <= avg[32]
+    assert 0 < avg[8] <= 1.0
+    # mcf (1.7GB) cannot fit one 8Gb-era bank.
+    mcf8 = [r for r in rows if r.benchmark == "mcf" and r.density_gbit == 8][0]
+    assert mcf8.fraction_on_bank0 < 0.5
+    assert "Figure 5" in figure5.format_results(rows)
+
+
+def test_figure10_rows(runner):
+    from repro.experiments import figure10
+
+    rows = figure10.run(runner)
+    assert len(rows) == 3 * 1 * 2  # densities x workloads x schemes
+    avg = figure10.averages(rows)
+    assert avg[(32, "codesign")] > 0
+    assert "Figure 10" in figure10.format_results(rows)
+
+
+def test_figure11_rows(runner):
+    from repro.experiments import figure11
+
+    rows = figure11.run(runner)
+    by_scheme = {r.scheme: r.avg_latency_mem_cycles for r in rows}
+    assert by_scheme["codesign"] < by_scheme["all_bank"]
+    assert "Figure 11" in figure11.format_results(rows)
+
+
+def test_figure14_rows(runner):
+    from repro.experiments import figure14
+
+    rows = figure14.run(runner)
+    avg = figure14.averages(rows)
+    assert set(avg) == {"per_bank", "ooo_per_bank", "adaptive", "codesign"}
+    assert avg["codesign"] >= avg["adaptive"]
+    assert "Figure 14" in figure14.format_results(rows)
+
+
+def test_ablation_component_study(runner):
+    from repro.experiments import ablations
+
+    rows = ablations.component_study(runner, workload="WL-6")
+    by_variant = {r.variant: r.improvement for r in rows}
+    assert by_variant["full co-design (soft)"] > by_variant["same-bank schedule only"]
+    assert "Ablation" in ablations.format_results(rows)
+
+
+def test_report_format_table_smoke():
+    from repro.experiments.report import format_table
+
+    out = format_table(["x"], [[1], [2]])
+    assert out.count("\n") == 3

@@ -1,0 +1,53 @@
+"""Integration tests for the load balancer inside full simulations."""
+
+import pytest
+
+from repro.config.system_configs import OsConfig
+from repro.core.metrics import fairness_index
+from repro.core.simulator import build_system
+
+
+def test_balancer_recovers_from_skewed_admission():
+    """All tasks admitted to one CPU: the balancer restores parallelism."""
+    system = build_system(
+        "WL-9", "per_bank", os=OsConfig(load_balance=True), refresh_scale=512
+    )
+    # Undo the round-robin admission: pile everything onto cpu0.
+    scheduler = system.scheduler
+    for task in list(scheduler.runqueues[1].tasks()):
+        scheduler.runqueues[1].dequeue(task)
+        scheduler.runqueues[0].enqueue(task)
+    result = system.run(num_windows=1.0, warmup_windows=0.25)
+    assert system.load_balancer.migrations >= 3
+    # Both cores ended up doing work.
+    per_core_cycles = sum(t.scheduled_cycles for t in result.tasks)
+    assert per_core_cycles > 1.5 * result.simulated_cycles
+    assert fairness_index([t.scheduled_cycles for t in result.tasks]) > 0.8
+
+
+def test_balancer_idle_on_balanced_system():
+    system = build_system(
+        "WL-9", "per_bank", os=OsConfig(load_balance=True), refresh_scale=512
+    )
+    system.run(num_windows=0.5, warmup_windows=0.1)
+    assert system.load_balancer.migrations == 0
+
+
+def test_bank_aware_balancing_under_codesign():
+    system = build_system(
+        "WL-1", "codesign", os=OsConfig(load_balance=True), refresh_scale=512
+    )
+    assert system.load_balancer.bank_aware
+    scheduler = system.scheduler
+    # Skew: move one task over, creating 5 vs 3.
+    victim = scheduler.runqueues[1].tasks()[0]
+    scheduler.runqueues[1].dequeue(victim)
+    scheduler.runqueues[0].enqueue(victim)
+    result = system.run(num_windows=1.0, warmup_windows=0.25)
+    assert system.load_balancer.migrations >= 1
+    assert result.hmean_ipc > 0
+
+
+def test_no_balancer_by_default():
+    system = build_system("WL-9", "per_bank", refresh_scale=512)
+    assert system.load_balancer is None

@@ -1,0 +1,77 @@
+"""Property-based tests for the address mapping (bijectivity, balance)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.dram.address import AddressMapping
+
+geometries = st.tuples(
+    st.sampled_from([1, 2]),        # channels
+    st.sampled_from([1, 2, 4]),     # ranks
+    st.sampled_from([2, 4, 8]),     # banks
+    st.integers(min_value=1, max_value=64),  # rows per bank
+)
+
+
+@given(geometry=geometries, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_frame_coordinate_bijection(geometry, data):
+    channels, ranks, banks, rows = geometry
+    org = DramOrganization(
+        channels=channels, ranks_per_channel=ranks, banks_per_rank=banks
+    )
+    mapping = AddressMapping(org, rows)
+    frame = data.draw(st.integers(0, mapping.total_frames - 1))
+    coord = mapping.frame_to_coordinate(frame)
+    assert mapping.coordinate_to_frame(coord) == frame
+
+
+@given(geometry=geometries)
+@settings(max_examples=50, deadline=None)
+def test_flat_bank_index_bijection(geometry):
+    channels, ranks, banks, rows = geometry
+    org = DramOrganization(
+        channels=channels, ranks_per_channel=ranks, banks_per_rank=banks
+    )
+    mapping = AddressMapping(org, rows)
+    seen = set()
+    for flat in range(org.total_banks):
+        triple = mapping.unflatten_bank_index(flat)
+        assert mapping.flat_bank_index(*triple) == flat
+        seen.add(triple)
+    assert len(seen) == org.total_banks
+
+
+@given(geometry=geometries)
+@settings(max_examples=50, deadline=None)
+def test_frames_balanced_across_banks(geometry):
+    channels, ranks, banks, rows = geometry
+    org = DramOrganization(
+        channels=channels, ranks_per_channel=ranks, banks_per_rank=banks
+    )
+    mapping = AddressMapping(org, rows)
+    counts = [0] * org.total_banks
+    for frame in range(mapping.total_frames):
+        counts[mapping.frame_to_bank_index(frame)] += 1
+    assert set(counts) == {rows}
+
+
+@given(geometry=geometries, data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_address_roundtrip_through_coordinate(geometry, data):
+    channels, ranks, banks, rows = geometry
+    org = DramOrganization(
+        channels=channels, ranks_per_channel=ranks, banks_per_rank=banks
+    )
+    mapping = AddressMapping(org, rows)
+    address = data.draw(st.integers(0, mapping.total_bytes - 1))
+    coord = mapping.address_to_coordinate(address)
+    frame = mapping.coordinate_to_frame(
+        type(coord)(coord.channel, coord.rank, coord.bank, coord.row, 0)
+    )
+    rebuilt = mapping.frame_offset_to_address(
+        frame, coord.column * org.cacheline_bytes
+    )
+    # Same cache line (offsets within a line collapse to its base).
+    assert rebuilt // org.cacheline_bytes == address // org.cacheline_bytes

@@ -1,0 +1,114 @@
+"""Property-based tests for bank-level DDR timing invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system_configs import default_system_config
+from repro.dram.address import DramCoordinate
+from repro.dram.bank import Bank, ChannelBus, Rank
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+
+TIMING = DramTiming.from_config(default_system_config(refresh_scale=1024))
+
+access_plans = st.lists(
+    st.tuples(
+        st.integers(0, 7),        # row
+        st.integers(0, 63),       # column
+        st.booleans(),            # is_write
+        st.integers(0, 500),      # time advance before the access
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def make_request(row, column, is_write, arrive):
+    coord = DramCoordinate(0, 0, 0, row, column)
+    req = MemoryRequest(
+        RequestType.WRITE if is_write else RequestType.READ, 0, coord
+    )
+    req.arrive_time = arrive
+    return req
+
+
+@given(plan=access_plans)
+@settings(max_examples=120, deadline=None)
+def test_service_timing_invariants(plan):
+    bank, rank, bus = Bank(0, 0, 0, 0), Rank(0, 0), ChannelBus()
+    now = 0
+    prev_data_start = -1
+    for row, column, is_write, advance in plan:
+        now += advance
+        req = make_request(row, column, is_write, now)
+        service = bank.service(req, now, TIMING, rank, bus)
+        # Commands never issue in the past.
+        assert service.cas_time >= now
+        # Data follows the CAS by exactly the CAS latency.
+        gap = TIMING.tCL if not is_write else TIMING.tCWL
+        assert service.data_start == service.cas_time + gap
+        assert service.finish == service.data_start + TIMING.tBL
+        # The shared bus is strictly serialized.
+        assert service.data_start >= prev_data_start + TIMING.tBL or (
+            prev_data_start == -1
+        )
+        prev_data_start = service.data_start
+        # Row-hit classification is consistent with the open row.
+        assert req.refresh_stall == 0
+        assert bank.open_row == row  # open policy keeps the row
+
+
+@given(plan=access_plans, trfc_point=st.integers(0, 30))
+@settings(max_examples=80, deadline=None)
+def test_no_access_overlaps_refresh(plan, trfc_point):
+    """Any access issued after a refresh begins starts after it ends."""
+    bank, rank, bus = Bank(0, 0, 0, 0), Rank(0, 0), ChannelBus()
+    now = 0
+    refresh_end = None
+    for i, (row, column, is_write, advance) in enumerate(plan):
+        now += advance
+        if i == trfc_point % len(plan):
+            start = bank.refresh_start_time(now, TIMING)
+            refresh_end = bank.begin_refresh(start, TIMING.trfc_pb)
+        req = make_request(row, column, is_write, now)
+        service = bank.service(req, now, TIMING, rank, bus)
+        if refresh_end is not None:
+            assert service.cas_time >= refresh_end - TIMING.tRCD - TIMING.tRP
+
+
+@given(plan=access_plans)
+@settings(max_examples=80, deadline=None)
+def test_closed_policy_never_leaves_row_open(plan):
+    bank, rank, bus = Bank(0, 0, 0, 0), Rank(0, 0), ChannelBus()
+    now = 0
+    for row, column, is_write, advance in plan:
+        now += advance
+        req = make_request(row, column, is_write, now)
+        bank.service(req, now, TIMING, rank, bus, close_row=True)
+        assert bank.open_row is None
+    assert bank.stats.row_hits == 0
+    assert bank.stats.row_conflicts == 0
+    assert bank.stats.row_misses == len(plan)
+
+
+@given(
+    activations=st.lists(st.integers(0, 100), min_size=5, max_size=30),
+)
+@settings(max_examples=80, deadline=None)
+def test_faw_window_bounds_activate_rate(activations):
+    """No more than 4 activates in any tFAW window."""
+    rank = Rank(0, 0)
+    times = []
+    wanted = 0
+    for advance in activations:
+        wanted += advance
+        t = rank.earliest_activate(wanted, TIMING)
+        rank.record_activate(t, TIMING)
+        times.append(t)
+        wanted = t
+    for i in range(len(times) - 4):
+        assert times[i + 4] - times[i] >= TIMING.tFAW
+    for a, b in zip(times, times[1:]):
+        assert b - a >= TIMING.tRRD

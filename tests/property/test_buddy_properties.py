@@ -1,0 +1,94 @@
+"""Property-based tests for the buddy allocator.
+
+Invariants: allocated blocks never overlap, never exceed memory, frames are
+conserved, and any alloc/free sequence fully coalesces back to the initial
+free-block structure.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OutOfMemoryError
+from repro.os.buddy import BuddyAllocator
+
+# A program is a list of operations: (True, order) = alloc, (False, i) =
+# free the i-th live allocation (mod length).
+operations = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=5)),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(total=st.integers(min_value=1, max_value=300), ops=operations)
+@settings(max_examples=150, deadline=None)
+def test_no_overlap_and_conservation(total, ops):
+    buddy = BuddyAllocator(total)
+    live: list[tuple[int, int]] = []  # (base, order)
+
+    for is_alloc, arg in ops:
+        if is_alloc:
+            order = arg % buddy.max_order
+            try:
+                base = buddy.alloc(order)
+            except OutOfMemoryError:
+                continue
+            live.append((base, order))
+        elif live:
+            base, order = live.pop(arg % len(live))
+            buddy.free(base, order)
+
+    # Invariant 1: allocated blocks are in range and aligned.
+    for base, order in live:
+        assert base % (1 << order) == 0
+        assert 0 <= base and base + (1 << order) <= total
+
+    # Invariant 2: no two allocated blocks overlap.
+    spans = sorted((b, b + (1 << o)) for b, o in live)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+    # Invariant 3: frame conservation.
+    allocated = sum(1 << o for _, o in live)
+    assert buddy.free_frames() + allocated == total
+
+    # Invariant 4: free blocks don't overlap allocations.
+    for order, base in buddy.free_blocks():
+        span = (base, base + (1 << order))
+        for s, e in spans:
+            assert span[1] <= s or e <= span[0]
+
+
+@given(total=st.integers(min_value=1, max_value=256))
+@settings(max_examples=60, deadline=None)
+def test_full_drain_and_refill(total):
+    buddy = BuddyAllocator(total)
+    frames = []
+    while True:
+        try:
+            frames.append(buddy.alloc_page())
+        except OutOfMemoryError:
+            break
+    assert len(frames) == total
+    assert len(set(frames)) == total
+    assert set(frames) == set(range(total))
+    for frame in frames:
+        buddy.free(frame)
+    assert buddy.free_frames() == total
+
+
+@given(total=st.integers(min_value=2, max_value=256), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_alloc_free_alloc_reuses_memory(total, seed):
+    import random
+
+    rng = random.Random(seed)
+    buddy = BuddyAllocator(total)
+    frames = [buddy.alloc_page() for _ in range(total)]
+    rng.shuffle(frames)
+    for frame in frames[: total // 2]:
+        buddy.free(frame)
+    # We can re-allocate exactly as many frames as we freed.
+    for _ in range(total // 2):
+        buddy.alloc_page()
+    assert buddy.free_frames() == 0

@@ -1,0 +1,66 @@
+"""Property-based tests for the cache (inclusion of recency, capacity)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import Cache
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 4095), st.booleans()), min_size=1, max_size=300
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_capacity_never_exceeded(accesses):
+    cache = Cache(size_bytes=512, assoc=2, line_bytes=64)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    assert cache.occupied_lines <= 8
+
+
+@given(
+    accesses=st.lists(st.integers(0, 8191), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_most_recent_line_always_resident(accesses):
+    cache = Cache(size_bytes=512, assoc=2, line_bytes=64)
+    for address in accesses:
+        cache.access(address, False)
+        assert cache.probe(address)
+
+
+@given(
+    accesses=st.lists(
+        st.tuples(st.integers(0, 2047), st.booleans()), min_size=1, max_size=300
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_stats_balance(accesses):
+    cache = Cache(size_bytes=256, assoc=2, line_bytes=64)
+    for address, is_write in accesses:
+        cache.access(address, is_write)
+    stats = cache.stats
+    assert stats.hits + stats.misses == len(accesses)
+    assert stats.writebacks <= stats.evictions
+    assert stats.evictions <= stats.misses
+    # Lines present = misses - evictions (every miss fills, evictions remove).
+    assert cache.occupied_lines == stats.misses - stats.evictions
+
+
+@given(
+    working_set=st.integers(1, 4),
+    rounds=st.integers(2, 6),
+)
+@settings(max_examples=50, deadline=None)
+def test_small_working_set_all_hits_after_warmup(working_set, rounds):
+    cache = Cache(size_bytes=1024, assoc=4, line_bytes=64)
+    lines = [i * 64 for i in range(working_set)]
+    for a in lines:
+        cache.access(a, False)
+    hits_before = cache.stats.hits
+    for _ in range(rounds):
+        for a in lines:
+            hit, _ = cache.access(a, False)
+            assert hit
+    assert cache.stats.hits == hits_before + rounds * working_set

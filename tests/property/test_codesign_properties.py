@@ -1,0 +1,67 @@
+"""Property-based tests for bank-vector assignment schedulability."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.errors import ConfigError
+from repro.os.codesign import (
+    assign_bank_vectors,
+    is_fully_schedulable,
+    schedulability_report,
+)
+
+
+@given(
+    num_cores=st.sampled_from([2, 4]),
+    tasks_per_core=st.sampled_from([2, 4, 8]),
+    ranks=st.sampled_from([2, 4]),
+)
+@settings(max_examples=40, deadline=None)
+def test_default_assignment_fully_schedulable(num_cores, tasks_per_core, ranks):
+    """At every even consolidation ratio, every core always has a clean
+    task for whichever bank is being refreshed."""
+    org = DramOrganization(ranks_per_channel=ranks)
+    num_tasks = num_cores * tasks_per_core
+    vectors = assign_bank_vectors(num_tasks, num_cores, org)
+    assert is_fully_schedulable(vectors, num_cores, org)
+
+
+@given(
+    num_cores=st.sampled_from([2, 4]),
+    num_tasks=st.integers(4, 24),
+    banks_per_task=st.integers(1, 7),
+)
+@settings(max_examples=80, deadline=None)
+def test_explicit_assignment_invariants(num_cores, num_tasks, banks_per_task):
+    assume(num_tasks >= num_cores)
+    org = DramOrganization()
+    vectors = assign_bank_vectors(
+        num_tasks, num_cores, org, banks_per_task=banks_per_task
+    )
+    assert len(vectors) == num_tasks
+    for allowed in vectors:
+        # Correct size: banks_per_task per rank, every rank.
+        assert len(allowed) == banks_per_task * org.ranks_per_channel
+        # Flat indices in range.
+        assert all(0 <= b < org.total_banks for b in allowed)
+        # Rank-symmetric exclusions.
+        per_rank = [
+            {b % org.banks_per_rank for b in allowed
+             if b // org.banks_per_rank == r}
+            for r in range(org.ranks_per_channel)
+        ]
+        assert all(s == per_rank[0] for s in per_rank)
+
+
+@given(
+    tasks_per_core=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=20, deadline=None)
+def test_report_lists_every_core_when_windows_tile(tasks_per_core):
+    org = DramOrganization()
+    num_cores = 2
+    vectors = assign_bank_vectors(num_cores * tasks_per_core, num_cores, org)
+    report = schedulability_report(vectors, num_cores, org)
+    for flat, cores in report.items():
+        assert cores == list(range(num_cores)), (flat, cores)

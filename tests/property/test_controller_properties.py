@@ -1,0 +1,152 @@
+"""Property-based tests for the memory controller.
+
+Invariants: every enqueued request completes; no request finishes before
+its unloaded minimum latency; queue occupancy returns to zero; bank state
+timestamps are monotone.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import default_system_config
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+
+
+def build():
+    config = default_system_config(refresh_scale=1024)
+    timing = DramTiming.from_config(config)
+    engine = Engine()
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=32)
+    mc = MemoryController(engine, timing, org, mapping)
+    return engine, mapping, mc, timing
+
+
+request_plans = st.lists(
+    st.tuples(
+        st.integers(0, 511),       # frame
+        st.integers(0, 63),        # column
+        st.booleans(),             # is_write
+        st.integers(0, 2000),      # arrival delay
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+@given(plan=request_plans)
+@settings(max_examples=60, deadline=None)
+def test_every_request_completes_exactly_once(plan):
+    engine, mapping, mc, timing = build()
+    completed = []
+
+    def arrival(frame, column, is_write):
+        def fire():
+            address = mapping.frame_offset_to_address(frame, column * 64)
+            rtype = RequestType.WRITE if is_write else RequestType.READ
+            mc.enqueue(
+                MemoryRequest(
+                    rtype, address, mapping.address_to_coordinate(address),
+                    on_complete=completed.append,
+                )
+            )
+        return fire
+
+    reads = 0
+    for frame, column, is_write, delay in plan:
+        engine.schedule(delay, arrival(frame, column, is_write))
+        if not is_write:
+            reads += 1
+    engine.run_until(10_000_000)
+
+    assert mc.stats.reads_completed == reads
+    assert mc.stats.writes_completed == len(plan) - reads
+    assert len(completed) == len(plan)
+    assert len({r.req_id for r in completed}) == len(plan)
+    assert mc.read_count == 0 and mc.write_count == 0
+    assert not mc.drain_mode
+
+
+@given(plan=request_plans)
+@settings(max_examples=60, deadline=None)
+def test_latency_never_below_unloaded_minimum(plan):
+    engine, mapping, mc, timing = build()
+    completed = []
+    for i, (frame, column, is_write, delay) in enumerate(plan):
+        address = mapping.frame_offset_to_address(frame, column * 64)
+        rtype = RequestType.WRITE if is_write else RequestType.READ
+        request = MemoryRequest(
+            rtype, address, mapping.address_to_coordinate(address),
+            on_complete=completed.append,
+        )
+        engine.schedule(delay, lambda r=request: mc.enqueue(r))
+    engine.run_until(10_000_000)
+    minimum = timing.tCL + timing.tBL  # best case: row hit read
+    min_write = timing.tCWL + timing.tBL
+    for request in completed:
+        floor = minimum if request.is_read else min_write
+        assert request.latency >= floor
+
+
+@given(plan=request_plans, seed=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_interleaved_refresh_preserves_completion(plan, seed):
+    """Random per-bank refresh injections never lose demand requests."""
+    engine, mapping, mc, timing = build()
+    rng = random.Random(seed)
+    completed = []
+    for frame, column, is_write, delay in plan:
+        address = mapping.frame_offset_to_address(frame, column * 64)
+        rtype = RequestType.WRITE if is_write else RequestType.READ
+        request = MemoryRequest(
+            rtype, address, mapping.address_to_coordinate(address),
+            on_complete=completed.append,
+        )
+        engine.schedule(delay, lambda r=request: mc.enqueue(r))
+
+    def refresher():
+        flat = rng.randrange(16)
+        channel, rank, bank = mapping.unflatten_bank_index(flat)
+        mc.refresh_bank(channel, rank, bank, timing.trfc_pb)
+        engine.schedule(rng.randrange(200, 1500), refresher)
+
+    engine.schedule(0, refresher)
+    engine.run_until(5_000_000)
+    # Stop injecting and drain.
+    engine._heap.clear()
+    engine.run_until(15_000_000)
+    assert len(completed) == len(plan)
+
+
+@given(plan=request_plans)
+@settings(max_examples=40, deadline=None)
+def test_bank_timestamps_monotone(plan):
+    engine, mapping, mc, timing = build()
+    for frame, column, is_write, delay in plan:
+        address = mapping.frame_offset_to_address(frame, column * 64)
+        rtype = RequestType.WRITE if is_write else RequestType.READ
+        request = MemoryRequest(
+            rtype, address, mapping.address_to_coordinate(address)
+        )
+        engine.schedule(delay, lambda r=request: mc.enqueue(r))
+    engine.run_until(10_000_000)
+    serviced = 0
+    for bank in mc.banks:
+        assert bank.cas_ready >= 0
+        assert bank.pre_ready >= 0
+        assert bank.act_ready >= 0
+        stats = bank.stats
+        # Every serviced access was classified exactly once.
+        assert (
+            stats.row_hits + stats.row_misses + stats.row_conflicts
+            == stats.reads + stats.writes
+        )
+        serviced += stats.reads + stats.writes
+    assert serviced == len(plan)

@@ -1,0 +1,114 @@
+"""Property-based tests for the Algorithm 2 partitioning allocator."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.dram.address import AddressMapping
+from repro.errors import OutOfMemoryError
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.task import Task
+
+
+def build(rows_per_bank, policy=PartitionPolicy.SOFT):
+    mapping = AddressMapping(DramOrganization(), total_rows_per_bank=rows_per_bank)
+    memory = PhysicalMemory(mapping)
+    return memory, PartitioningAllocator(memory, policy)
+
+
+bank_sets = st.sets(st.integers(0, 15), min_size=1, max_size=16)
+
+
+@given(
+    banks=bank_sets,
+    num_pages=st.integers(1, 40),
+    rows=st.sampled_from([4, 8, 16]),
+)
+@settings(max_examples=100, deadline=None)
+def test_soft_partition_respects_vector_until_full(banks, num_pages, rows):
+    memory, allocator = build(rows)
+    task = Task("t", None, possible_banks=banks)
+    allocated = allocator.alloc_footprint(task, num_pages)
+    capacity_in_banks = len(banks) * rows
+    inside = sum(task.pages_per_bank.get(b, 0) for b in banks)
+    outside = allocated - inside
+    if allocated <= capacity_in_banks:
+        assert outside == 0, "spilled despite free partition space"
+    else:
+        assert inside == capacity_in_banks, "partition not exhausted first"
+    # Ownership is consistent.
+    for frame in task.frames:
+        assert memory.owner(frame) == task.task_id
+
+
+@given(
+    banks=bank_sets,
+    num_pages=st.integers(1, 60),
+)
+@settings(max_examples=100, deadline=None)
+def test_hard_partition_never_leaks(banks, num_pages):
+    memory, allocator = build(4, PartitionPolicy.HARD)
+    task = Task("t", None, possible_banks=banks)
+    allocated = allocator.alloc_footprint(task, num_pages)
+    assert set(task.pages_per_bank) <= banks
+    assert allocated <= len(banks) * 4
+
+
+@given(
+    footprints=st.lists(st.integers(1, 20), min_size=1, max_size=8),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=80, deadline=None)
+def test_multi_task_no_frame_shared(footprints, seed):
+    import random
+
+    rng = random.Random(seed)
+    memory, allocator = build(16)
+    tasks = []
+    for i, pages in enumerate(footprints):
+        banks = frozenset(rng.sample(range(16), rng.randint(1, 16)))
+        task = Task(f"t{i}", None, possible_banks=banks)
+        allocator.alloc_footprint(task, pages)
+        tasks.append(task)
+    seen: set[int] = set()
+    for task in tasks:
+        frames = set(task.frames)
+        assert not (frames & seen)
+        seen |= frames
+    # Conservation: free + allocated == total.
+    assert allocator.free_frames() + len(seen) == memory.total_frames
+
+
+@given(
+    banks=bank_sets,
+    pages=st.integers(1, 30),
+)
+@settings(max_examples=80, deadline=None)
+def test_free_task_restores_everything(banks, pages):
+    memory, allocator = build(8)
+    task = Task("t", None, possible_banks=banks)
+    allocator.alloc_footprint(task, pages)
+    allocator.free_task(task)
+    assert memory.used_frames() == 0
+    assert allocator.free_frames() == memory.total_frames
+    # Memory is fully usable again.
+    other = Task("u", None, possible_banks=None)
+    assert allocator.alloc_footprint(other, memory.total_frames) == (
+        memory.total_frames
+    )
+
+
+@given(
+    banks=st.sets(st.integers(0, 15), min_size=2, max_size=16),
+    pages=st.integers(2, 32),
+)
+@settings(max_examples=80, deadline=None)
+def test_round_robin_balance_within_partition(banks, pages):
+    """Consecutive allocations stripe: bank counts differ by at most 1
+    while the partition has room."""
+    memory, allocator = build(64)  # plenty of room
+    task = Task("t", None, possible_banks=banks)
+    allocator.alloc_footprint(task, pages)
+    counts = [task.pages_per_bank.get(b, 0) for b in banks]
+    assert max(counts) - min(counts) <= 1

@@ -1,0 +1,103 @@
+"""Property-based tests: every refresh scheduler covers every bank.
+
+The data-integrity invariant behind all of Section 5.1: whatever the
+scheduling policy, each bank must receive its full quota of refresh
+commands within each retention window.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import default_system_config
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.refresh import make_scheduler
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+
+SCHEDULER_NAMES = ["all_bank", "per_bank", "same_bank", "ooo_per_bank", "adaptive"]
+
+
+def build(name, refresh_scale, density):
+    config = default_system_config(refresh_scale=refresh_scale, density_gbit=density)
+    timing = DramTiming.from_config(config)
+    engine = Engine()
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=16)
+    mc = MemoryController(engine, timing, org, mapping)
+    scheduler = make_scheduler(name)
+    scheduler.attach(mc, engine, timing)
+    return engine, timing, mc, scheduler
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+@given(
+    refresh_scale=st.sampled_from([512, 1024, 2048]),
+    density=st.sampled_from([16, 24, 32]),
+)
+@settings(max_examples=8, deadline=None)
+def test_every_bank_fully_refreshed_each_window(name, refresh_scale, density):
+    engine, timing, mc, scheduler = build(name, refresh_scale, density)
+    scheduler.start()
+    windows = 2
+    engine.run_until(windows * timing.trefw - 1)
+    required = timing.refreshes_per_bank * windows
+    for flat in range(16):
+        units = scheduler.stats.per_bank_commands.get(flat, 0)
+        # Row-units per command differ for adaptive 4x, so compare command
+        # counts only for the uniform schedulers.
+        assert units >= required - 2, (
+            f"{name}: bank {flat} got {units} < {required} commands"
+        )
+
+
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+@given(seed=st.integers(0, 2**16))
+@settings(max_examples=5, deadline=None)
+def test_coverage_holds_under_demand_traffic(name, seed):
+    """Demand requests racing with refreshes must not starve the schedule."""
+    import random
+
+    engine, timing, mc, scheduler = build(name, 1024, 32)
+    rng = random.Random(seed)
+
+    def traffic():
+        frame = rng.randrange(mc.mapping.total_frames)
+        address = mc.mapping.frame_offset_to_address(frame, 0)
+        mc.enqueue(
+            MemoryRequest(
+                RequestType.READ, address, mc.mapping.address_to_coordinate(address)
+            )
+        )
+        engine.schedule(rng.randrange(50, 500), traffic)
+
+    engine.schedule(0, traffic)
+    scheduler.start()
+    engine.run_until(timing.trefw - 1)
+    required = timing.refreshes_per_bank
+    for flat in range(16):
+        assert scheduler.stats.per_bank_commands.get(flat, 0) >= required - 1
+
+
+@given(refresh_scale=st.sampled_from([256, 512, 1024]))
+@settings(max_examples=6, deadline=None)
+def test_same_bank_stretch_prediction_is_exact(refresh_scale):
+    """stretch_bank_at must agree with what the hardware actually refreshes."""
+    engine, timing, mc, scheduler = build("same_bank", refresh_scale, 32)
+    mismatches = []
+    original = mc.refresh_bank
+
+    def checked(channel, rank, bank, trfc, subarray=None):
+        flat = mc.mapping.flat_bank_index(channel, rank, bank)
+        predicted = scheduler.stretch_bank_at(engine.now)
+        if predicted != flat:
+            mismatches.append((engine.now, predicted, flat))
+        return original(channel, rank, bank, trfc, subarray=subarray)
+
+    mc.refresh_bank = checked
+    scheduler.start()
+    engine.run_until(timing.trefw - 1)
+    assert not mismatches

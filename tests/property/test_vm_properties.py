@@ -1,0 +1,105 @@
+"""Property-based tests for demand-paged virtual memory."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.dram_configs import DramOrganization
+from repro.dram.address import AddressMapping
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.task import Task
+from repro.os.vm import VirtualMemory
+
+
+def build_vm(footprint, resident_limit=None, banks=None,
+             policy=PartitionPolicy.SOFT, rows_per_bank=8):
+    mapping = AddressMapping(DramOrganization(), total_rows_per_bank=rows_per_bank)
+    memory = PhysicalMemory(mapping)
+    allocator = PartitioningAllocator(memory, policy)
+    task = Task("t", None,
+                possible_banks=frozenset(banks) if banks else None)
+    vm = VirtualMemory(task, allocator, footprint, resident_limit=resident_limit)
+    return memory, allocator, task, vm
+
+
+@given(
+    footprint=st.integers(2, 64),
+    limit=st.integers(1, 16),
+    vpns=st.lists(st.integers(0, 127), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_residency_never_exceeds_limit(footprint, limit, vpns):
+    memory, allocator, task, vm = build_vm(footprint, resident_limit=limit)
+    for vpn in vpns:
+        vm.translate(vpn)
+        assert vm.resident_pages <= min(limit, footprint)
+        assert len(task.frames) == vm.resident_pages
+
+
+@given(
+    footprint=st.integers(2, 64),
+    vpns=st.lists(st.integers(0, 127), min_size=1, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_translation_is_stable_while_resident(footprint, vpns):
+    """A vpn translated twice without an intervening eviction returns the
+    same frame, and distinct resident vpns map to distinct frames."""
+    memory, allocator, task, vm = build_vm(footprint)
+    seen: dict[int, int] = {}
+    for vpn in vpns:
+        frame, _ = vm.translate(vpn)
+        key = vpn % footprint
+        if key in seen:
+            assert seen[key] == frame
+        seen[key] = frame
+    assert len(set(seen.values())) == len(seen)
+
+
+@given(
+    footprint=st.integers(4, 64),
+    limit=st.integers(2, 8),
+    vpns=st.lists(st.integers(0, 127), min_size=20, max_size=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_fault_accounting_consistent(footprint, limit, vpns):
+    memory, allocator, task, vm = build_vm(footprint, resident_limit=limit)
+    for vpn in vpns:
+        vm.translate(vpn)
+    stats = vm.stats
+    assert stats.hits + stats.faults == len(vpns)
+    assert stats.evictions == stats.major_faults
+    # Frames in flight equal faults minus evictions.
+    assert vm.resident_pages == stats.faults - stats.evictions
+    # Memory accounting closes.
+    assert memory.used_frames() == vm.resident_pages
+
+
+@given(
+    footprint=st.integers(2, 32),
+    vpns=st.lists(st.integers(0, 63), min_size=1, max_size=120),
+)
+@settings(max_examples=80, deadline=None)
+def test_release_all_returns_every_frame(footprint, vpns):
+    memory, allocator, task, vm = build_vm(footprint)
+    for vpn in vpns:
+        vm.translate(vpn)
+    vm.release_all()
+    assert memory.used_frames() == 0
+    assert allocator.free_frames() == memory.total_frames
+    assert task.frames == []
+    assert task.pages_per_bank == {}
+
+
+@given(
+    vpns=st.lists(st.integers(0, 255), min_size=30, max_size=300),
+)
+@settings(max_examples=60, deadline=None)
+def test_hard_partition_residency_stays_inside_banks(vpns):
+    memory, allocator, task, vm = build_vm(
+        footprint=64, banks={0, 5}, policy=PartitionPolicy.HARD,
+        rows_per_bank=4,
+    )
+    for vpn in vpns:
+        vm.translate(vpn)
+        assert set(task.pages_per_bank) <= {0, 5}
+        assert vm.resident_pages <= 8  # 2 banks x 4 frames

@@ -1,0 +1,181 @@
+"""Unit tests for the bank state machine and DDR timing math."""
+
+import pytest
+
+from repro.config.system_configs import default_system_config
+from repro.dram.address import DramCoordinate
+from repro.dram.bank import Bank, ChannelBus, Rank
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+from repro.errors import ProtocolError
+
+
+@pytest.fixture
+def timing():
+    return DramTiming.from_config(default_system_config(refresh_scale=1024))
+
+
+def make_request(row=0, column=0, is_read=True, arrive=0):
+    coord = DramCoordinate(channel=0, rank=0, bank=0, row=row, column=column)
+    req = MemoryRequest(
+        RequestType.READ if is_read else RequestType.WRITE, 0, coord
+    )
+    req.arrive_time = arrive
+    return req
+
+
+@pytest.fixture
+def parts():
+    return Bank(0, 0, 0, 0), Rank(0, 0), ChannelBus()
+
+
+class TestDemandAccess:
+    def test_cold_access_is_row_miss(self, parts, timing):
+        bank, rank, bus = parts
+        service = bank.service(make_request(row=3), 0, timing, rank, bus)
+        assert not service.row_hit
+        # ACT at 0, CAS at tRCD, data at +tCL, done at +tBL.
+        assert service.cas_time == timing.tRCD
+        assert service.finish == timing.tRCD + timing.tCL + timing.tBL
+        assert bank.open_row == 3
+        assert bank.stats.row_misses == 1
+
+    def test_second_access_same_row_hits(self, parts, timing):
+        bank, rank, bus = parts
+        first = bank.service(make_request(row=3), 0, timing, rank, bus)
+        second = bank.service(
+            make_request(row=3, column=5), first.finish, timing, rank, bus
+        )
+        assert second.row_hit
+        assert bank.stats.row_hits == 1
+
+    def test_row_conflict_pays_precharge(self, parts, timing):
+        bank, rank, bus = parts
+        first = bank.service(make_request(row=3), 0, timing, rank, bus)
+        t = first.finish + timing.tRAS  # safely past tRAS
+        conflict = bank.service(make_request(row=9), t, timing, rank, bus)
+        assert not conflict.row_hit
+        assert conflict.cas_time >= t + timing.tRP + timing.tRCD
+        assert bank.stats.row_conflicts == 1
+        assert bank.open_row == 9
+
+    def test_row_hit_faster_than_conflict(self, parts, timing):
+        bank, rank, bus = parts
+        bank.service(make_request(row=1), 0, timing, rank, bus)
+        start = 10_000
+        hit = bank.service(make_request(row=1), start, timing, rank, bus)
+        bank2, rank2, bus2 = Bank(0, 0, 1, 1), Rank(0, 0), ChannelBus()
+        bank2.service(make_request(row=1), 0, timing, rank2, bus2)
+        conflict = bank2.service(make_request(row=2), start, timing, rank2, bus2)
+        assert hit.finish - start < conflict.finish - start
+
+    def test_trc_limits_back_to_back_activates(self, parts, timing):
+        bank, rank, bus = parts
+        bank.service(make_request(row=1), 0, timing, rank, bus)
+        conflict = bank.service(make_request(row=2), 1, timing, rank, bus)
+        # Second ACT must wait for tRC after the first (plus PRE path).
+        assert conflict.cas_time >= timing.tRC - timing.tRCD
+
+    def test_write_updates_write_stats_and_recovery(self, parts, timing):
+        bank, rank, bus = parts
+        service = bank.service(
+            make_request(row=2, is_read=False), 0, timing, rank, bus
+        )
+        assert bank.stats.writes == 1
+        # Write recovery pushes the earliest precharge past data + tWR.
+        assert bank.pre_ready >= service.data_start + timing.tBL + timing.tWR
+
+
+class TestRefresh:
+    def test_refresh_blocks_bank(self, parts, timing):
+        bank, rank, bus = parts
+        end = bank.begin_refresh(100, timing.trfc_pb)
+        assert end == 100 + timing.trfc_pb
+        assert bank.is_refreshing(100)
+        assert bank.is_refreshing(end - 1)
+        assert not bank.is_refreshing(end)
+
+    def test_refresh_closes_open_row(self, parts, timing):
+        bank, rank, bus = parts
+        bank.service(make_request(row=5), 0, timing, rank, bus)
+        bank.begin_refresh(bank.pre_ready + timing.tRP, timing.trfc_pb)
+        assert bank.open_row is None
+
+    def test_access_after_refresh_waits(self, parts, timing):
+        bank, rank, bus = parts
+        end = bank.begin_refresh(0, timing.trfc_pb)
+        req = make_request(row=1, arrive=10)
+        service = bank.service(req, 10, timing, rank, bus)
+        assert service.cas_time >= end
+        assert req.refresh_stall == end - 10
+
+    def test_refresh_start_respects_open_row(self, parts, timing):
+        bank, rank, bus = parts
+        bank.service(make_request(row=5), 0, timing, rank, bus)
+        start = bank.refresh_start_time(1, timing)
+        # Must precharge first: at least tRAS after ACT plus tRP.
+        assert start >= timing.tRAS + timing.tRP
+
+    def test_refresh_stats(self, parts, timing):
+        bank, rank, bus = parts
+        bank.begin_refresh(0, 100)
+        bank.begin_refresh(200, 100)
+        assert bank.stats.refreshes == 2
+        assert bank.stats.refresh_busy_cycles == 200
+
+    def test_zero_trfc_rejected(self, parts, timing):
+        bank, _, _ = parts
+        with pytest.raises(ProtocolError):
+            bank.begin_refresh(0, 0)
+
+    def test_refresh_stall_attribution_for_late_arrival(self, parts, timing):
+        bank, rank, bus = parts
+        end = bank.begin_refresh(0, 1000)
+        # Arrives mid-refresh: only the remaining overlap is attributed.
+        req = make_request(row=1, arrive=600)
+        bank.service(req, end, timing, rank, bus)
+        assert req.refresh_stall == 400
+
+
+class TestRank:
+    def test_trrd_spacing(self, timing):
+        rank = Rank(0, 0)
+        rank.record_activate(0, timing)
+        assert rank.earliest_activate(0, timing) == timing.tRRD
+
+    def test_tfaw_window(self, timing):
+        rank = Rank(0, 0)
+        for i in range(4):
+            rank.record_activate(i * timing.tRRD, timing)
+        earliest = rank.earliest_activate(3 * timing.tRRD + 1, timing)
+        assert earliest >= timing.tFAW  # 5th ACT waits for the window
+
+    def test_no_constraint_when_idle(self, timing):
+        rank = Rank(0, 0)
+        assert rank.earliest_activate(42, timing) == 42
+
+
+class TestChannelBus:
+    def test_serializes_bursts(self, timing):
+        bus = ChannelBus()
+        a = bus.reserve(0, True, (0, 0), timing)
+        b = bus.reserve(0, True, (0, 0), timing)
+        assert b >= a + timing.tBL
+
+    def test_write_to_read_turnaround(self, timing):
+        bus = ChannelBus()
+        bus.reserve(0, False, (0, 0), timing)
+        t = bus.reserve(0, True, (0, 0), timing)
+        assert t >= timing.tBL + timing.tWTR
+
+    def test_rank_switch_penalty(self, timing):
+        bus = ChannelBus()
+        bus.reserve(0, True, (0, 0), timing)
+        t = bus.reserve(0, True, (0, 1), timing)
+        assert t >= timing.tBL + timing.tRTRS
+
+    def test_utilization(self, timing):
+        bus = ChannelBus()
+        bus.reserve(0, True, (0, 0), timing)
+        assert bus.utilization(timing.tBL) == pytest.approx(1.0)
+        assert bus.utilization(0) == 0.0

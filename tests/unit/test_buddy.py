@@ -1,0 +1,113 @@
+"""Unit tests for the buddy allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.os.buddy import BuddyAllocator
+
+
+def test_initial_state_all_free():
+    buddy = BuddyAllocator(256)
+    assert buddy.free_frames() == 256
+    assert buddy.has_free()
+
+
+def test_alloc_page_returns_distinct_frames():
+    buddy = BuddyAllocator(64)
+    frames = [buddy.alloc_page() for _ in range(64)]
+    assert len(set(frames)) == 64
+    assert buddy.free_frames() == 0
+    assert not buddy.has_free()
+
+
+def test_exhaustion_raises():
+    buddy = BuddyAllocator(4)
+    for _ in range(4):
+        buddy.alloc_page()
+    with pytest.raises(OutOfMemoryError):
+        buddy.alloc_page()
+
+
+def test_alloc_prefers_low_addresses():
+    buddy = BuddyAllocator(64)
+    assert buddy.alloc_page() == 0
+    assert buddy.alloc_page() == 1
+
+
+def test_alloc_higher_order_is_aligned():
+    buddy = BuddyAllocator(64)
+    base = buddy.alloc(order=3)
+    assert base % 8 == 0
+    assert buddy.free_frames() == 56
+
+
+def test_free_and_realloc():
+    buddy = BuddyAllocator(16)
+    frame = buddy.alloc_page()
+    buddy.free(frame)
+    assert buddy.free_frames() == 16
+    assert buddy.alloc_page() == frame
+
+
+def test_coalescing_restores_large_blocks():
+    buddy = BuddyAllocator(16, max_order=5)
+    frames = [buddy.alloc_page() for _ in range(16)]
+    for frame in frames:
+        buddy.free(frame)
+    orders = [order for order, _ in buddy.free_blocks()]
+    assert max(orders) == 4  # one fully coalesced 16-frame block
+
+
+def test_free_unknown_block_raises():
+    buddy = BuddyAllocator(16)
+    with pytest.raises(AllocationError):
+        buddy.free(3)
+
+
+def test_double_free_raises():
+    buddy = BuddyAllocator(16)
+    frame = buddy.alloc_page()
+    buddy.free(frame)
+    with pytest.raises(AllocationError):
+        buddy.free(frame)
+
+
+def test_free_with_wrong_order_raises():
+    buddy = BuddyAllocator(16)
+    base = buddy.alloc(order=2)
+    with pytest.raises(AllocationError):
+        buddy.free(base, order=1)
+    buddy.free(base, order=2)
+
+
+def test_non_power_of_two_total():
+    buddy = BuddyAllocator(100)
+    assert buddy.free_frames() == 100
+    frames = [buddy.alloc_page() for _ in range(100)]
+    assert len(set(frames)) == 100
+    assert all(0 <= f < 100 for f in frames)
+
+
+def test_invalid_order_rejected():
+    buddy = BuddyAllocator(16, max_order=4)
+    with pytest.raises(AllocationError):
+        buddy.alloc(order=4)
+    with pytest.raises(AllocationError):
+        buddy.alloc(order=-1)
+
+
+def test_invalid_construction():
+    with pytest.raises(AllocationError):
+        BuddyAllocator(0)
+    with pytest.raises(AllocationError):
+        BuddyAllocator(16, max_order=0)
+
+
+def test_split_blocks_tracked_correctly():
+    buddy = BuddyAllocator(8, max_order=4)
+    a = buddy.alloc_page()
+    b = buddy.alloc(order=1)
+    assert buddy.free_frames() == 8 - 1 - 2
+    buddy.free(a)
+    buddy.free(b)
+    assert buddy.free_frames() == 8

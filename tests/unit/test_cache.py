@@ -1,0 +1,107 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+
+from repro.cpu.cache import Cache
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def cache():
+    return Cache(size_bytes=1024, assoc=2, line_bytes=64)  # 8 sets
+
+
+def test_cold_miss_then_hit(cache):
+    hit, victim = cache.access(0, is_write=False)
+    assert not hit and victim is None
+    hit, _ = cache.access(0, is_write=False)
+    assert hit
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+
+
+def test_same_line_different_offset_hits(cache):
+    cache.access(0, False)
+    hit, _ = cache.access(63, False)
+    assert hit
+
+
+def test_adjacent_lines_are_different(cache):
+    cache.access(0, False)
+    hit, _ = cache.access(64, False)
+    assert not hit
+
+
+def test_lru_eviction_order(cache):
+    # Set 0 holds line addresses 0, 512 (8 sets x 64B).  Fill both ways.
+    stride = cache.num_sets * cache.line_bytes
+    cache.access(0 * stride, False)
+    cache.access(1 * stride, False)
+    cache.access(0 * stride, False)  # touch way 0: now MRU
+    cache.access(2 * stride, False)  # evicts way 1 (LRU)
+    assert cache.probe(0 * stride)
+    assert not cache.probe(1 * stride)
+    assert cache.probe(2 * stride)
+
+
+def test_dirty_eviction_reports_victim_address(cache):
+    stride = cache.num_sets * cache.line_bytes
+    cache.access(0, is_write=True)
+    cache.access(stride, False)
+    _, victim = cache.access(2 * stride, False)
+    assert victim == 0
+    assert cache.stats.writebacks == 1
+
+
+def test_clean_eviction_no_writeback(cache):
+    stride = cache.num_sets * cache.line_bytes
+    cache.access(0, False)
+    cache.access(stride, False)
+    _, victim = cache.access(2 * stride, False)
+    assert victim is None
+
+
+def test_write_hit_marks_dirty(cache):
+    stride = cache.num_sets * cache.line_bytes
+    cache.access(0, False)
+    cache.access(0, True)  # hit, now dirty
+    cache.access(stride, False)
+    _, victim = cache.access(2 * stride, False)
+    assert victim == 0
+
+
+def test_miss_rate(cache):
+    cache.access(0, False)
+    cache.access(0, False)
+    cache.access(64, False)
+    assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+
+def test_probe_does_not_touch_stats(cache):
+    cache.access(0, False)
+    before = cache.stats.accesses
+    cache.probe(0)
+    cache.probe(4096)
+    assert cache.stats.accesses == before
+
+
+def test_invalidate_all(cache):
+    cache.access(0, False)
+    cache.invalidate_all()
+    assert not cache.probe(0)
+    assert cache.occupied_lines == 0
+
+
+def test_occupancy_capped_by_capacity(cache):
+    for i in range(100):
+        cache.access(i * 64, False)
+    assert cache.occupied_lines <= 16  # 8 sets x 2 ways
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        Cache(size_bytes=0, assoc=2)
+    with pytest.raises(ConfigError):
+        Cache(size_bytes=1000, assoc=3, line_bytes=64)  # not divisible
+    with pytest.raises(ConfigError):
+        Cache(size_bytes=64 * 3 * 2, assoc=2, line_bytes=64)  # 3 sets

@@ -1,0 +1,95 @@
+"""Unit tests for bank-vector assignment and schedulability."""
+
+import pytest
+
+from repro.config.dram_configs import DramOrganization
+from repro.errors import ConfigError
+from repro.os.codesign import (
+    assign_bank_vectors,
+    default_banks_per_task,
+    is_fully_schedulable,
+    schedulability_report,
+)
+
+ORG = DramOrganization()
+
+
+class TestDefaultBanksPerTask:
+    def test_paper_sweet_spots(self):
+        # 1:4 dual-core -> 6 banks (Section 6.2); 1:2 -> 4 banks (6.6).
+        assert default_banks_per_task(8, 2) == 6
+        assert default_banks_per_task(4, 2) == 4
+        assert default_banks_per_task(16, 4) == 6
+        assert default_banks_per_task(8, 4) == 4
+
+    def test_rejects_too_few_tasks(self):
+        with pytest.raises(ConfigError):
+            default_banks_per_task(2, 2)  # one task per core
+        with pytest.raises(ConfigError):
+            default_banks_per_task(1, 2)
+
+
+class TestAssignment:
+    def test_vector_sizes(self):
+        vectors = assign_bank_vectors(8, 2, ORG)
+        for v in vectors:
+            assert len(v) == 6 * 2  # 6 banks per rank x 2 ranks
+
+    def test_exclusions_symmetric_across_ranks(self):
+        vectors = assign_bank_vectors(8, 2, ORG)
+        for v in vectors:
+            rank0 = {b for b in v if b < 8}
+            rank1 = {b - 8 for b in v if b >= 8}
+            assert rank0 == rank1
+
+    def test_per_core_exclusions_tile_all_banks(self):
+        vectors = assign_bank_vectors(8, 2, ORG)
+        for core in (0, 1):
+            excluded = set()
+            for t in range(core, 8, 2):
+                excluded |= set(range(8)) - {b for b in vectors[t] if b < 8}
+            assert excluded == set(range(8))
+
+    def test_fully_schedulable_at_paper_configs(self):
+        for tasks, cores in ((8, 2), (4, 2), (16, 4), (8, 4)):
+            vectors = assign_bank_vectors(tasks, cores, ORG)
+            assert is_fully_schedulable(vectors, cores, ORG), (tasks, cores)
+
+    def test_explicit_banks_per_task(self):
+        vectors = assign_bank_vectors(8, 2, ORG, banks_per_task=4)
+        for v in vectors:
+            assert len(v) == 4 * 2
+
+    def test_one_bank_per_task(self):
+        vectors = assign_bank_vectors(8, 2, ORG, banks_per_task=1)
+        for v in vectors:
+            assert len(v) == 2  # one bank in each rank
+
+    def test_invalid_banks_per_task(self):
+        with pytest.raises(ConfigError):
+            assign_bank_vectors(8, 2, ORG, banks_per_task=8)
+        with pytest.raises(ConfigError):
+            assign_bank_vectors(8, 2, ORG, banks_per_task=0)
+
+    def test_quad_core_four_ranks(self):
+        org4 = DramOrganization(ranks_per_channel=4)
+        vectors = assign_bank_vectors(16, 4, org4)
+        assert is_fully_schedulable(vectors, 4, org4)
+        for v in vectors:
+            assert len(v) == 6 * 4
+
+
+class TestSchedulabilityReport:
+    def test_report_shape(self):
+        vectors = assign_bank_vectors(8, 2, ORG)
+        report = schedulability_report(vectors, 2, ORG)
+        assert set(report) == set(range(16))
+        for cores in report.values():
+            assert cores == [0, 1]
+
+    def test_unschedulable_detected(self):
+        # All tasks span all banks: nobody is ever clean.
+        vectors = [frozenset(range(16))] * 4
+        assert not is_fully_schedulable(vectors, 2, ORG)
+        report = schedulability_report(vectors, 2, ORG)
+        assert all(cores == [] for cores in report.values())

@@ -1,0 +1,117 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.errors import SimulationError
+
+
+def test_starts_at_time_zero():
+    assert Engine().now == 0
+
+
+def test_schedule_and_run_until_executes_in_order():
+    eng = Engine()
+    order = []
+    eng.schedule(30, lambda: order.append("c"))
+    eng.schedule(10, lambda: order.append("a"))
+    eng.schedule(20, lambda: order.append("b"))
+    eng.run_until(100)
+    assert order == ["a", "b", "c"]
+    assert eng.now == 100
+
+
+def test_same_time_events_run_in_insertion_order():
+    eng = Engine()
+    order = []
+    for tag in range(5):
+        eng.schedule(7, lambda t=tag: order.append(t))
+    eng.run_until(7)
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    hits = []
+    eng.schedule(5, lambda: hits.append(5))
+    eng.schedule(50, lambda: hits.append(50))
+    eng.run_until(10)
+    assert hits == [5]
+    assert eng.now == 10
+    eng.run_until(60)
+    assert hits == [5, 50]
+
+
+def test_events_scheduled_during_execution_run():
+    eng = Engine()
+    hits = []
+
+    def first():
+        hits.append(eng.now)
+        eng.schedule(5, lambda: hits.append(eng.now))
+
+    eng.schedule(10, first)
+    eng.run_until(100)
+    assert hits == [10, 15]
+
+
+def test_cancelled_event_does_not_fire():
+    eng = Engine()
+    hits = []
+    event = eng.schedule(10, lambda: hits.append("x"))
+    event.cancel()
+    eng.run_until(100)
+    assert hits == []
+
+
+def test_cannot_schedule_in_the_past():
+    eng = Engine()
+    eng.schedule(10, lambda: None)
+    eng.run_until(10)
+    with pytest.raises(SimulationError):
+        eng.schedule_at(5, lambda: None)
+    with pytest.raises(SimulationError):
+        eng.schedule(-1, lambda: None)
+
+
+def test_schedule_at_current_time_allowed():
+    eng = Engine()
+    hits = []
+    eng.schedule(10, lambda: eng.schedule(0, lambda: hits.append(eng.now)))
+    eng.run_until(10)
+    assert hits == [10]
+
+
+def test_step_returns_false_when_empty():
+    eng = Engine()
+    assert eng.step() is False
+    eng.schedule(1, lambda: None)
+    assert eng.step() is True
+    assert eng.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    eng = Engine()
+    e1 = eng.schedule(5, lambda: None)
+    eng.schedule(9, lambda: None)
+    e1.cancel()
+    assert eng.peek_time() == 9
+
+
+def test_run_drains_queue():
+    eng = Engine()
+    hits = []
+    for t in (3, 1, 2):
+        eng.schedule(t, lambda t=t: hits.append(t))
+    eng.run()
+    assert hits == [1, 2, 3]
+
+
+def test_events_processed_counter():
+    eng = Engine()
+    for t in range(4):
+        eng.schedule(t, lambda: None)
+    cancelled = eng.schedule(9, lambda: None)
+    cancelled.cancel()
+    eng.run_until(100)
+    assert eng.events_processed == 4

@@ -1,0 +1,37 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in (
+        "ConfigError",
+        "AddressMapError",
+        "AllocationError",
+        "OutOfMemoryError",
+        "SchedulerError",
+        "SimulationError",
+        "ProtocolError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_oom_is_allocation_error():
+    assert issubclass(errors.OutOfMemoryError, errors.AllocationError)
+
+
+def test_protocol_is_simulation_error():
+    assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+
+def test_single_except_clause_catches_library_errors():
+    caught = []
+    for exc in (errors.ConfigError("x"), errors.OutOfMemoryError("y")):
+        try:
+            raise exc
+        except errors.ReproError as e:
+            caught.append(e)
+    assert len(caught) == 2

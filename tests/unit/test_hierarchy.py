@@ -1,0 +1,69 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.config.system_configs import CacheConfig
+from repro.cpu.hierarchy import AccessLevel, CacheHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    # Small hierarchy: 1KB L1, 4KB L2.
+    return CacheHierarchy(
+        CacheConfig(l1_size_bytes=1024, l2_size_per_core_bytes=4096, l2_assoc=4)
+    )
+
+
+def test_cold_access_reaches_memory(hierarchy):
+    result = hierarchy.access(0, False)
+    assert result.level is AccessLevel.MEMORY
+    assert result.is_llc_miss
+
+
+def test_second_access_hits_l1(hierarchy):
+    hierarchy.access(0, False)
+    result = hierarchy.access(0, False)
+    assert result.level is AccessLevel.L1
+    assert result.latency_cycles == 2
+
+
+def test_l1_victim_caught_by_l2(hierarchy):
+    # Thrash L1 set 0 (4 sets x 4 ways... 1KB/4way/64B = 4 sets).
+    stride = hierarchy.l1.num_sets * 64
+    lines = [i * stride for i in range(6)]
+    for a in lines:
+        hierarchy.access(a, False)
+    # The earliest line fell out of L1 but should still be in L2.
+    result = hierarchy.access(lines[0], False)
+    assert result.level is AccessLevel.L2
+    assert result.latency_cycles == 2 + 20
+
+
+def test_llc_miss_latency_excludes_memory(hierarchy):
+    result = hierarchy.access(0, False)
+    assert result.latency_cycles == 2 + 20  # hierarchy traversal only
+
+
+def test_dirty_l2_eviction_produces_writeback(hierarchy):
+    l1_span = hierarchy.l1.num_sets * 64
+    l2_span = hierarchy.l2.num_sets * 64
+    hierarchy.access(0, True)  # dirty in L1
+    # Thrash L1 set 0 so the dirty line is written back into L2.
+    for i in range(1, hierarchy.l1.assoc + 1):
+        hierarchy.access(i * l1_span, False)
+    assert not hierarchy.l1.probe(0)
+    # Now thrash L2 set 0: the dirty copy must surface as a DRAM writeback.
+    victims = []
+    for i in range(1, hierarchy.l2.assoc + 2):
+        result = hierarchy.access(i * l2_span, False)
+        if result.writeback_address is not None:
+            victims.append(result.writeback_address)
+    assert 0 in victims
+
+
+def test_mpki_accounting(hierarchy):
+    for i in range(10):
+        hierarchy.access(i * 64, False)
+    assert hierarchy.llc_misses == 10
+    assert hierarchy.mpki(instructions=10_000) == pytest.approx(1.0)
+    assert hierarchy.mpki(0) == 0.0

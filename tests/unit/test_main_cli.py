@@ -1,0 +1,59 @@
+"""Unit tests for the python -m repro run CLI."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main, result_to_dict
+
+FAST = ["--windows", "0.25", "--warmup", "0.05", "--refresh-scale", "1024"]
+
+
+def test_basic_run_prints_summary(capsys):
+    assert main(["WL-9", "per_bank", *FAST]) == 0
+    out = capsys.readouterr().out
+    assert "hmean IPC" in out
+    assert "WL-9" in out
+    assert "energy" in out
+
+
+def test_json_export(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    assert main(["WL-9", "all_bank", "--json", str(path), *FAST]) == 0
+    data = json.loads(path.read_text())
+    assert data["workload"] == "WL-9"
+    assert data["scenario"] == "all_bank"
+    assert len(data["tasks"]) == 8
+    assert data["hmean_ipc"] > 0
+    assert data["energy"]["total_mj"] > 0
+
+
+def test_density_and_retention_flags(capsys):
+    assert main(
+        ["WL-9", "all_bank", "--density", "16", "--trefw-ms", "32", *FAST]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "16Gb" in out
+    assert "32.0ms" in out
+
+
+def test_unknown_workload_errors():
+    with pytest.raises(SystemExit):
+        main(["WL-99", "all_bank", *FAST])
+
+
+def test_unknown_scenario_errors():
+    with pytest.raises(SystemExit):
+        main(["WL-1", "quantum_refresh", *FAST])
+
+
+def test_result_to_dict_roundtrips_through_json():
+    from repro import run_simulation
+
+    result = run_simulation(
+        "WL-9", "codesign", num_windows=0.25, warmup_windows=0.05,
+        refresh_scale=1024,
+    )
+    data = json.loads(json.dumps(result_to_dict(result)))
+    assert data["scheduler_clean_picks"] == result.scheduler_clean_picks
+    assert data["refresh_stall_fraction"] == result.refresh_stall_fraction

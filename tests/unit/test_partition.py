@@ -1,0 +1,135 @@
+"""Unit tests for the Algorithm 2 partitioning allocator."""
+
+import pytest
+
+from repro.config.dram_configs import DramOrganization
+from repro.dram.address import AddressMapping
+from repro.errors import OutOfMemoryError
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.task import Task
+
+
+def build(policy=PartitionPolicy.SOFT, rows_per_bank=8):
+    mapping = AddressMapping(DramOrganization(), total_rows_per_bank=rows_per_bank)
+    memory = PhysicalMemory(mapping)
+    return memory, PartitioningAllocator(memory, policy)
+
+
+def make_task(banks=None, name="t"):
+    return Task(name, workload=None,
+                possible_banks=frozenset(banks) if banks is not None else None)
+
+
+class TestUnpartitioned:
+    def test_none_policy_ignores_bank_vector(self):
+        memory, allocator = build(PartitionPolicy.NONE)
+        task = make_task(banks={0})
+        for _ in range(4):
+            allocator.alloc_page(task)
+        # Bank-oblivious: consecutive buddy frames stripe across banks.
+        assert len(task.pages_per_bank) == 4
+
+    def test_frames_claimed_in_memory(self):
+        memory, allocator = build(PartitionPolicy.NONE)
+        task = make_task()
+        frame = allocator.alloc_page(task)
+        assert memory.owner(frame) == task.task_id
+
+
+class TestPartitionedAllocation:
+    def test_pages_land_only_in_allowed_banks(self):
+        memory, allocator = build()
+        task = make_task(banks={2, 5, 11})
+        for _ in range(12):
+            allocator.alloc_page(task)
+        assert set(task.pages_per_bank) <= {2, 5, 11}
+
+    def test_round_robin_across_allowed_banks(self):
+        memory, allocator = build()
+        task = make_task(banks={1, 4, 9})
+        banks = [
+            memory.bank_of_frame(allocator.alloc_page(task)) for _ in range(6)
+        ]
+        # lastAllocedBank rotation: consecutive allocations hit different
+        # banks, cycling through the allowed set (Algorithm 2 lines 10-11).
+        assert banks == [1, 4, 9, 1, 4, 9]
+
+    def test_per_bank_cache_fills_and_hits(self):
+        memory, allocator = build()
+        task = make_task(banks={3})
+        allocator.alloc_page(task)
+        # Pulling from buddy passed through banks 0..2 -> cached.
+        assert allocator.cache_fills >= 3
+        before = allocator.cache_hits
+        other = make_task(banks={0})
+        allocator.alloc_page(other)
+        assert allocator.cache_hits == before + 1  # served from the cache
+
+    def test_soft_spills_when_partition_full(self):
+        memory, allocator = build(rows_per_bank=4)
+        task = make_task(banks={0})  # only 4 frames allowed
+        for _ in range(6):
+            allocator.alloc_page(task)
+        assert task.pages_per_bank[0] == 4
+        assert allocator.spills == 2
+        assert sum(task.pages_per_bank.values()) == 6
+
+    def test_hard_raises_when_partition_full(self):
+        memory, allocator = build(PartitionPolicy.HARD, rows_per_bank=4)
+        task = make_task(banks={0})
+        for _ in range(4):
+            allocator.alloc_page(task)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_page(task)
+
+    def test_true_oom_even_soft(self):
+        memory, allocator = build(rows_per_bank=2)  # 32 frames total
+        task = make_task(banks={0})
+        for _ in range(32):
+            allocator.alloc_page(task)
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_page(task)
+
+
+class TestFootprintHelpers:
+    def test_alloc_footprint_counts(self):
+        memory, allocator = build()
+        task = make_task(banks={0, 1})
+        assert allocator.alloc_footprint(task, 10) == 10
+        assert len(task.frames) == 10
+
+    def test_alloc_footprint_stops_at_hard_limit(self):
+        memory, allocator = build(PartitionPolicy.HARD, rows_per_bank=4)
+        task = make_task(banks={0})
+        assert allocator.alloc_footprint(task, 10) == 4
+
+    def test_free_task_returns_everything(self):
+        memory, allocator = build()
+        task = make_task(banks={0, 8})
+        allocator.alloc_footprint(task, 12)
+        free_before = allocator.free_frames()
+        allocator.free_task(task)
+        assert allocator.free_frames() == free_before + 12
+        assert task.frames == []
+        assert memory.used_frames() == 0
+
+    def test_free_frames_counts_cached_pages(self):
+        memory, allocator = build()
+        task = make_task(banks={7})
+        allocator.alloc_page(task)
+        # Total free = buddy free + cached; one frame allocated.
+        assert allocator.free_frames() == memory.total_frames - 1
+
+
+class TestSharedSoftPartitions:
+    def test_two_tasks_share_bank_group(self):
+        memory, allocator = build()
+        a = make_task(banks={2, 3}, name="a")
+        b = make_task(banks={2, 3}, name="b")
+        allocator.alloc_footprint(a, 6)
+        allocator.alloc_footprint(b, 6)
+        assert set(a.pages_per_bank) <= {2, 3}
+        assert set(b.pages_per_bank) <= {2, 3}
+        # No frame shared.
+        assert not (set(a.frames) & set(b.frames))

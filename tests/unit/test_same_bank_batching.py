@@ -1,0 +1,85 @@
+"""Unit tests for the same-bank scheduler's command batching (the 32 ms
+feasibility fix — DESIGN.md Section 7, EXPERIMENTS.md Figure 13)."""
+
+import pytest
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import default_system_config
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.refresh import make_scheduler
+from repro.dram.timing import DramTiming
+from repro.units import ms
+
+
+def build(trefw_ms=64, refresh_scale=256, density=32):
+    config = default_system_config(
+        refresh_scale=refresh_scale, trefw_ps=ms(trefw_ms), density_gbit=density
+    )
+    timing = DramTiming.from_config(config)
+    engine = Engine()
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=16)
+    mc = MemoryController(engine, timing, org, mapping)
+    sched = make_scheduler("same_bank")
+    sched.attach(mc, engine, timing)
+    sched._plan_batches()
+    return engine, timing, mc, sched
+
+
+def test_64ms_needs_no_batching():
+    _, timing, _, sched = build(trefw_ms=64)
+    assert sched._commands_per_bank == timing.refreshes_per_bank
+    assert sched._trfc_cmd == timing.trfc_pb
+
+
+def test_32ms_batches_until_stretch_fits():
+    _, timing, _, sched = build(trefw_ms=32)
+    # At 32ms/32Gb, tRFC_pb > tREFI_pb: serialized commands overflow.
+    assert timing.refreshes_per_bank * timing.trfc_pb > timing.refresh_stretch
+    # Batching fixes it.
+    assert sched._commands_per_bank < timing.refreshes_per_bank
+    assert sched._commands_per_bank * sched._trfc_cmd <= timing.refresh_stretch
+
+
+def test_batched_trfc_grows_sublinearly():
+    _, timing, _, sched = build(trefw_ms=32)
+    batch = -(-timing.refreshes_per_bank // sched._commands_per_bank)
+    assert batch > 1
+    # rows^0.35 scaling: much cheaper than linear.
+    assert sched._trfc_cmd < batch * timing.trfc_pb
+    assert sched._trfc_cmd >= timing.trfc_pb
+
+
+def test_32ms_schedule_still_covers_all_row_units():
+    engine, timing, mc, sched = build(trefw_ms=32)
+    sched.start()
+    engine.run_until(timing.trefw - 1)
+    expected = 16 * timing.refreshes_per_bank
+    assert sched.stats.rows_refreshed_units == pytest.approx(
+        expected, rel=0.05
+    )
+
+
+def test_32ms_banks_refresh_only_within_their_stretch():
+    engine, timing, mc, sched = build(trefw_ms=32)
+    placements = []
+    original = mc.refresh_bank
+
+    def spy(channel, rank, bank, trfc, subarray=None):
+        flat = mc.mapping.flat_bank_index(channel, rank, bank)
+        placements.append((engine.now, flat))
+        return original(channel, rank, bank, trfc, subarray=subarray)
+
+    mc.refresh_bank = spy
+    sched.start()
+    engine.run_until(timing.trefw - 1)
+    for time, flat in placements:
+        stretch_idx = (time * 16) // timing.trefw % 16
+        assert stretch_idx == flat, (time, flat)
+
+
+def test_16gb_32ms_also_feasible():
+    _, timing, _, sched = build(trefw_ms=32, density=16)
+    assert sched._commands_per_bank * sched._trfc_cmd <= timing.refresh_stretch

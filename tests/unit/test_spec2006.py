@@ -1,0 +1,54 @@
+"""Unit tests for the SPEC/STREAM/NAS benchmark tables."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.units import GB, MB
+from repro.workloads.benchmark import MpkiClass
+from repro.workloads.nas import NPB_UA
+from repro.workloads.spec2006 import SPEC_BENCHMARKS, spec_benchmark
+from repro.workloads.stream import STREAM
+
+
+def test_paper_footprints():
+    # Section 5.4.1's explicit numbers.
+    assert spec_benchmark("mcf").footprint_bytes == int(1.7 * GB)
+    assert spec_benchmark("bwaves").footprint_bytes == 920 * MB
+    assert spec_benchmark("GemsFDTD").footprint_bytes == 850 * MB
+    assert STREAM.footprint_bytes == 800 * MB
+
+
+def test_table2_mpki_classes():
+    assert spec_benchmark("mcf").mpki_class is MpkiClass.HIGH
+    assert spec_benchmark("bwaves").mpki_class is MpkiClass.HIGH
+    assert spec_benchmark("povray").mpki_class is MpkiClass.LOW
+    assert spec_benchmark("h264ref").mpki_class is MpkiClass.LOW
+    assert spec_benchmark("GemsFDTD").mpki_class is MpkiClass.MEDIUM
+    assert STREAM.mpki_class is MpkiClass.MEDIUM
+    assert NPB_UA.mpki_class is MpkiClass.MEDIUM
+
+
+def test_all_specs_validate():
+    for spec in SPEC_BENCHMARKS.values():
+        spec.validate()
+    STREAM.validate()
+    NPB_UA.validate()
+
+
+def test_suite_covers_figure5_range():
+    # Figure 5 needs a broad footprint spread around the 8Gb bank size.
+    footprints = [s.footprint_bytes for s in SPEC_BENCHMARKS.values()]
+    assert min(footprints) < 64 * MB
+    assert max(footprints) > 1 * GB
+    assert len(SPEC_BENCHMARKS) >= 20
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(ConfigError):
+        spec_benchmark("doom")
+
+
+def test_suites_tagged():
+    assert STREAM.suite == "stream"
+    assert NPB_UA.suite == "nas"
+    assert spec_benchmark("mcf").suite == "spec2006"

@@ -1,0 +1,91 @@
+"""Unit tests for System construction (wiring, not behaviour)."""
+
+import pytest
+
+from repro.core.simulator import build_system
+from repro.errors import ConfigError
+from repro.os.partition import PartitionPolicy
+
+
+@pytest.fixture(scope="module")
+def codesign_system():
+    return build_system("WL-6", "codesign", refresh_scale=512)
+
+
+def test_task_count_matches_mix(codesign_system):
+    assert len(codesign_system.tasks) == 8
+    names = sorted({t.name for t in codesign_system.tasks})
+    assert names == ["mcf", "povray"]
+
+
+def test_bank_vectors_assigned_under_partitioning(codesign_system):
+    for task in codesign_system.tasks:
+        assert task.possible_banks is not None
+        assert len(task.possible_banks) == 12  # 6 banks/rank x 2 ranks
+
+
+def test_baseline_tasks_unrestricted():
+    system = build_system("WL-6", "all_bank", refresh_scale=512)
+    assert all(t.possible_banks is None for t in system.tasks)
+
+
+def test_tasks_admitted_round_robin(codesign_system):
+    for i, task in enumerate(codesign_system.tasks):
+        queue = codesign_system.scheduler.runqueues[i % 2]
+        assert task in queue.tasks()
+
+
+def test_mapping_sized_from_density_and_scaling(codesign_system):
+    config = codesign_system.config
+    expected_rows = config.bank_capacity_bytes // 4096
+    assert codesign_system.mapping.rows_per_bank == expected_rows
+    assert codesign_system.mapping.total_frames == expected_rows * 16
+
+
+def test_footprints_allocated(codesign_system):
+    for task in codesign_system.tasks:
+        expected = max(
+            1,
+            codesign_system.config.scale_footprint(
+                task.workload.spec.footprint_bytes
+            )
+            // 4096,
+        )
+        assert len(task.frames) == expected
+
+
+def test_pages_respect_vectors(codesign_system):
+    for task in codesign_system.tasks:
+        assert set(task.pages_per_bank) <= set(task.possible_banks)
+
+
+def test_per_task_rngs_are_independent(codesign_system):
+    rngs = [t.rng for t in codesign_system.tasks]
+    values = [rng.random() for rng in rngs]
+    assert len(set(values)) == len(values)
+
+
+def test_scenario_selects_scheduler_type(codesign_system):
+    from repro.os.refresh_aware import RefreshAwareScheduler
+    from repro.os.scheduler import CfsScheduler
+
+    assert isinstance(codesign_system.scheduler, RefreshAwareScheduler)
+    baseline = build_system("WL-6", "per_bank", refresh_scale=512)
+    assert type(baseline.scheduler) is CfsScheduler
+
+
+def test_partition_policy_propagates():
+    hard = build_system("WL-9", "codesign_hard", refresh_scale=512)
+    assert hard.allocator.policy is PartitionPolicy.HARD
+
+
+def test_empty_spec_list_rejected():
+    with pytest.raises(ConfigError):
+        build_system([], "all_bank")
+
+
+def test_quantum_equals_stretch(codesign_system):
+    assert (
+        codesign_system.scheduler.quantum_cycles
+        == codesign_system.timing.refresh_stretch
+    )

@@ -1,0 +1,62 @@
+"""Unit tests for Task and TaskStats."""
+
+from repro.os.task import Task, TaskStats
+
+
+def test_task_ids_unique():
+    a, b = Task("a", None), Task("b", None)
+    assert a.task_id != b.task_id
+
+
+def test_bank_accounting():
+    task = Task("t", None)
+    task.add_frame(10, bank=3)
+    task.add_frame(11, bank=3)
+    task.add_frame(12, bank=7)
+    assert task.pages_per_bank == {3: 2, 7: 1}
+    assert task.has_data_in_bank(3)
+    assert not task.has_data_in_bank(0)
+    assert task.fraction_in_bank(3) == 2 / 3
+    assert task.fraction_in_bank(0) == 0.0
+
+
+def test_fraction_with_no_pages():
+    task = Task("t", None)
+    assert task.fraction_in_bank(0) == 0.0
+
+
+def test_scheduling_hooks_accumulate_cycles():
+    task = Task("t", None)
+    task.on_scheduled(100, core_id=0)
+    assert task.current_core == 0
+    task.on_descheduled(150)
+    task.on_scheduled(200, core_id=1)
+    task.on_descheduled(260)
+    assert task.stats.scheduled_cycles == 110
+    assert task.stats.quanta == 2
+    assert task.current_core is None
+
+
+def test_ipc_computation():
+    stats = TaskStats()
+    stats.instructions = 500
+    stats.scheduled_cycles = 1000
+    assert stats.ipc == 0.5
+    assert TaskStats().ipc == 0.0
+
+
+def test_read_latency_recording():
+    stats = TaskStats()
+    stats.record_read_latency(100, refresh_stall=20)
+    stats.record_read_latency(200, refresh_stall=0)
+    assert stats.reads_completed == 2
+    assert stats.avg_read_latency == 150
+    assert stats.refresh_stall_sum == 20
+    assert TaskStats().avg_read_latency == 0.0
+
+
+def test_possible_banks_frozen():
+    task = Task("t", None, possible_banks={1, 2})
+    assert isinstance(task.possible_banks, frozenset)
+    unrestricted = Task("u", None)
+    assert unrestricted.possible_banks is None

@@ -1,0 +1,114 @@
+"""Unit tests for the trace-driven workload front-end."""
+
+import random
+
+import pytest
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import CacheConfig
+from repro.cpu.hierarchy import CacheHierarchy
+from repro.dram.address import AddressMapping
+from repro.errors import ConfigError
+from repro.os.task import Task
+from repro.workloads.trace import (
+    TraceRecord,
+    TraceWorkload,
+    sequential_trace,
+    strided_trace,
+)
+
+
+@pytest.fixture
+def mapping():
+    return AddressMapping(DramOrganization(), total_rows_per_bank=64)
+
+
+def make_hierarchy():
+    return CacheHierarchy(
+        CacheConfig(l1_size_bytes=1024, l2_size_per_core_bytes=4096, l2_assoc=4)
+    )
+
+
+def make_task(mapping, workload, num_pages=64):
+    task = Task("trace", workload)
+    task.rng = random.Random(1)
+    for frame in range(num_pages):
+        task.add_frame(frame, mapping.frame_to_bank_index(frame))
+    return task
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ConfigError):
+        TraceWorkload("t", [], make_hierarchy())
+
+
+def test_cold_trace_generates_llc_misses(mapping):
+    trace = sequential_trace(64, stride_bytes=4096)  # one access per page
+    workload = TraceWorkload("t", trace, make_hierarchy())
+    task = make_task(mapping, workload)
+    access = workload.next_access(task)
+    assert access.address is not None
+    assert access.instructions >= 1
+
+
+def test_translation_maps_vpages_to_frames(mapping):
+    trace = [TraceRecord(1, 3 * 4096 + 128, False)]
+    workload = TraceWorkload("t", trace, make_hierarchy())
+    task = make_task(mapping, workload, num_pages=8)
+    access = workload.next_access(task)
+    frame, offset = divmod(access.address, 4096)
+    assert frame == task.frames[3]
+    assert offset == 128
+
+
+def test_vpages_beyond_footprint_wrap(mapping):
+    trace = [TraceRecord(1, 100 * 4096, False)]
+    workload = TraceWorkload("t", trace, make_hierarchy())
+    task = make_task(mapping, workload, num_pages=8)
+    access = workload.next_access(task)
+    assert access.address // 4096 == task.frames[100 % 8]
+
+
+def test_cache_resident_trace_yields_compute_gaps(mapping):
+    # A trace touching a single line: after the cold miss, all hits.
+    trace = [TraceRecord(10, 0, False)] * 8
+    workload = TraceWorkload("t", trace, make_hierarchy())
+    task = make_task(mapping, workload)
+    first = workload.next_access(task)
+    assert first.address is not None  # cold miss
+    second = workload.next_access(task)
+    assert second.address is None  # full pass of hits -> compute gap
+    assert second.instructions >= 7 * 10
+
+
+def test_no_frames_task_gets_compute_gap(mapping):
+    workload = TraceWorkload("t", sequential_trace(8), make_hierarchy())
+    task = Task("empty", workload)
+    task.rng = random.Random(1)
+    assert workload.next_access(task).address is None
+
+
+def test_dirty_victims_become_writebacks(mapping):
+    # Write every line, then thrash far past L1+L2 capacity.
+    trace = sequential_trace(512, stride_bytes=64, write_every=1)
+    workload = TraceWorkload("t", trace, make_hierarchy())
+    task = make_task(mapping, workload)
+    writebacks = 0
+    for _ in range(400):
+        if workload.next_access(task).writeback_address is not None:
+            writebacks += 1
+    assert writebacks > 0
+
+
+def test_sequential_trace_builder():
+    trace = sequential_trace(4, stride_bytes=64, gap_instructions=7, write_every=2)
+    assert [r.vaddr for r in trace] == [0, 64, 128, 192]
+    assert [r.is_write for r in trace] == [False, True, False, True]
+    assert all(r.gap_instructions == 7 for r in trace)
+
+
+def test_strided_trace_wraps_in_span():
+    trace = strided_trace(10, stride_bytes=100, span_bytes=256)
+    assert all(0 <= r.vaddr < 256 for r in trace)
+    with pytest.raises(ConfigError):
+        strided_trace(4, 64, 0)

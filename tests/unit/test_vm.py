@@ -1,0 +1,145 @@
+"""Unit tests for demand-paged virtual memory."""
+
+import pytest
+
+from repro.config.dram_configs import DramOrganization
+from repro.dram.address import AddressMapping
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.os.page import PhysicalMemory
+from repro.os.partition import PartitioningAllocator, PartitionPolicy
+from repro.os.task import Task
+from repro.os.vm import VirtualMemory
+
+
+def build(rows_per_bank=8, policy=PartitionPolicy.SOFT):
+    mapping = AddressMapping(DramOrganization(), total_rows_per_bank=rows_per_bank)
+    memory = PhysicalMemory(mapping)
+    return memory, PartitioningAllocator(memory, policy)
+
+
+def make_vm(allocator, footprint=16, banks=None, **kwargs):
+    task = Task("t", None,
+                possible_banks=frozenset(banks) if banks else None)
+    return task, VirtualMemory(task, allocator, footprint, **kwargs)
+
+
+def test_first_touch_is_minor_fault():
+    _, allocator = build()
+    task, vm = make_vm(allocator)
+    frame, penalty = vm.translate(3)
+    assert penalty == vm.minor_fault_cycles
+    assert vm.stats.minor_faults == 1
+    assert vm.resident_pages == 1
+    assert task.frames == [frame]
+
+
+def test_second_touch_is_hit():
+    _, allocator = build()
+    task, vm = make_vm(allocator)
+    frame1, _ = vm.translate(3)
+    frame2, penalty = vm.translate(3)
+    assert frame1 == frame2
+    assert penalty == 0
+    assert vm.stats.hits == 1
+
+
+def test_vpns_wrap_modulo_footprint():
+    _, allocator = build()
+    task, vm = make_vm(allocator, footprint=4)
+    a, _ = vm.translate(1)
+    b, _ = vm.translate(5)  # 5 % 4 == 1
+    assert a == b
+
+
+def test_translate_resident():
+    _, allocator = build()
+    task, vm = make_vm(allocator)
+    assert vm.translate_resident(7) is None
+    frame, _ = vm.translate(7)
+    assert vm.translate_resident(7) == frame
+
+
+def test_resident_limit_triggers_lru_eviction():
+    _, allocator = build()
+    task, vm = make_vm(allocator, footprint=16, resident_limit=2)
+    vm.translate(0)
+    vm.translate(1)
+    vm.translate(0)  # touch: 1 becomes LRU
+    _, penalty = vm.translate(2)  # evicts vpn 1
+    assert penalty == vm.major_fault_cycles
+    assert vm.stats.major_faults == 1
+    assert vm.stats.evictions == 1
+    assert vm.translate_resident(1) is None
+    assert vm.translate_resident(0) is not None
+    assert vm.resident_pages == 2
+
+
+def test_hard_partition_overflow_thrashes():
+    """Section 5.2.1: footprint > hard partition -> continuous major
+    faults despite free memory elsewhere."""
+    memory, allocator = build(rows_per_bank=4, policy=PartitionPolicy.HARD)
+    task, vm = make_vm(allocator, footprint=16, banks={0})  # 4-frame partition
+    for vpn in range(16):
+        vm.translate(vpn)
+    assert vm.resident_pages == 4
+    assert vm.stats.major_faults == 12
+    assert memory.used_frames() == 4
+    # Other banks stayed free the whole time.
+    assert allocator.free_frames() == memory.total_frames - 4
+
+
+def test_soft_partition_spills_instead_of_thrashing():
+    memory, allocator = build(rows_per_bank=4, policy=PartitionPolicy.SOFT)
+    task, vm = make_vm(allocator, footprint=16, banks={0})
+    for vpn in range(16):
+        vm.translate(vpn)
+    assert vm.resident_pages == 16
+    assert vm.stats.major_faults == 0
+    assert allocator.spills == 12
+
+
+def test_eviction_updates_bank_accounting():
+    memory, allocator = build(rows_per_bank=4, policy=PartitionPolicy.HARD)
+    task, vm = make_vm(allocator, footprint=16, banks={0})
+    for vpn in range(8):
+        vm.translate(vpn)
+    assert task.pages_per_bank == {0: 4}
+    assert len(task.frames) == 4
+
+
+def test_release_all():
+    memory, allocator = build()
+    task, vm = make_vm(allocator, footprint=8)
+    for vpn in range(8):
+        vm.translate(vpn)
+    vm.release_all()
+    assert vm.resident_pages == 0
+    assert memory.used_frames() == 0
+    assert task.frames == []
+
+
+def test_zero_footprint_rejected():
+    _, allocator = build()
+    with pytest.raises(AllocationError):
+        make_vm(allocator, footprint=0)
+
+
+def test_oom_with_nothing_resident_raises():
+    memory, allocator = build(rows_per_bank=2)
+    hog = Task("hog", None)
+    allocator.alloc_footprint(hog, memory.total_frames)
+    task, vm = make_vm(allocator, footprint=4)
+    with pytest.raises(OutOfMemoryError):
+        vm.translate(0)
+
+
+def test_determinstic_lru_order():
+    _, allocator = build()
+    task, vm = make_vm(allocator, footprint=8, resident_limit=3)
+    for vpn in (0, 1, 2, 0, 3, 4):
+        vm.translate(vpn)
+    # Residency after: touch order 0,1,2,0 -> evict 1 for 3, evict 2 for 4.
+    assert vm.translate_resident(1) is None
+    assert vm.translate_resident(2) is None
+    for vpn in (0, 3, 4):
+        assert vm.translate_resident(vpn) is not None
