@@ -9,6 +9,11 @@ prints it (visible with ``pytest -s`` / in the benchmark log).
 
 Profiles: default is quick; ``REPRO_PROFILE=full`` runs longer windows at
 finer refresh scaling.
+
+The runner uses the persistent disk cache (``~/.cache/repro`` or
+``REPRO_CACHE_DIR``) and fans cache misses out over ``REPRO_JOBS``
+worker processes, so a repeated benchmark run with an unchanged config
+executes zero simulations.
 """
 
 from __future__ import annotations

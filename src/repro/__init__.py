@@ -11,6 +11,11 @@ Public API
     Run the same workload under several refresh/OS scenarios.
 :func:`default_system_config`
     The paper's Table 1 configuration with simulation scaling applied.
+:func:`make_run_spec` / :func:`run_spec`
+    The serializable run pipeline: resolve a workload/scenario/config
+    into a pure-data :class:`~repro.core.runspec.RunSpec`, then execute
+    it deterministically (the experiment layer caches and parallelizes
+    on top of this).
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
@@ -18,12 +23,15 @@ paper-vs-measured record of every figure.
 
 from repro.config.system_configs import SystemConfig, default_system_config
 from repro.core.results import RunResult, TaskResult
+from repro.core.runspec import RunSpec
 from repro.core.simulator import (
     available_scenarios,
     available_workloads,
     build_system,
     compare_scenarios,
+    make_run_spec,
     run_simulation,
+    run_spec,
 )
 from repro.core.system import SCENARIOS, Scenario, System
 from repro.workloads.benchmark import BenchmarkSpec
@@ -33,6 +41,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "run_simulation",
+    "run_spec",
+    "make_run_spec",
+    "RunSpec",
     "compare_scenarios",
     "build_system",
     "available_scenarios",

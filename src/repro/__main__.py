@@ -5,31 +5,38 @@ Usage::
     python -m repro WL-6 codesign
     python -m repro WL-1 all_bank --density 24 --trefw-ms 32 --windows 2
     python -m repro WL-8 codesign --json result.json
+    python -m repro WL-6 all_bank,per_bank,codesign --jobs 4   # compare
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
+
+Runs resolve through the same serializable RunSpec pipeline as the
+experiment harness: results persist in the content-addressed disk cache
+(``--cache-dir``, ``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable
+with ``--no-cache``), and a comma-separated scenario list fans out over
+``--jobs`` worker processes.
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
 import json
 import sys
 
-from repro import available_scenarios, available_workloads, run_simulation
+import argparse
+
+from repro import available_scenarios, available_workloads
+from repro.core.simulator import make_run_spec
 from repro.units import ms
 
 
 def result_to_dict(result) -> dict:
-    """JSON-serializable view of a RunResult."""
-    data = dataclasses.asdict(result)
+    """JSON-serializable view of a RunResult, with derived metrics."""
+    data = result.to_dict()
     data["hmean_ipc"] = result.hmean_ipc
     data["avg_read_latency_mem_cycles"] = result.avg_read_latency_mem_cycles
     data["refresh_stall_fraction"] = result.refresh_stall_fraction
-    energy = data.pop("energy", None)
-    if energy is not None:
+    if result.energy is not None:
         data["energy"] = {
-            **energy,
+            **result.energy.to_dict(),
             "total_mj": result.energy.total_mj,
             "refresh_fraction": result.energy.refresh_fraction,
         }
@@ -39,13 +46,14 @@ def result_to_dict(result) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Simulate one workload mix under one refresh scenario.",
+        description="Simulate one workload mix under one or more refresh "
+                    "scenarios (comma-separated).",
     )
     parser.add_argument("workload", help="Table 2 mix name (WL-1 .. WL-10)")
     parser.add_argument(
         "scenario",
-        choices=available_scenarios(),
-        help="refresh/OS scenario",
+        help="refresh/OS scenario, or a comma-separated list of them "
+             f"(known: {', '.join(available_scenarios())})",
     )
     parser.add_argument("--density", type=int, default=32,
                         help="chip density in Gbit (default 32)")
@@ -60,32 +68,70 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--banks-per-task", type=int, default=None,
                         help="partition width override (co-design scenarios)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes when running several scenarios "
+                             "(default: REPRO_JOBS or the CPU count)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent result-cache directory "
+                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
     parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write the full result as JSON")
+                        help="also write the full result(s) as JSON")
     args = parser.parse_args(argv)
 
     if args.workload not in available_workloads():
         parser.error(
             f"unknown workload {args.workload!r}; known: {available_workloads()}"
         )
+    scenarios = [s.strip() for s in args.scenario.split(",") if s.strip()]
+    if not scenarios:
+        parser.error("no scenario given")
+    for name in scenarios:
+        if name not in available_scenarios():
+            parser.error(
+                f"unknown scenario {name!r}; known: {available_scenarios()}"
+            )
 
-    result = run_simulation(
-        args.workload,
-        args.scenario,
-        num_windows=args.windows,
-        warmup_windows=args.warmup,
-        banks_per_task=args.banks_per_task,
-        density_gbit=args.density,
-        trefw_ps=ms(args.trefw_ms),
-        refresh_scale=args.refresh_scale,
-        seed=args.seed,
+    specs = [
+        make_run_spec(
+            args.workload,
+            name,
+            num_windows=args.windows,
+            warmup_windows=args.warmup,
+            banks_per_task=args.banks_per_task,
+            density_gbit=args.density,
+            trefw_ps=ms(args.trefw_ms),
+            refresh_scale=args.refresh_scale,
+            seed=args.seed,
+        )
+        for name in scenarios
+    ]
+
+    # Resolve through the sweep runner: disk cache + parallel fan-out.
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
     )
-    print(result.summary())
-    if result.energy is not None:
-        print(f"  energy             : {result.energy}")
+    if len(specs) > 1:
+        runner.prefetch(specs)
+
+    results = []
+    for spec in specs:
+        result = runner.run_spec(spec)
+        results.append(result)
+        print(result.summary())
+        if result.energy is not None:
+            print(f"  energy             : {result.energy}")
     if args.json:
+        payload = (
+            result_to_dict(results[0])
+            if len(results) == 1
+            else [result_to_dict(r) for r in results]
+        )
         with open(args.json, "w") as f:
-            json.dump(result_to_dict(result), f, indent=2)
+            json.dump(payload, f, indent=2)
         print(f"  wrote {args.json}")
     return 0
 

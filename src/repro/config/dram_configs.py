@@ -9,7 +9,7 @@ refresh parameters) and converted to CPU cycles by
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.errors import ConfigError
 from repro.units import KB
@@ -63,6 +63,17 @@ class DramTimingSpec:
     def tRC(self) -> int:
         """Activate-to-activate on the same bank."""
         return self.tRAS + self.tRP
+
+    def to_dict(self) -> dict:
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramTimingSpec":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
 
     def validate(self) -> None:
         for name in (
@@ -161,6 +172,17 @@ class DramOrganization:
     @property
     def columns_per_row(self) -> int:
         return self.row_size_bytes // self.cacheline_bytes
+
+    def to_dict(self) -> dict:
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramOrganization":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
 
     def validate(self) -> None:
         if min(self.channels, self.ranks_per_channel, self.banks_per_rank) <= 0:

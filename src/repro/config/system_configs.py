@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.config.dram_configs import (
     DensityConfig,
@@ -34,6 +34,17 @@ class CoreConfig:
         if self.num_cores <= 0 or self.freq_mhz <= 0:
             raise ConfigError("core count and frequency must be positive")
 
+    def to_dict(self) -> dict:
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoreConfig":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -51,6 +62,17 @@ class CacheConfig:
         for name in ("l1_size_bytes", "l2_size_per_core_bytes", "line_bytes"):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be positive")
+
+    def to_dict(self) -> dict:
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -91,6 +113,17 @@ class OsConfig:
             raise ConfigError("quantum must be positive")
         if self.eta_thresh is not None and self.eta_thresh < 1:
             raise ConfigError("eta_thresh must be >= 1")
+
+    def to_dict(self) -> dict:
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OsConfig":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
 
 
 @dataclass(frozen=True)
@@ -165,7 +198,45 @@ class SystemConfig:
 
     def with_(self, **kwargs) -> "SystemConfig":
         """Return a copy with the given fields replaced."""
-        return replace(self, **kwargs)
+        try:
+            return replace(self, **kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"invalid config override: {exc}") from None
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able view (inverse of :meth:`from_dict`)."""
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Rebuild a validated config from :meth:`to_dict` output."""
+        from repro.serialize import dataclass_from_dict
+
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"SystemConfig: expected a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        try:
+            data["cores"] = CoreConfig.from_dict(data.pop("cores"))
+            data["caches"] = CacheConfig.from_dict(data.pop("caches"))
+            data["os"] = OsConfig.from_dict(data.pop("os"))
+            data["dram_timing"] = DramTimingSpec.from_dict(data.pop("dram_timing"))
+            data["organization"] = DramOrganization.from_dict(data.pop("organization"))
+            data["fgr_mode"] = FgrMode(data.pop("fgr_mode"))
+        except KeyError as exc:
+            raise ConfigError(f"SystemConfig: missing field {exc}") from None
+        config = dataclass_from_dict(cls, data)
+        config.validate()
+        return config
+
+    def content_hash(self) -> str:
+        """Stable content hash over every resolved field."""
+        from repro.serialize import content_hash
+
+        return content_hash(self.to_dict())
 
     def validate(self) -> None:
         self.cores.validate()
@@ -194,6 +265,9 @@ class SystemConfig:
 def default_system_config(**overrides) -> SystemConfig:
     """The paper's default evaluated configuration (Table 1), with
     simulation scaling applied.  Pass keyword overrides for any field."""
-    config = SystemConfig(**overrides)
+    try:
+        config = SystemConfig(**overrides)
+    except TypeError as exc:
+        raise ConfigError(f"invalid config override: {exc}") from None
     config.validate()
     return config

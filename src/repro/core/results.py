@@ -1,10 +1,22 @@
-"""Result containers produced by a simulation run."""
+"""Result containers produced by a simulation run.
+
+Both containers round-trip losslessly through plain JSON dicts
+(``to_dict`` / ``from_dict``) so results can live in the on-disk sweep
+cache and cross process boundaries; equality after a round trip is exact
+(JSON preserves float bit patterns via shortest-repr).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.core.metrics import harmonic_mean
+from repro.dram.power import EnergyBreakdown
+from repro.errors import ConfigError
+
+#: Version tag for the serialized result layout.  Bump whenever a field is
+#: added/removed/renamed so stale disk-cache entries are recomputed.
+RESULT_SCHEMA = 2
 
 
 @dataclass
@@ -25,6 +37,15 @@ class TaskResult:
         if self.scheduled_cycles == 0:
             return 0.0
         return self.instructions / self.scheduled_cycles
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TaskResult":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
 
 
 @dataclass
@@ -51,7 +72,7 @@ class RunResult:
     bus_utilization: float = 0.0
     #: DRAM energy estimate over the measured interval (None when the
     #: result was constructed directly, e.g. in unit tests).
-    energy: object = None
+    energy: EnergyBreakdown | None = None
 
     @property
     def hmean_ipc(self) -> float:
@@ -72,6 +93,36 @@ class RunResult:
 
     def task_ipc(self, name: str) -> list[float]:
         return [t.ipc for t in self.tasks if t.name == name]
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able view (inverse of :meth:`from_dict`)."""
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("tasks", "energy")
+        }
+        data["tasks"] = [t.to_dict() for t in self.tasks]
+        data["energy"] = self.energy.to_dict() if self.energy is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        from repro.serialize import dataclass_from_dict
+
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"RunResult: expected a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        try:
+            data["tasks"] = [TaskResult.from_dict(t) for t in data.pop("tasks", [])]
+            energy = data.pop("energy", None)
+            data["energy"] = (
+                EnergyBreakdown.from_dict(energy) if energy is not None else None
+            )
+        except (TypeError, AttributeError) as exc:
+            raise ConfigError(f"RunResult: malformed payload ({exc})") from None
+        return dataclass_from_dict(cls, data)
 
     def summary(self) -> str:
         lines = [

@@ -1,0 +1,111 @@
+"""First-class, serializable description of one simulation run.
+
+A :class:`RunSpec` captures *everything* a run depends on — the resolved
+task list, the full scenario, the fully resolved :class:`SystemConfig`
+and the measurement windows — so that executing a run is a pure function
+``RunSpec -> RunResult`` (see :func:`repro.core.simulator.run_spec`).
+
+Because the spec is pure data it can be:
+
+* hashed — :meth:`RunSpec.content_hash` is the key for both the
+  in-memory memo and the on-disk result cache;
+* shipped across process boundaries — the parallel
+  :class:`~repro.experiments.runner.SweepRunner` fans specs out over a
+  ``ProcessPoolExecutor``;
+* stored and replayed — ``to_dict``/``from_dict`` round-trip through
+  JSON exactly.
+
+Workload mix names are resolved to explicit :class:`BenchmarkSpec` tuples
+at construction time, so a cached result can never silently alias a
+different task list (e.g. after a Table 2 mix definition changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config.system_configs import SystemConfig
+from repro.core.system import Scenario
+from repro.errors import ConfigError
+from repro.workloads.benchmark import BenchmarkSpec
+
+#: Version tag for the serialized spec layout.  Bump on field changes so
+#: stale cache entries are recomputed instead of mis-parsed.
+SPEC_SCHEMA = 2
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Pure-data description of one simulation run."""
+
+    workload_name: str
+    specs: tuple[BenchmarkSpec, ...]
+    scenario: Scenario
+    config: SystemConfig
+    num_windows: float = 2.0
+    warmup_windows: float = 0.25
+    banks_per_task: int | None = None
+
+    def validate(self) -> None:
+        if not self.specs:
+            raise ConfigError("RunSpec: task spec list must not be empty")
+        for spec in self.specs:
+            spec.validate()
+        self.config.validate()
+        if self.num_windows <= 0:
+            raise ConfigError("RunSpec: num_windows must be positive")
+        if self.warmup_windows < 0:
+            raise ConfigError("RunSpec: warmup_windows cannot be negative")
+        if self.banks_per_task is not None and self.banks_per_task < 1:
+            raise ConfigError("RunSpec: banks_per_task must be >= 1")
+
+    def with_(self, **kwargs) -> "RunSpec":
+        """Return a copy with the given fields replaced."""
+        try:
+            return replace(self, **kwargs)
+        except TypeError as exc:
+            raise ConfigError(f"invalid RunSpec override: {exc}") from None
+
+    def to_dict(self) -> dict:
+        return {
+            "workload_name": self.workload_name,
+            "specs": [s.to_dict() for s in self.specs],
+            "scenario": self.scenario.to_dict(),
+            "config": self.config.to_dict(),
+            "num_windows": self.num_windows,
+            "warmup_windows": self.warmup_windows,
+            "banks_per_task": self.banks_per_task,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"RunSpec: expected a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        try:
+            specs = tuple(BenchmarkSpec.from_dict(s) for s in data.pop("specs"))
+            scenario = Scenario.from_dict(data.pop("scenario"))
+            config = SystemConfig.from_dict(data.pop("config"))
+        except KeyError as exc:
+            raise ConfigError(f"RunSpec: missing field {exc}") from None
+        except TypeError as exc:
+            raise ConfigError(f"RunSpec: malformed payload ({exc})") from None
+        from repro.serialize import dataclass_from_dict
+
+        spec = dataclass_from_dict(
+            cls, {**data, "specs": specs, "scenario": scenario, "config": config}
+        )
+        spec.validate()
+        return spec
+
+    def content_hash(self) -> str:
+        """Stable content hash over the complete spec.
+
+        Raises :class:`ConfigError` when any embedded value is not
+        serializable (rather than a bare ``TypeError`` from ``json``).
+        """
+        from repro.serialize import content_hash
+
+        return content_hash(self.to_dict())

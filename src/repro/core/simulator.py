@@ -7,6 +7,11 @@ the benchmark harness:
 >>> result = run_simulation(workload="WL-6", scenario="codesign")
 >>> result.hmean_ipc > 0
 True
+
+Internally a run is a pure function of a serializable
+:class:`~repro.core.runspec.RunSpec`: :func:`make_run_spec` resolves
+workload/scenario/config into a spec, :func:`run_spec` executes it.  The
+experiment layer builds specs in bulk and fans them out across processes.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Optional, Sequence
 
 from repro.config.system_configs import SystemConfig, default_system_config
 from repro.core.results import RunResult
+from repro.core.runspec import RunSpec
 from repro.core.system import SCENARIOS, Scenario, System, scenario as get_scenario
 from repro.errors import ConfigError
 from repro.workloads.benchmark import BenchmarkSpec
@@ -54,6 +60,55 @@ def build_system(
     )
 
 
+def make_run_spec(
+    workload: str | Sequence[BenchmarkSpec] = "WL-6",
+    scenario: str | Scenario = "codesign",
+    config: Optional[SystemConfig] = None,
+    num_windows: float = 2.0,
+    warmup_windows: float = 0.25,
+    banks_per_task: int | None = None,
+    **config_overrides,
+) -> RunSpec:
+    """Resolve workload/scenario/config into a serializable :class:`RunSpec`.
+
+    The same arguments :func:`run_simulation` accepts; the returned spec
+    fully determines the run (mix names are expanded to explicit
+    :class:`BenchmarkSpec` tuples, the config is fully resolved).
+    """
+    if config is None:
+        config = default_system_config(**config_overrides)
+    elif config_overrides:
+        config = config.with_(**config_overrides)
+        config.validate()
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    name, specs = resolve_workload(workload)
+    return RunSpec(
+        workload_name=name,
+        specs=tuple(specs),
+        scenario=scenario,
+        config=config,
+        num_windows=num_windows,
+        warmup_windows=warmup_windows,
+        banks_per_task=banks_per_task,
+    )
+
+
+def run_spec(spec: RunSpec) -> RunResult:
+    """Execute one :class:`RunSpec` — a pure, deterministic function of the
+    spec's content (the engine seeds every RNG from ``config.seed``)."""
+    system = System(
+        spec.config,
+        list(spec.specs),
+        spec.scenario,
+        workload_name=spec.workload_name,
+        banks_per_task=spec.banks_per_task,
+    )
+    return system.run(
+        num_windows=spec.num_windows, warmup_windows=spec.warmup_windows
+    )
+
+
 def run_simulation(
     workload: str | Sequence[BenchmarkSpec] = "WL-6",
     scenario: str | Scenario = "codesign",
@@ -80,14 +135,17 @@ def run_simulation(
     num_windows / warmup_windows:
         Measured and warm-up duration in (scaled) retention windows.
     """
-    system = build_system(
-        workload,
-        scenario,
-        config,
-        banks_per_task=banks_per_task,
-        **config_overrides,
+    return run_spec(
+        make_run_spec(
+            workload,
+            scenario,
+            config,
+            num_windows=num_windows,
+            warmup_windows=warmup_windows,
+            banks_per_task=banks_per_task,
+            **config_overrides,
+        )
     )
-    return system.run(num_windows=num_windows, warmup_windows=warmup_windows)
 
 
 def compare_scenarios(

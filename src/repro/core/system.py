@@ -39,6 +39,33 @@ class Scenario:
     partition: PartitionPolicy = PartitionPolicy.NONE
     best_effort: bool = False
 
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "refresh_policy": self.refresh_policy,
+            "refresh_aware": self.refresh_aware,
+            "partition": self.partition.value,
+            "best_effort": self.best_effort,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Scenario":
+        from repro.serialize import dataclass_from_dict
+
+        data = dict(data)
+        try:
+            data["partition"] = PartitionPolicy(data["partition"])
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(f"Scenario: bad partition policy ({exc})") from None
+        return dataclass_from_dict(cls, data)
+
+    def content_hash(self) -> str:
+        """Content hash over the full scenario, not just its name — two
+        differently configured scenarios that share a name never alias."""
+        from repro.serialize import content_hash
+
+        return content_hash(self.to_dict())
+
 
 #: The scenarios evaluated in the paper (Section 6) plus ablations.
 SCENARIOS: dict[str, Scenario] = {
@@ -204,6 +231,7 @@ class System:
                 name=spec.name,
                 workload=workload,
                 possible_banks=vectors[i],
+                task_id=i,
             )
             task.rng = random.Random(self.config.seed * 100_003 + i)
             tasks.append(task)

@@ -73,6 +73,17 @@ class EnergyBreakdown:
             f"avg={self.average_power_mw:.0f}mW)"
         )
 
+    def to_dict(self) -> dict:
+        from dataclasses import fields
+
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        from repro.serialize import dataclass_from_dict
+
+        return dataclass_from_dict(cls, data)
+
 
 def estimate_energy(
     controller: MemoryController,

@@ -1,10 +1,12 @@
 """Experiment harness: one module per paper figure (see DESIGN.md §4)."""
 
+from repro.experiments.cache import ResultCache, default_cache_dir
 from repro.experiments.runner import (
     ExperimentProfile,
     FULL_PROFILE,
     QUICK_PROFILE,
     active_profile,
+    default_jobs,
     SweepRunner,
 )
 
@@ -13,5 +15,8 @@ __all__ = [
     "FULL_PROFILE",
     "QUICK_PROFILE",
     "active_profile",
+    "default_jobs",
+    "ResultCache",
+    "default_cache_dir",
     "SweepRunner",
 ]

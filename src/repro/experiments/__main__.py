@@ -5,9 +5,14 @@ Usage::
     python -m repro.experiments figure10          # one figure
     python -m repro.experiments all               # everything
     python -m repro.experiments figure3 --profile full
+    python -m repro.experiments all --jobs 8      # parallel sweep
+    python -m repro.experiments figure13 --no-cache
 
 Each experiment prints the same table its pytest benchmark saves under
-``benchmarks/results/``.
+``benchmarks/results/``.  Sweep points fan out over ``--jobs`` worker
+processes (default: ``REPRO_JOBS`` or the CPU count) and results persist
+in a content-addressed disk cache (``--cache-dir``, ``REPRO_CACHE_DIR``
+or ``~/.cache/repro``) so warm re-runs execute zero simulations.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.experiments import ablations
 from repro.experiments import figure3, figure4, figure5, figure9
 from repro.experiments import figure10, figure11, figure12, figure13
 from repro.experiments import figure14, figure15
+from repro.experiments.report import format_run_stats
 from repro.experiments.runner import FULL_PROFILE, QUICK_PROFILE, SweepRunner
 
 
@@ -73,16 +79,35 @@ def main(argv: list[str] | None = None) -> int:
         default="quick",
         help="simulation effort per data point (default: quick)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep points "
+             "(default: REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent result-cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
     args = parser.parse_args(argv)
 
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
-    runner = SweepRunner(profile)
+    runner = SweepRunner(
+        profile,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
         print(EXPERIMENTS[name](runner))
         print(f"[{name}: {time.time() - start:.1f}s, "
-              f"{runner.runs_executed} runs total]\n")
+              f"{format_run_stats(runner)}]\n")
     return 0
 
 

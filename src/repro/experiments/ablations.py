@@ -39,6 +39,13 @@ def eta_sweep(
     from repro.config.system_configs import OsConfig
 
     runner = runner or SweepRunner()
+    runner.prefetch(
+        [runner.spec(workload, "all_bank")]
+        + [
+            runner.spec(workload, "codesign", os=OsConfig(eta_thresh=eta))
+            for eta in etas
+        ]
+    )
     base = runner.run(workload, "all_bank").hmean_ipc
     rows = []
     for eta in etas:
@@ -56,6 +63,10 @@ def banks_sweep(
 ) -> list[AblationRow]:
     """Banks-per-task sweep (paper footnote 11)."""
     runner = runner or SweepRunner()
+    runner.prefetch(
+        [runner.spec(workload, "all_bank")]
+        + [runner.spec(workload, "codesign", banks_per_task=b) for b in banks]
+    )
     base = runner.run(workload, "all_bank").hmean_ipc
     rows = []
     for b in banks:
@@ -69,7 +80,6 @@ def component_study(
 ) -> list[AblationRow]:
     """Which ingredient buys what."""
     runner = runner or SweepRunner()
-    base = runner.run(workload, "all_bank").hmean_ipc
     variants = [
         ("per_bank (hw baseline)", "per_bank"),
         ("same-bank schedule only", "same_bank_hw_only"),
@@ -78,6 +88,11 @@ def component_study(
         ("co-design, hard partition", "codesign_hard"),
         ("co-design, best effort", "codesign_best_effort"),
     ]
+    runner.prefetch(
+        [runner.spec(workload, "all_bank")]
+        + [runner.spec(workload, name) for _, name in variants]
+    )
+    base = runner.run(workload, "all_bank").hmean_ipc
     rows = []
     for label, scenario_name in variants:
         value = runner.run(workload, scenario_name).hmean_ipc

@@ -27,8 +27,19 @@ class Figure10Row:
     improvement: float  # vs all-bank refresh
 
 
+def sweep_specs(runner: SweepRunner) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    return [
+        runner.spec(workload, scheme, density_gbit=density)
+        for density in DENSITIES
+        for workload in runner.profile.workloads
+        for scheme in ("all_bank", *SCHEMES)
+    ]
+
+
 def run(runner: SweepRunner | None = None) -> list[Figure10Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner))
     rows = []
     for density in DENSITIES:
         overrides = {"density_gbit": density}

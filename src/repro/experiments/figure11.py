@@ -23,8 +23,18 @@ class Figure11Row:
     avg_latency_mem_cycles: float
 
 
+def sweep_specs(runner: SweepRunner, density_gbit: int = 32) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    return [
+        runner.spec(workload, scheme, density_gbit=density_gbit)
+        for workload in runner.profile.workloads
+        for scheme in SCHEMES
+    ]
+
+
 def run(runner: SweepRunner | None = None, density_gbit: int = 32) -> list[Figure11Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner, density_gbit))
     rows = []
     for workload in runner.profile.workloads:
         for scheme in SCHEMES:

@@ -25,8 +25,35 @@ class Figure12Row:
     improvement: float  # vs DDR4-1x all-bank
 
 
+def sweep_specs(runner: SweepRunner, density_gbit: int = 32) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    specs = []
+    for workload in runner.profile.workloads:
+        for mode in MODES:
+            specs.append(
+                runner.spec(
+                    workload,
+                    "all_bank",
+                    density_gbit=density_gbit,
+                    dram_timing=DDR4_1600,
+                    fgr_mode=mode,
+                )
+            )
+        specs.append(
+            runner.spec(
+                workload,
+                "codesign",
+                density_gbit=density_gbit,
+                dram_timing=DDR4_1600,
+                fgr_mode=FgrMode.X1,
+            )
+        )
+    return specs
+
+
 def run(runner: SweepRunner | None = None, density_gbit: int = 32) -> list[Figure12Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner, density_gbit))
     rows = []
     for workload in runner.profile.workloads:
         base = runner.run(

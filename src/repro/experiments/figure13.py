@@ -27,8 +27,21 @@ class Figure13Row:
     improvement: float  # vs all-bank at 32ms
 
 
+def sweep_specs(runner: SweepRunner) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    return [
+        runner.spec(
+            workload, scheme, density_gbit=density, trefw_ps=ms(32)
+        )
+        for density in DENSITIES
+        for workload in runner.profile.workloads
+        for scheme in ("all_bank", *SCHEMES)
+    ]
+
+
 def run(runner: SweepRunner | None = None) -> list[Figure13Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner))
     rows = []
     for density in DENSITIES:
         overrides = {"density_gbit": density, "trefw_ps": ms(32)}

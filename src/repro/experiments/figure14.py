@@ -26,8 +26,18 @@ class Figure14Row:
     improvement: float  # vs all-bank
 
 
+def sweep_specs(runner: SweepRunner, density_gbit: int = 32) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    return [
+        runner.spec(workload, scheme, density_gbit=density_gbit)
+        for workload in runner.profile.workloads
+        for scheme in ("all_bank", *SCHEMES)
+    ]
+
+
 def run(runner: SweepRunner | None = None, density_gbit: int = 32) -> list[Figure14Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner, density_gbit))
     rows = []
     for workload in runner.profile.workloads:
         base = runner.run(workload, "all_bank", density_gbit=density_gbit).hmean_ipc

@@ -46,9 +46,25 @@ def _config_overrides(num_cores: int, density: int) -> dict:
     return overrides
 
 
+def sweep_specs(runner: SweepRunner,
+                workloads: tuple[str, ...] = ("WL-1", "WL-5", "WL-6", "WL-8")) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    specs = []
+    for num_cores, ratio in POINTS:
+        num_tasks = num_cores * ratio
+        for density in DENSITIES:
+            overrides = _config_overrides(num_cores, density)
+            for workload in workloads:
+                tasks = scaled_mix(workload, num_tasks)
+                for scheme in ("all_bank", *SCHEMES):
+                    specs.append(runner.spec(tasks, scheme, **overrides))
+    return specs
+
+
 def run(runner: SweepRunner | None = None,
         workloads: tuple[str, ...] = ("WL-1", "WL-5", "WL-6", "WL-8")) -> list[Figure15Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner, workloads))
     rows = []
     for num_cores, ratio in POINTS:
         num_tasks = num_cores * ratio

@@ -35,8 +35,22 @@ class Figure3Row:
     degradation_intensive: float  # averaged over M/H workloads only
 
 
+def sweep_specs(runner: SweepRunner) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    return [
+        runner.spec(
+            workload, scheme, density_gbit=density, trefw_ps=ms(trefw_ms_value)
+        )
+        for trefw_ms_value in RETENTIONS_MS
+        for density in DENSITIES
+        for scheme in ("no_refresh", *SCHEMES)
+        for workload in runner.profile.workloads
+    ]
+
+
 def run(runner: SweepRunner | None = None) -> list[Figure3Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner))
     intensive = [w for w in runner.profile.workloads if w in MEMORY_INTENSIVE]
     rows = []
     for trefw_ms_value in RETENTIONS_MS:

@@ -33,8 +33,27 @@ class Figure4Row:
     improvement: float  # vs all-bank refresh with all 8 banks
 
 
+def sweep_specs(runner: SweepRunner) -> list:
+    """Every RunSpec this figure needs, for batch submission."""
+    specs = []
+    for density in DENSITIES:
+        overrides = {"density_gbit": density}
+        for workload in runner.profile.workloads:
+            specs.append(runner.spec(workload, "all_bank", **overrides))
+            specs.append(runner.spec(workload, "no_refresh", **overrides))
+            for banks in BANKS_PER_TASK:
+                if banks != 8:
+                    specs.append(
+                        runner.spec(
+                            workload, _CONFINED, banks_per_task=banks, **overrides
+                        )
+                    )
+    return specs
+
+
 def run(runner: SweepRunner | None = None) -> list[Figure4Row]:
     runner = runner or SweepRunner()
+    runner.prefetch(sweep_specs(runner))
     rows = []
     for density in DENSITIES:
         overrides = {"density_gbit": density}

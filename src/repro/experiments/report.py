@@ -38,3 +38,21 @@ def _cell(value: object) -> str:
 def format_percent(value: float) -> str:
     """0.162 -> '+16.2%'; -0.05 -> '-5.0%'."""
     return f"{value * 100:+.1f}%"
+
+
+def format_run_stats(runner) -> str:
+    """One-line execution summary for a SweepRunner-backed sweep.
+
+    Shows how the batch was satisfied: simulations actually executed,
+    in-process memo hits, and persistent disk-cache hits.
+    """
+    parts = [
+        f"{runner.runs_executed} runs executed",
+        f"{runner.memo_hits} memo hits",
+    ]
+    if runner.disk_cache is not None:
+        parts.append(f"{runner.disk_hits} disk-cache hits")
+    else:
+        parts.append("disk cache off")
+    parts.append(f"jobs={runner.jobs}")
+    return ", ".join(parts)

@@ -1,8 +1,20 @@
 """Sweep infrastructure shared by all figure experiments.
 
-A :class:`SweepRunner` memoizes simulation runs within one process so
-figures that share underlying runs (e.g. Figure 10's IPC and Figure 11's
-latency views of the same sweep) pay for each configuration once.
+A :class:`SweepRunner` turns every data point into a serializable
+:class:`~repro.core.runspec.RunSpec` and resolves it through three tiers:
+
+1. an in-process memo (same object returned for repeated calls),
+2. a persistent on-disk result cache keyed by the spec's content hash
+   (``~/.cache/repro`` or ``REPRO_CACHE_DIR``; schema-versioned and
+   corruption-tolerant — see :mod:`repro.experiments.cache`), and
+3. actual simulation, fanned out over a ``ProcessPoolExecutor`` when a
+   figure batch-submits its sweep via :meth:`SweepRunner.prefetch`.
+
+Parallelism defaults to the CPU count and is controlled by the
+``REPRO_JOBS`` environment variable or the ``--jobs`` CLI flag.  The
+engine is fully deterministic, so parallel results are bit-identical to
+sequential ones, and a warm cache re-runs any figure with zero
+simulations executed.
 
 Profiles control simulation cost: ``QUICK_PROFILE`` (default; suitable for
 the pytest-benchmark harness) and ``FULL_PROFILE`` (longer windows, finer
@@ -13,14 +25,31 @@ variable.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
-from repro.config.system_configs import SystemConfig, default_system_config
 from repro.core.results import RunResult
-from repro.core.simulator import run_simulation
+from repro.core.runspec import RunSpec
+from repro.core.simulator import make_run_spec, run_spec as execute_run_spec
 from repro.core.system import Scenario
+from repro.experiments.cache import ResultCache
+from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.mixes import mix_names
+
+#: Environment variable setting the default worker-process count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default: CPU count)."""
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -59,72 +88,145 @@ def active_profile() -> ExperimentProfile:
 
 
 class SweepRunner:
-    """Runs and memoizes simulations keyed by their full configuration."""
+    """Executes :class:`RunSpec`s with memoization, disk caching and
+    process-parallel batch fan-out."""
 
-    def __init__(self, profile: Optional[ExperimentProfile] = None):
+    def __init__(
+        self,
+        profile: Optional[ExperimentProfile] = None,
+        jobs: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        use_cache: bool = True,
+    ):
         self.profile = profile or active_profile()
-        self._cache: dict[tuple, RunResult] = {}
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.disk_cache = ResultCache(cache_dir) if use_cache else None
+        self._memo: dict[str, RunResult] = {}
+        #: Simulations actually executed (memo and disk hits excluded).
         self.runs_executed = 0
+        self.memo_hits = 0
+
+    @property
+    def disk_hits(self) -> int:
+        return self.disk_cache.hits if self.disk_cache is not None else 0
+
+    # -- spec construction ------------------------------------------------------
+
+    def spec(
+        self,
+        workload: str | Sequence[BenchmarkSpec],
+        scenario: str | Scenario,
+        banks_per_task: int | None = None,
+        **config_overrides,
+    ) -> RunSpec:
+        """The :class:`RunSpec` for one data point under the active profile."""
+        overrides = dict(config_overrides)
+        overrides.setdefault("refresh_scale", self.profile.refresh_scale)
+        return make_run_spec(
+            workload,
+            scenario,
+            num_windows=self.profile.num_windows,
+            warmup_windows=self.profile.warmup_windows,
+            banks_per_task=banks_per_task,
+            **overrides,
+        )
+
+    # -- execution --------------------------------------------------------------
+
+    def run_spec(self, spec: RunSpec) -> RunResult:
+        """Resolve one spec: memo -> disk cache -> execute."""
+        key = spec.content_hash()
+        result = self._memo.get(key)
+        if result is not None:
+            self.memo_hits += 1
+            return result
+        if self.disk_cache is not None:
+            result = self.disk_cache.get(key)
+            if result is not None:
+                self._memo[key] = result
+                return result
+        self.runs_executed += 1
+        result = execute_run_spec(spec)
+        self._memo[key] = result
+        if self.disk_cache is not None:
+            self.disk_cache.put(key, spec, result)
+        return result
 
     def run(
         self,
-        workload: str,
+        workload: str | Sequence[BenchmarkSpec],
         scenario: str | Scenario,
         banks_per_task: int | None = None,
         **config_overrides,
     ) -> RunResult:
-        """One simulation under the active profile (memoized)."""
-        overrides = dict(config_overrides)
-        overrides.setdefault("refresh_scale", self.profile.refresh_scale)
-        scenario_key = scenario if isinstance(scenario, str) else scenario.name
-        key = (
-            workload,
-            scenario_key,
-            banks_per_task,
-            tuple(sorted(overrides.items())),
-        )
-        if key not in self._cache:
-            self.runs_executed += 1
-            self._cache[key] = run_simulation(
-                workload,
-                scenario,
-                num_windows=self.profile.num_windows,
-                warmup_windows=self.profile.warmup_windows,
-                banks_per_task=banks_per_task,
-                **overrides,
+        """One simulation under the active profile (memoized + cached)."""
+        return self.run_spec(
+            self.spec(
+                workload, scenario, banks_per_task=banks_per_task, **config_overrides
             )
-        return self._cache[key]
+        )
 
     def run_specs(
         self,
         label: str,
-        specs,
+        specs: Sequence[BenchmarkSpec],
         scenario: str | Scenario,
         banks_per_task: int | None = None,
         **config_overrides,
     ) -> RunResult:
-        """Like :meth:`run` but with an explicit benchmark-spec list,
-        memoized under *label* (which must uniquely describe *specs*)."""
-        overrides = dict(config_overrides)
-        overrides.setdefault("refresh_scale", self.profile.refresh_scale)
-        scenario_key = scenario if isinstance(scenario, str) else scenario.name
-        key = (
-            "specs:" + label,
-            scenario_key,
-            banks_per_task,
-            tuple(sorted(overrides.items())),
+        """Like :meth:`run` but with an explicit benchmark-spec list.
+
+        *label* is retained for callers' readability only; keying is by
+        the content hash of the actual spec list, so same-named labels
+        can never alias different workloads.
+        """
+        del label
+        return self.run(
+            list(specs), scenario, banks_per_task=banks_per_task, **config_overrides
         )
-        if key not in self._cache:
+
+    def prefetch(self, specs: Iterable[RunSpec]) -> int:
+        """Batch-resolve *specs*, executing cache misses in parallel.
+
+        Deduplicates by content hash, satisfies what it can from the memo
+        and the disk cache, and fans the remainder out over a
+        ``ProcessPoolExecutor`` with :attr:`jobs` workers (inline when a
+        single job or a single miss makes a pool pointless).  After
+        prefetching, every ``run()`` call covered by *specs* is a memo
+        hit.  Returns the number of simulations executed.
+        """
+        pending: dict[str, RunSpec] = {}
+        for spec in specs:
+            key = spec.content_hash()
+            if key in self._memo or key in pending:
+                continue
+            if self.disk_cache is not None:
+                cached = self.disk_cache.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    continue
+            pending[key] = spec
+        if not pending:
+            return 0
+
+        items = list(pending.items())
+        if self.jobs > 1 and len(items) > 1:
+            workers = min(self.jobs, len(items))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(
+                    pool.map(execute_run_spec, [s for _, s in items], chunksize=1)
+                )
+        else:
+            results = [execute_run_spec(s) for _, s in items]
+
+        for (key, spec), result in zip(items, results):
             self.runs_executed += 1
-            self._cache[key] = run_simulation(
-                list(specs),
-                scenario,
-                num_windows=self.profile.num_windows,
-                warmup_windows=self.profile.warmup_windows,
-                banks_per_task=banks_per_task,
-                **overrides,
-            )
-        return self._cache[key]
+            self._memo[key] = result
+            if self.disk_cache is not None:
+                self.disk_cache.put(key, spec, result)
+        return len(items)
+
+    # -- aggregation ------------------------------------------------------------
 
     def average_hmean_ipc(
         self,

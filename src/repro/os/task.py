@@ -60,8 +60,12 @@ class Task:
         workload,
         possible_banks: Optional[frozenset[int]] = None,
         weight: float = 1.0,
+        task_id: Optional[int] = None,
     ):
-        self.task_id = next(_task_ids)
+        # An explicit task_id keeps a simulation a pure function of its
+        # RunSpec (the process-global counter depends on allocation
+        # history); System passes the task's index.
+        self.task_id = next(_task_ids) if task_id is None else task_id
         self.name = name
         self.workload = workload
         self.possible_banks = (

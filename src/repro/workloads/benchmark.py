@@ -84,6 +84,26 @@ class BenchmarkSpec:
             return float("inf")
         return 1000.0 / self.mpki
 
+    def to_dict(self) -> dict:
+        from dataclasses import fields
+
+        from repro.serialize import to_jsonable
+
+        return {f.name: to_jsonable(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchmarkSpec":
+        from repro.serialize import dataclass_from_dict
+
+        data = dict(data)
+        try:
+            data["pattern"] = AccessPattern(data["pattern"])
+        except (KeyError, ValueError) as exc:
+            raise ConfigError(f"BenchmarkSpec: bad access pattern ({exc})") from None
+        spec = dataclass_from_dict(cls, data)
+        spec.validate()
+        return spec
+
     def __str__(self) -> str:
         return f"{self.name}({self.mpki_class.value})"
 

@@ -15,7 +15,8 @@ TINY = ExperimentProfile(
 
 @pytest.fixture(scope="module")
 def runner():
-    return SweepRunner(TINY)
+    # Disk cache off: these tests assert on exact execution counts.
+    return SweepRunner(TINY, jobs=1, use_cache=False)
 
 
 def test_runner_memoizes(runner):
@@ -33,6 +34,31 @@ def test_runner_distinguishes_overrides(runner):
     n = runner.runs_executed
     runner.run("WL-6", "all_bank", density_gbit=24)
     assert runner.runs_executed == n + 1
+
+
+def test_runner_distinguishes_same_named_scenarios(runner):
+    """Custom scenarios are keyed by content, not by name (regression:
+    the old memo keyed a Scenario object only by ``.name``)."""
+    from repro.core.system import Scenario
+
+    alike_a = Scenario("alike", "all_bank")
+    alike_b = Scenario("alike", "per_bank")
+    n = runner.runs_executed
+    a = runner.run("WL-6", alike_a)
+    b = runner.run("WL-6", alike_b)
+    assert runner.runs_executed == n + 2
+    assert a != b  # different refresh policies, different measurements
+
+
+def test_runner_rejects_unserializable_override(runner):
+    from repro.errors import ConfigError
+
+    class Opaque:
+        def validate(self):
+            pass
+
+    with pytest.raises(ConfigError, match="not JSON-serializable"):
+        runner.run("WL-6", "all_bank", dram_timing=Opaque())
 
 
 def test_figure3_shape(runner):

@@ -6,7 +6,10 @@ import pytest
 
 from repro.__main__ import main, result_to_dict
 
-FAST = ["--windows", "0.25", "--warmup", "0.05", "--refresh-scale", "1024"]
+FAST = [
+    "--windows", "0.25", "--warmup", "0.05", "--refresh-scale", "1024",
+    "--no-cache",
+]
 
 
 def test_basic_run_prints_summary(capsys):
@@ -45,6 +48,35 @@ def test_unknown_workload_errors():
 def test_unknown_scenario_errors():
     with pytest.raises(SystemExit):
         main(["WL-1", "quantum_refresh", *FAST])
+
+
+def test_multi_scenario_fanout(tmp_path, capsys):
+    path = tmp_path / "results.json"
+    args = [
+        "WL-9", "all_bank,codesign",
+        "--windows", "0.25", "--warmup", "0.05", "--refresh-scale", "1024",
+        "--cache-dir", str(tmp_path / "cache"), "--jobs", "1",
+        "--json", str(path),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert out.count("hmean IPC") == 2
+    data = json.loads(path.read_text())
+    assert [d["scenario"] for d in data] == ["all_bank", "codesign"]
+
+
+def test_cli_uses_disk_cache(tmp_path, capsys):
+    cache = tmp_path / "cache"
+    args = [
+        "WL-9", "per_bank",
+        "--windows", "0.25", "--warmup", "0.05", "--refresh-scale", "1024",
+        "--cache-dir", str(cache),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert list(cache.rglob("*.json")), "cache entry written"
+    assert main(args) == 0  # second run: served from disk
+    assert capsys.readouterr().out == first
 
 
 def test_result_to_dict_roundtrips_through_json():
