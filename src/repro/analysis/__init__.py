@@ -1,0 +1,46 @@
+"""Repo-specific static analysis: determinism & purity linting.
+
+The run pipeline treats a simulation as a pure, content-hashed function
+``RunSpec -> RunResult`` (see :mod:`repro.core.runspec`): the disk cache
+and the ``ProcessPoolExecutor`` fan-out are only sound if nothing in the
+simulator depends on process-global state, wall-clock time, or unseeded
+randomness, and if every event ordering is fully deterministic.  Those
+invariants used to rest on convention; this package makes them
+machine-checked.
+
+Entry points
+------------
+
+``python -m repro.analysis [paths] [--format json] [--baseline ...]``
+    CLI used by CI and developers (see :mod:`repro.analysis.cli`).
+:func:`analyze_paths`
+    Library API: run every registered rule over a set of files/dirs.
+
+The rule catalog (``RPR001`` .. ``RPR008``) lives in
+:mod:`repro.analysis.rules`; suppressions use ``# repro: noqa[CODE]``
+comments and a checked-in baseline file grandfathers pre-existing
+findings (:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    FileContext,
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+)
+from repro.analysis.registry import all_rules, register
+
+__all__ = [
+    "AnalysisConfig",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "register",
+]

@@ -1,0 +1,96 @@
+"""Baseline files: grandfather existing findings, gate new ones.
+
+A baseline is a JSON file of finding *fingerprints*.  Fingerprints hash
+``(code, path, message, occurrence-index)`` — deliberately not the line
+number, so unrelated edits that shift a grandfathered finding up or down
+the file don't resurrect it, while a genuinely new instance of the same
+violation in the same file still fires (its occurrence index is new).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.engine import Finding
+from repro.errors import ConfigError
+
+BASELINE_VERSION = 1
+
+#: Default baseline location (repo root, checked in).
+DEFAULT_BASELINE = Path(".analysis-baseline.json")
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def fingerprint_findings(
+    findings: Iterable[Finding],
+) -> list[tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    The fingerprint covers (code, path, message, occurrence-index) — not
+    the line number — so edits that shift lines don't churn the baseline.
+    """
+    counts: dict[tuple[str, str, str], int] = {}
+    out: list[tuple[Finding, str]] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = (finding.code, _posix(finding.path), finding.message)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        digest = hashlib.sha256(
+            "\x00".join((*key, str(index))).encode("utf-8")
+        ).hexdigest()[:16]
+        out.append((finding, digest))
+    return out
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write a baseline grandfathering *findings*; returns the count."""
+    fingerprints = {
+        digest: {
+            "code": finding.code,
+            "path": _posix(finding.path),
+            "message": finding.message,
+        }
+        for finding, digest in fingerprint_findings(findings)
+    }
+    payload = {"version": BASELINE_VERSION, "fingerprints": fingerprints}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(fingerprints)
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Load the fingerprint set from *path* (must exist and parse)."""
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise ConfigError(f"cannot read baseline {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"baseline {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ConfigError(
+            f"baseline {path} has unsupported layout "
+            f"(want version {BASELINE_VERSION})"
+        )
+    fingerprints = payload.get("fingerprints", {})
+    if not isinstance(fingerprints, dict):
+        raise ConfigError(f"baseline {path}: 'fingerprints' must be an object")
+    return set(fingerprints)
+
+
+def filter_baselined(
+    findings: Iterable[Finding], baseline: set[str]
+) -> tuple[list[Finding], int]:
+    """Drop grandfathered findings; returns (new findings, dropped count)."""
+    kept: list[Finding] = []
+    dropped = 0
+    for finding, fingerprint in fingerprint_findings(findings):
+        if fingerprint in baseline:
+            dropped += 1
+        else:
+            kept.append(finding)
+    return kept, dropped

@@ -1,0 +1,255 @@
+"""Lint engine: file discovery, AST contexts, noqa handling, rule driving.
+
+One :class:`FileContext` is built per file — it owns the parsed tree, the
+module name derived from the path, and an import-alias table so rules can
+resolve ``t.time()`` back to ``time.time`` — and every enabled rule runs
+against it.  Findings landing on a line carrying a matching
+``# repro: noqa[CODE]`` comment are dropped before reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional
+
+#: Suppression comment: ``# repro: noqa`` (all codes) or
+#: ``# repro: noqa[RPR001]`` / ``# repro: noqa[RPR001,RPR004]``.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+#: Code reserved for files the analyzer itself cannot process.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(**data)
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  Use
+    :meth:`finding` to stamp the code and location consistently.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+def _derive_module_name(path: Path) -> str:
+    """Dotted module name for *path*, anchored at the ``repro`` package.
+
+    ``src/repro/core/engine.py`` -> ``repro.core.engine``.  Files outside
+    a ``repro`` tree (e.g. test fixtures) fall back to their stem, so
+    package-scoped rules simply don't bind there unless the fixture is
+    laid out like the package.
+    """
+    parts = list(path.resolve().parts)
+    stem_parts = parts[:-1] + [path.stem]
+    if "repro" in stem_parts:
+        anchor = len(stem_parts) - 1 - stem_parts[::-1].index("repro")
+        dotted = [p for p in stem_parts[anchor:] if p != "__init__"]
+        return ".".join(dotted) if dotted else "repro"
+    return path.stem
+
+
+class FileContext:
+    """Everything a rule needs to inspect one source file."""
+
+    def __init__(
+        self,
+        path: Path,
+        source: str,
+        tree: ast.Module,
+        config,
+        display_path: Optional[str] = None,
+    ):
+        self.path = path
+        self.display_path = display_path or str(path)
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.module_name = _derive_module_name(path)
+        self.imports = self._collect_imports(tree)
+
+    # -- import-aware name resolution -------------------------------------------
+
+    @staticmethod
+    def _collect_imports(tree: ast.Module) -> dict[str, str]:
+        table: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return table
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Literal dotted text of a Name/Attribute chain (no resolution)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain through the import table.
+
+        ``t.time`` with ``import time as t`` resolves to ``time.time``;
+        ``count(...)`` with ``from itertools import count`` resolves to
+        ``itertools.count``.
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved_head = self.imports.get(head, head)
+        return f"{resolved_head}.{rest}" if rest else resolved_head
+
+    def in_packages(self, prefixes: tuple[str, ...]) -> bool:
+        from repro.analysis.config import module_in
+
+        return module_in(self.module_name, prefixes)
+
+    # -- suppressions ------------------------------------------------------------
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True when the finding's line carries a matching noqa comment."""
+        if not 1 <= finding.line <= len(self.lines):
+            return False
+        match = _NOQA_RE.search(self.lines[finding.line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True
+        allowed = {c.strip().upper() for c in codes.split(",") if c.strip()}
+        return finding.code.upper() in allowed
+
+
+# -- drivers ---------------------------------------------------------------------
+
+
+def analyze_file(
+    path: Path,
+    config,
+    rules: Optional[Iterable[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> list[Finding]:
+    """Run every enabled rule over one file; returns sorted findings."""
+    from repro.analysis.registry import all_rules
+
+    display = display_path or str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        return [
+            Finding(
+                code=PARSE_ERROR_CODE,
+                path=display,
+                line=getattr(exc, "lineno", None) or 1,
+                col=1,
+                message=f"could not analyze file: {exc}",
+            )
+        ]
+
+    ctx = FileContext(path, source, tree, config, display_path=display)
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not config.rule_enabled(rule.code):
+            continue
+        for finding in rule.check(ctx):
+            if not ctx.suppressed(finding):
+                findings.append(finding)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def discover_files(paths: Iterable[Path], config) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(
+                p
+                for p in path.rglob("*.py")
+                if not any(part.startswith(".") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            out.add(path)
+    if config.exclude:
+        out = {
+            p
+            for p in out
+            if not any(p.match(pattern) for pattern in config.exclude)
+        }
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config,
+    rules: Optional[Iterable[Rule]] = None,
+) -> list[Finding]:
+    """Analyze every ``.py`` file under *paths*; returns sorted findings."""
+    rules = list(rules) if rules is not None else None
+    findings: list[Finding] = []
+    for path in discover_files(paths, config):
+        findings.extend(analyze_file(path, config, rules=rules))
+    return sorted(findings, key=Finding.sort_key)

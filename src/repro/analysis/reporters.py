@@ -1,0 +1,44 @@
+"""Finding reporters: human text and machine JSON.
+
+Reporters render to strings; only the CLI writes to a stream.  The JSON
+document is stable (sorted findings, fixed keys) so CI annotations and
+tooling can consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.engine import Finding
+
+
+def render_text(findings: Iterable[Finding], suppressed_count: int = 0) -> str:
+    """GCC-style ``path:line:col: CODE message`` lines plus a summary."""
+    findings = sorted(findings, key=Finding.sort_key)
+    lines = [str(f) for f in findings]
+    if findings:
+        by_code: dict[str, int] = {}
+        for f in findings:
+            by_code[f.code] = by_code.get(f.code, 0) + 1
+        summary = ", ".join(f"{code} x{n}" for code, n in sorted(by_code.items()))
+        lines.append(f"{len(findings)} finding(s): {summary}")
+    else:
+        lines.append("no findings")
+    if suppressed_count:
+        lines.append(f"({suppressed_count} baselined finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding], suppressed_count: int = 0) -> str:
+    """Stable JSON document: ``{"findings": [...], "count": N, ...}``."""
+    findings = sorted(findings, key=Finding.sort_key)
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "count": len(findings),
+            "baselined": suppressed_count,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,24 @@
+"""Rule catalog.  Importing this package registers every rule.
+
+==========  =====================================================================
+Code        Invariant
+==========  =====================================================================
+RPR001      no unseeded randomness or wall clock in simulator packages
+RPR002      no module-level mutable state / mutable default arguments
+RPR003      no iteration over bare sets (or ``.keys()``) — order must be explicit
+RPR004      heap pushes in engine/controller code carry an explicit tie-break
+RPR005      serialized dataclasses pair ``to_dict``/``from_dict``, stable fields
+RPR006      unit suffixes (``*_ns``/``*_ck``/…) never mixed without conversion
+RPR007      no ``print()`` in library code (reporters/CLIs exempt)
+RPR008      event callbacks never re-enter ``engine.run()``
+==========  =====================================================================
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (side effect: registration)
+    determinism,
+    hygiene,
+    ordering,
+    serialization,
+    state,
+    units,
+)

@@ -1,0 +1,87 @@
+"""RPR007/RPR008: library hygiene around I/O and the event loop.
+
+``print`` in library code corrupts machine-readable output (the sweep
+runner's workers share stdout with the JSON reporters) — reporters and
+CLI ``__main__`` modules are the sanctioned output path.  Re-entering
+``engine.run()`` from inside an event callback is the classic
+discrete-event-simulator deadlock/corruption bug: the inner loop drains
+events the outer loop believes are still pending.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+_RUN_METHODS = {"run", "run_until", "step"}
+
+
+@register
+class NoPrintRule(Rule):
+    code = "RPR007"
+    name = "no-print-in-library"
+    description = (
+        "library code must not print(); route output through reporters or "
+        "a __main__/CLI module"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module = ctx.module_name
+        if module.rsplit(".", 1)[-1] in ("__main__", "cli"):
+            return
+        if ctx.in_packages(ctx.config.print_exempt):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code interleaves with worker/reporter "
+                    "output; return data and let a reporter or CLI render it",
+                )
+
+
+def _is_engineish(ctx: FileContext, receiver: ast.expr) -> bool:
+    """Heuristic: does this expression look like it names the engine?"""
+    dotted = ctx.dotted_name(receiver) or ""
+    tail = dotted.rsplit(".", 1)[-1]
+    return tail in ("engine", "_engine", "eng")
+
+
+@register
+class NoRunReentryRule(Rule):
+    code = "RPR008"
+    name = "no-engine-reentry"
+    description = (
+        "event callbacks must not re-enter engine.run()/run_until()/step(); "
+        "only the designated driver modules may pump the event loop"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_packages(ctx.config.pure_packages):
+            return
+        if ctx.module_name in ctx.config.engine_driver_modules:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _RUN_METHODS
+                and _is_engineish(ctx, func.value)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"engine.{func.attr}() outside the driver modules "
+                    "re-enters the event loop from code that runs inside it; "
+                    "schedule follow-up work with engine.schedule() instead",
+                )

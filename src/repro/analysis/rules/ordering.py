@@ -1,0 +1,175 @@
+"""RPR003/RPR004: event and iteration order must be explicit.
+
+The engine breaks event-time ties by insertion order, so *everything*
+feeding insertion order must itself be deterministic.  Iterating a bare
+``set`` hands ordering to the hash function (and, for strings, to
+``PYTHONHASHSEED``); pushing heap items without a tie-break key hands it
+to object identity.  Both are invisible in tests that only run once.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+_SET_FACTORIES = {"set", "frozenset"}
+
+
+def _iter_positions(tree: ast.Module) -> Iterator[ast.expr]:
+    """Expressions used as the iterable of a loop or comprehension."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for gen in node.generators:
+                yield gen.iter
+
+
+@register
+class BareSetIterationRule(Rule):
+    code = "RPR003"
+    name = "no-bare-set-iteration"
+    description = (
+        "iterating a bare set (or dict .keys()) feeds hash order into the "
+        "simulation; wrap in sorted() or iterate the dict directly"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for iterable in _iter_positions(ctx.tree):
+            if isinstance(iterable, (ast.Set, ast.SetComp)):
+                yield self.finding(
+                    ctx,
+                    iterable,
+                    "iteration over a set literal has hash-dependent order; "
+                    "wrap in sorted()",
+                )
+            elif isinstance(iterable, ast.Call):
+                resolved = ctx.resolve(iterable.func) or ""
+                if resolved in _SET_FACTORIES:
+                    yield self.finding(
+                        ctx,
+                        iterable,
+                        f"iteration over {resolved}(...) has hash-dependent "
+                        "order; wrap in sorted()",
+                    )
+                elif (
+                    isinstance(iterable.func, ast.Attribute)
+                    and iterable.func.attr == "keys"
+                    and not iterable.args
+                ):
+                    yield self.finding(
+                        ctx,
+                        iterable,
+                        "iterate the dict directly (insertion-ordered) or use "
+                        "sorted(d) when the order feeds events or hashing; "
+                        "bare .keys() hides which one was meant",
+                    )
+
+
+def _local_class_assignments(fn: ast.AST) -> dict[str, str]:
+    """Map local names to the dotted callable they were assigned from."""
+    table: dict[str, str] = {}
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = node.value.func
+            parts: list[str] = []
+            while isinstance(callee, ast.Attribute):
+                parts.append(callee.attr)
+                callee = callee.value
+            if isinstance(callee, ast.Name):
+                parts.append(callee.id)
+                dotted = ".".join(reversed(parts))
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        table[target.id] = dotted
+    return table
+
+
+@register
+class HeapTieBreakRule(Rule):
+    code = "RPR004"
+    name = "heap-tie-break"
+    description = (
+        "heap items in engine/controller code need an explicit tie-break "
+        "(a (key, seq, ...) tuple or a class defining __lt__)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_packages(ctx.config.heap_packages):
+            return
+        classes_with_lt = {
+            node.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ClassDef)
+            and any(
+                isinstance(member, ast.FunctionDef) and member.name == "__lt__"
+                for member in node.body
+            )
+        }
+        parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(ctx.tree):
+            for child in ast.iter_child_nodes(parent):
+                parents[child] = parent
+        scope_assignments: dict[ast.AST, dict[str, str]] = {}
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve(node.func) or ""
+            if resolved not in ("heapq.heappush", "heapq.heappushpop"):
+                continue
+            if len(node.args) < 2:
+                continue
+            scope: ast.AST = node
+            while scope in parents and not isinstance(
+                scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+            ):
+                scope = parents[scope]
+            if scope not in scope_assignments:
+                scope_assignments[scope] = _local_class_assignments(scope)
+            yield from self._check_item(
+                ctx, node, node.args[1], classes_with_lt, scope_assignments[scope]
+            )
+
+    def _check_item(
+        self,
+        ctx: FileContext,
+        call: ast.Call,
+        item: ast.expr,
+        classes_with_lt: set[str],
+        local_calls: dict[str, str],
+    ) -> Iterator[Finding]:
+        if isinstance(item, ast.Tuple):
+            if len(item.elts) < 2:
+                yield self.finding(
+                    ctx,
+                    call,
+                    "heap tuple has a single element — add an explicit "
+                    "tie-break (e.g. a monotonically increasing sequence "
+                    "number) so equal keys keep insertion order",
+                )
+            return
+        cls = self._constructed_class(item, local_calls)
+        if cls is not None and cls in classes_with_lt:
+            return
+        yield self.finding(
+            ctx,
+            call,
+            "heap item has no verifiable tie-break; push a (key, seq, item) "
+            "tuple or an instance of a class defining __lt__ over "
+            "(key, seq)",
+        )
+
+    @staticmethod
+    def _constructed_class(
+        item: ast.expr, local_calls: dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(item, ast.Call) and isinstance(item.func, ast.Name):
+            return item.func.id
+        if isinstance(item, ast.Name):
+            dotted = local_calls.get(item.id)
+            if dotted is not None:
+                return dotted.rsplit(".", 1)[-1]
+        return None

@@ -1,0 +1,153 @@
+"""RPR002: no module-level mutable state or mutable default arguments.
+
+This is the exact shape of the task-id bug PR 1 had to fix: a
+process-global ``itertools.count()`` made object identity depend on
+allocation history, so a replayed run produced different ids than a
+fresh one and broke bit-identical caching.  Mutable module globals leak
+state between runs inside one worker process the same way; mutable
+default arguments are the classic single-instance-shared-forever trap.
+
+ALL_CAPS names assigned container *literals* are treated as constants by
+convention and exempted (lookup tables like ``DENSITY_CONFIGS``); stateful
+factory calls (``itertools.count()``, ``collections.deque()``, …) never
+are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+
+#: Constructors producing mutable containers.
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+#: Constructors producing *stateful* objects — never acceptable at module
+#: scope, regardless of naming convention.
+_STATEFUL_FACTORIES = {
+    "itertools.count",
+    "itertools.cycle",
+    "collections.deque",
+    "collections.Counter",
+    "collections.defaultdict",
+    "collections.OrderedDict",
+}
+
+
+def _module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Statements executing at import time (descends into module-level
+    ``if``/``try``/``with`` blocks, but not into function/class bodies)."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for field in ("body", "orelse", "finalbody", "handlers"):
+            children = getattr(stmt, field, [])
+            for child in children:
+                if isinstance(child, ast.ExceptHandler):
+                    stack.extend(child.body)
+                elif isinstance(child, ast.stmt):
+                    stack.append(child)
+
+
+def _target_names(stmt: ast.stmt) -> list[str]:
+    targets = []
+    if isinstance(stmt, ast.Assign):
+        nodes = stmt.targets
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        nodes = [stmt.target]
+    else:
+        return []
+    for t in nodes:
+        if isinstance(t, ast.Name):
+            targets.append(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            targets.extend(e.id for e in t.elts if isinstance(e, ast.Name))
+    return targets
+
+
+def _is_constant_style(name: str) -> bool:
+    return name == name.upper() and not name.startswith("__")
+
+
+@register
+class ModuleMutableStateRule(Rule):
+    code = "RPR002"
+    name = "no-module-mutable-state"
+    description = (
+        "no mutable globals, module-scope stateful factories "
+        "(itertools.count, deque, ...), or mutable default arguments"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_module_scope(ctx)
+        yield from self._check_default_args(ctx)
+
+    def _check_module_scope(self, ctx: FileContext) -> Iterator[Finding]:
+        for stmt in _module_level_statements(ctx.tree):
+            value = getattr(stmt, "value", None)
+            if value is None or not isinstance(
+                stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)
+            ):
+                continue
+            names = _target_names(stmt)
+            if any(n.startswith("__") and n.endswith("__") for n in names):
+                continue  # __all__ and friends: mutable by type, constant by law
+            label = ", ".join(names) or "<target>"
+            if isinstance(value, ast.Call):
+                resolved = ctx.resolve(value.func) or ""
+                if resolved in _STATEFUL_FACTORIES:
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"module-level {resolved}() gives {label!r} process-"
+                        "global state; runs replayed from a RunSpec would "
+                        "diverge — thread the counter/container through the "
+                        "owning object instead",
+                    )
+                elif resolved in _MUTABLE_FACTORIES and not all(
+                    _is_constant_style(n) for n in names
+                ):
+                    yield self.finding(
+                        ctx,
+                        stmt,
+                        f"module-level mutable {resolved}() assigned to "
+                        f"{label!r}; shared mutable globals break run purity",
+                    )
+            elif isinstance(value, _MUTABLE_LITERALS) and not all(
+                _is_constant_style(n) for n in names
+            ):
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"module-level mutable literal assigned to {label!r}; "
+                    "shared mutable globals break run purity (use a tuple/"
+                    "frozenset, or ALL_CAPS for a true constant table)",
+                )
+
+    def _check_default_args(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                bad = isinstance(default, _MUTABLE_LITERALS)
+                if isinstance(default, ast.Call):
+                    resolved = ctx.resolve(default.func) or ""
+                    bad = resolved in _MUTABLE_FACTORIES | _STATEFUL_FACTORIES
+                if bad:
+                    yield self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is evaluated once and "
+                        "shared across every call; default to None and "
+                        "construct inside the function",
+                    )

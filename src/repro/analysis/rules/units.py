@@ -1,0 +1,108 @@
+"""RPR006: unit-suffix discipline for timing arithmetic.
+
+The codebase encodes units in names — ``trfc_ab_ns`` (nanoseconds),
+``window_ck`` (CPU cycles), ``period_ps`` (picoseconds) — and converts
+once at configuration time via :mod:`repro.units`.  Adding or comparing
+two values with *different* unit suffixes in one expression is therefore
+almost always a missing conversion (multiplying/dividing is how
+conversions are written, so those operators are exempt).  Conversion
+calls hide their operands: leaves inside a ``Call`` are not collected,
+so ``cpu.cycles(ns(x)) + window_ck`` is clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+#: Recognized unit suffixes.  Each is its own family: mixing any two in
+#: additive arithmetic needs an explicit conversion.
+UNIT_SUFFIXES = ("_ps", "_ns", "_us", "_ms", "_ck", "_cycles", "_mhz")
+
+_ADDITIVE = (ast.Add, ast.Sub)
+
+
+def _suffix_of(name: str) -> str | None:
+    for suffix in UNIT_SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None
+
+
+def _unit_leaves(node: ast.expr) -> Iterator[tuple[str, str]]:
+    """(name, suffix) pairs reachable without crossing a conversion.
+
+    Descends through additive/unary arithmetic only; ``Call`` nodes (unit
+    conversions), subscripts into containers, and multiplicative operators
+    (the shape conversions take) are boundaries.
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        leaf = node.id if isinstance(node, ast.Name) else node.attr
+        suffix = _suffix_of(leaf)
+        if suffix is not None:
+            yield leaf, suffix
+    elif isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+        yield from _unit_leaves(node.left)
+        yield from _unit_leaves(node.right)
+    elif isinstance(node, ast.UnaryOp):
+        yield from _unit_leaves(node.operand)
+
+
+@register
+class UnitSuffixRule(Rule):
+    code = "RPR006"
+    name = "unit-suffix-discipline"
+    description = (
+        "values with different unit suffixes (_ns/_ck/...) must not meet in "
+        "additive arithmetic or comparisons without a repro.units conversion"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # Report only at the outermost additive/compare node so one mixed
+        # chain yields one finding: every additive BinOp nested inside an
+        # already-checked expression is recorded as covered.
+        covered: set[ast.AST] = set()
+        for node in ast.walk(ctx.tree):
+            if node in covered:
+                continue
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+                operands = [node.left, node.right]
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+            else:
+                continue
+            for operand in operands:
+                self._mark_covered(operand, covered)
+            yield from self._check_operands(ctx, node, operands)
+
+    @staticmethod
+    def _mark_covered(node: ast.expr, covered: set) -> None:
+        """Mark additive sub-expressions this check already accounts for,
+        descending exactly as far as :func:`_unit_leaves` does (expressions
+        behind a Call/Subscript boundary still get their own check)."""
+        if isinstance(node, ast.BinOp) and isinstance(node.op, _ADDITIVE):
+            covered.add(node)
+            UnitSuffixRule._mark_covered(node.left, covered)
+            UnitSuffixRule._mark_covered(node.right, covered)
+        elif isinstance(node, ast.UnaryOp):
+            UnitSuffixRule._mark_covered(node.operand, covered)
+
+    def _check_operands(
+        self, ctx: FileContext, node: ast.AST, operands: list[ast.expr]
+    ) -> Iterator[Finding]:
+        leaves: list[tuple[str, str]] = []
+        for operand in operands:
+            leaves.extend(_unit_leaves(operand))
+        suffixes = {s for _, s in leaves}
+        if len(suffixes) > 1:
+            names = ", ".join(sorted({n for n, _ in leaves}))
+            yield self.finding(
+                ctx,
+                node,
+                f"mixed unit suffixes {sorted(suffixes)} in one expression "
+                f"({names}); convert explicitly via repro.units before "
+                "combining",
+            )

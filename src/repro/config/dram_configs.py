@@ -9,7 +9,7 @@ refresh parameters) and converted to CPU cycles by
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.errors import ConfigError
 from repro.units import KB

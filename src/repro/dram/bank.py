@@ -9,7 +9,7 @@ or REF command may start, derived from the JEDEC parameters in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.dram.request import MemoryRequest

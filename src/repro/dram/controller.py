@@ -7,7 +7,7 @@ drained in batches between low/high watermarks 32/54.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config.dram_configs import DramOrganization
@@ -102,6 +102,7 @@ class MemoryController:
         # One in-flight pick per bank: time of the next scheduled pick event,
         # or None when the bank is idle and must be kicked on enqueue.
         self._pick_pending: list[bool] = [False] * total
+        self._next_req_id = 0
         self.stats = ControllerStats()
 
     # -- admission ---------------------------------------------------------------
@@ -116,6 +117,9 @@ class MemoryController:
         """Accept a request into its bank queue and kick the bank."""
         coord = request.coord
         flat = self.mapping.flat_bank_index(coord.channel, coord.rank, coord.bank)
+        if request.req_id < 0:
+            request.req_id = self._next_req_id
+            self._next_req_id += 1
         request.arrive_time = self.engine.now
         if request.is_read:
             self._read_q[flat].append(request)

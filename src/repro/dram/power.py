@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dram.controller import MemoryController
-from repro.dram.refresh.base import RefreshStats
-from repro.dram.timing import DramTiming
 
 
 @dataclass(frozen=True)

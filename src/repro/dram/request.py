@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
 from typing import Callable, Optional
 
 from repro.dram.address import DramCoordinate
@@ -12,9 +11,6 @@ from repro.dram.address import DramCoordinate
 class RequestType(enum.Enum):
     READ = "read"
     WRITE = "write"
-
-
-_request_ids = itertools.count()
 
 
 class MemoryRequest:
@@ -49,8 +45,11 @@ class MemoryRequest:
         coord: DramCoordinate,
         task_id: int = -1,
         on_complete: Optional[Callable[["MemoryRequest"], None]] = None,
+        req_id: int = -1,
     ):
-        self.req_id = next(_request_ids)
+        # Ids come from the accepting controller (per-run, deterministic),
+        # not a process-global counter (RPR002); -1 = not yet enqueued.
+        self.req_id = req_id
         self.rtype = rtype
         self.address = address
         self.coord = coord

@@ -7,7 +7,6 @@ controller only compares integers.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.config.dram_configs import DensityConfig, DramTimingSpec, FgrMode
@@ -91,7 +90,6 @@ class DramTiming:
         dens.validate()
 
         cpu = ClockDomain(config.cores.freq_mhz)
-        mem = ClockDomain(spec.bus_mhz)
         ratio = config.cores.freq_mhz / spec.bus_mhz
         if abs(ratio - round(ratio)) > 1e-9:
             raise ConfigError(

@@ -16,10 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.metrics import speedup
-from repro.core.system import Scenario
 from repro.experiments.report import format_percent, format_table
 from repro.experiments.runner import SweepRunner
-from repro.os.partition import PartitionPolicy
 
 
 @dataclass

@@ -11,7 +11,7 @@ the scaling the paper applies when more tasks need more capacity and BLP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.config.dram_configs import DramOrganization
 from repro.core.metrics import speedup

@@ -53,7 +53,9 @@ def run(capacity_scale: int = 1024) -> list[Figure5Row]:
             mapping = AddressMapping(config.organization, rows_per_bank)
             memory = PhysicalMemory(mapping)
             allocator = PartitioningAllocator(memory, PartitionPolicy.SOFT)
-            task = Task(spec.name, workload=None, possible_banks=frozenset({0}))
+            task = Task(
+                spec.name, workload=None, possible_banks=frozenset({0}), task_id=0
+            )
             pages = max(
                 1, config.scale_footprint(spec.footprint_bytes) // mapping.page_bytes
             )

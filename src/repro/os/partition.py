@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 from typing import Optional
 
-from repro.errors import AllocationError, OutOfMemoryError
+from repro.errors import OutOfMemoryError
 from repro.os.buddy import BuddyAllocator
 from repro.os.page import PhysicalMemory
 from repro.os.task import Task

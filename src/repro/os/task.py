@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-_task_ids = itertools.count()
+from repro.errors import ConfigError
 
 
 @dataclass
@@ -62,10 +61,17 @@ class Task:
         weight: float = 1.0,
         task_id: Optional[int] = None,
     ):
-        # An explicit task_id keeps a simulation a pure function of its
-        # RunSpec (the process-global counter depends on allocation
-        # history); System passes the task's index.
-        self.task_id = next(_task_ids) if task_id is None else task_id
+        # An explicit, caller-assigned task_id keeps a simulation a pure
+        # function of its RunSpec: a process-global counter would depend
+        # on allocation history (RPR002).  System passes the task's index.
+        # Ids must be >= 0 — PhysicalMemory uses -1 as the free-frame
+        # sentinel.
+        if task_id is None or task_id < 0:
+            raise ConfigError(
+                f"Task {name!r} needs an explicit task_id >= 0 "
+                "(deterministic replay forbids a process-global counter)"
+            )
+        self.task_id = task_id
         self.name = name
         self.workload = workload
         self.possible_banks = (

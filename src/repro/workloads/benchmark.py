@@ -15,7 +15,6 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
-from repro.units import MB
 
 
 class MpkiClass(enum.Enum):

@@ -1,7 +1,6 @@
 """Integration tests for the Section 5.4 caveats: sleeping tasks,
 priority tasks, and the eta_thresh fairness valve under disruption."""
 
-import pytest
 
 from repro.config.system_configs import OsConfig
 from repro.core.metrics import fairness_index

@@ -1,6 +1,5 @@
 """Integration tests for the load balancer inside full simulations."""
 
-import pytest
 
 from repro.config.system_configs import OsConfig
 from repro.core.metrics import fairness_index

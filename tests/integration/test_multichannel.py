@@ -1,6 +1,5 @@
 """Integration tests for multi-channel configurations."""
 
-import pytest
 
 from repro import run_simulation
 from repro.config.dram_configs import DramOrganization

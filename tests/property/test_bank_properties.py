@@ -1,7 +1,5 @@
 """Property-based tests for bank-level DDR timing invariants."""
 
-import random
-
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

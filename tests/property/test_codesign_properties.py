@@ -4,7 +4,6 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.config.dram_configs import DramOrganization
-from repro.errors import ConfigError
 from repro.os.codesign import (
     assign_bank_vectors,
     is_fully_schedulable,

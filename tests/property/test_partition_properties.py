@@ -1,11 +1,10 @@
 """Property-based tests for the Algorithm 2 partitioning allocator."""
 
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config.dram_configs import DramOrganization
 from repro.dram.address import AddressMapping
-from repro.errors import OutOfMemoryError
 from repro.os.page import PhysicalMemory
 from repro.os.partition import PartitioningAllocator, PartitionPolicy
 from repro.os.task import Task
@@ -28,7 +27,7 @@ bank_sets = st.sets(st.integers(0, 15), min_size=1, max_size=16)
 @settings(max_examples=100, deadline=None)
 def test_soft_partition_respects_vector_until_full(banks, num_pages, rows):
     memory, allocator = build(rows)
-    task = Task("t", None, possible_banks=banks)
+    task = Task("t", None, possible_banks=banks, task_id=0)
     allocated = allocator.alloc_footprint(task, num_pages)
     capacity_in_banks = len(banks) * rows
     inside = sum(task.pages_per_bank.get(b, 0) for b in banks)
@@ -49,7 +48,7 @@ def test_soft_partition_respects_vector_until_full(banks, num_pages, rows):
 @settings(max_examples=100, deadline=None)
 def test_hard_partition_never_leaks(banks, num_pages):
     memory, allocator = build(4, PartitionPolicy.HARD)
-    task = Task("t", None, possible_banks=banks)
+    task = Task("t", None, possible_banks=banks, task_id=0)
     allocated = allocator.alloc_footprint(task, num_pages)
     assert set(task.pages_per_bank) <= banks
     assert allocated <= len(banks) * 4
@@ -68,7 +67,7 @@ def test_multi_task_no_frame_shared(footprints, seed):
     tasks = []
     for i, pages in enumerate(footprints):
         banks = frozenset(rng.sample(range(16), rng.randint(1, 16)))
-        task = Task(f"t{i}", None, possible_banks=banks)
+        task = Task(f"t{i}", None, possible_banks=banks, task_id=i)
         allocator.alloc_footprint(task, pages)
         tasks.append(task)
     seen: set[int] = set()
@@ -87,13 +86,13 @@ def test_multi_task_no_frame_shared(footprints, seed):
 @settings(max_examples=80, deadline=None)
 def test_free_task_restores_everything(banks, pages):
     memory, allocator = build(8)
-    task = Task("t", None, possible_banks=banks)
+    task = Task("t", None, possible_banks=banks, task_id=0)
     allocator.alloc_footprint(task, pages)
     allocator.free_task(task)
     assert memory.used_frames() == 0
     assert allocator.free_frames() == memory.total_frames
     # Memory is fully usable again.
-    other = Task("u", None, possible_banks=None)
+    other = Task("u", None, possible_banks=None, task_id=1)
     assert allocator.alloc_footprint(other, memory.total_frames) == (
         memory.total_frames
     )
@@ -108,7 +107,7 @@ def test_round_robin_balance_within_partition(banks, pages):
     """Consecutive allocations stripe: bank counts differ by at most 1
     while the partition has room."""
     memory, allocator = build(64)  # plenty of room
-    task = Task("t", None, possible_banks=banks)
+    task = Task("t", None, possible_banks=banks, task_id=0)
     allocator.alloc_footprint(task, pages)
     counts = [task.pages_per_bank.get(b, 0) for b in banks]
     assert max(counts) - min(counts) <= 1

@@ -1,5 +1,6 @@
 """Property-based tests for the OS schedulers."""
 
+import itertools
 import random
 
 from hypothesis import given, settings
@@ -44,9 +45,13 @@ def build(num_cores, quantum, refresh_aware=False):
     return engine, scheduler, timing
 
 
+_ids = itertools.count()
+
+
 def make_task(name, banks=None):
     task = Task(name, ComputeWorkload(),
-                possible_banks=frozenset(banks) if banks else None)
+                possible_banks=frozenset(banks) if banks else None,
+                task_id=next(_ids))
     task.rng = random.Random(1)
     if banks:
         for i, bank in enumerate(sorted(banks)):

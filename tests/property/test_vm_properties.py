@@ -16,7 +16,7 @@ def build_vm(footprint, resident_limit=None, banks=None,
     mapping = AddressMapping(DramOrganization(), total_rows_per_bank=rows_per_bank)
     memory = PhysicalMemory(mapping)
     allocator = PartitioningAllocator(memory, policy)
-    task = Task("t", None,
+    task = Task("t", None, task_id=0,
                 possible_banks=frozenset(banks) if banks else None)
     vm = VirtualMemory(task, allocator, footprint, resident_limit=resident_limit)
     return memory, allocator, task, vm

@@ -30,7 +30,7 @@ specs = st.builds(
 def make_task(spec, seed, num_pages=16):
     mapping = AddressMapping(DramOrganization(), total_rows_per_bank=64)
     workload = StatisticalWorkload(spec, mapping)
-    task = Task(spec.name, workload)
+    task = Task(spec.name, workload, task_id=0)
     task.rng = random.Random(seed)
     for frame in range(num_pages):
         task.add_frame(frame, mapping.frame_to_bank_index(frame))

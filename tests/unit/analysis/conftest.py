@@ -1,0 +1,30 @@
+"""Fixture helpers for linter tests.
+
+``lint`` writes a source snippet into a temp tree shaped like the real
+package (``<tmp>/repro/core/fixture.py``) so package-scoped rules bind,
+then runs the analyzer over just that file and returns the findings.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_file
+
+
+@pytest.fixture
+def lint(tmp_path):
+    def run(source, module="repro/core/fixture.py", select=None):
+        path = tmp_path / module
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        config = AnalysisConfig(
+            select=frozenset(select) if select is not None else None
+        )
+        return analyze_file(path, config)
+
+    return run
+
+
+def codes(findings):
+    return [f.code for f in findings]

@@ -1,0 +1,65 @@
+"""Baseline: grandfathering, line-shift robustness, error handling."""
+
+import pytest
+
+from repro.analysis.baseline import (
+    filter_baselined,
+    fingerprint_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.engine import Finding
+from repro.errors import ConfigError
+
+
+def make_finding(code="RPR001", path="a.py", line=3, message="boom"):
+    return Finding(code=code, path=path, line=line, col=1, message=message)
+
+
+def test_roundtrip_suppresses_grandfathered(tmp_path):
+    findings = [make_finding(), make_finding(code="RPR007", message="print")]
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(baseline_path, findings) == 2
+    baseline = load_baseline(baseline_path)
+    kept, dropped = filter_baselined(findings, baseline)
+    assert kept == [] and dropped == 2
+
+
+def test_fingerprint_ignores_line_numbers(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [make_finding(line=3)])
+    baseline = load_baseline(baseline_path)
+    kept, dropped = filter_baselined([make_finding(line=40)], baseline)
+    assert kept == [] and dropped == 1
+
+
+def test_new_occurrence_of_same_violation_still_fires(tmp_path):
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(baseline_path, [make_finding(line=3)])
+    baseline = load_baseline(baseline_path)
+    # A second identical violation in the same file is new work, not
+    # grandfathered history.
+    kept, dropped = filter_baselined(
+        [make_finding(line=3), make_finding(line=90)], baseline
+    )
+    assert dropped == 1 and len(kept) == 1
+
+
+def test_distinct_occurrences_get_distinct_fingerprints():
+    pairs = fingerprint_findings([make_finding(line=3), make_finding(line=90)])
+    assert len({fp for _, fp in pairs}) == 2
+
+
+def test_missing_baseline_is_config_error(tmp_path):
+    with pytest.raises(ConfigError):
+        load_baseline(tmp_path / "nope.json")
+
+
+def test_malformed_baseline_is_config_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ConfigError):
+        load_baseline(bad)
+    bad.write_text('{"version": 99, "fingerprints": {}}')
+    with pytest.raises(ConfigError):
+        load_baseline(bad)

@@ -1,0 +1,84 @@
+"""RPR001: unseeded randomness / wall clock in simulator packages."""
+
+from tests.unit.analysis.conftest import codes
+
+
+def test_wall_clock_flagged(lint):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+        select={"RPR001"},
+    )
+    assert codes(findings) == ["RPR001"]
+    assert "wall clock" in findings[0].message
+
+
+def test_module_global_rng_flagged_even_via_from_import(lint):
+    findings = lint(
+        """
+        import random
+        from random import randint
+
+        def roll():
+            return random.choice([1, 2]) + randint(1, 6)
+        """,
+        select={"RPR001"},
+    )
+    assert codes(findings) == ["RPR001", "RPR001"]
+
+
+def test_import_alias_resolved(lint):
+    findings = lint(
+        """
+        import time as t
+
+        def stamp():
+            return t.time_ns()
+        """,
+        select={"RPR001"},
+    )
+    assert codes(findings) == ["RPR001"]
+
+
+def test_seeded_random_instance_is_clean(lint):
+    findings = lint(
+        """
+        import random
+
+        def build(seed):
+            return random.Random(seed * 100_003)
+        """,
+        select={"RPR001"},
+    )
+    assert findings == []
+
+
+def test_rule_scoped_to_pure_packages(lint):
+    findings = lint(
+        """
+        import time
+
+        def elapsed(start):
+            return time.time() - start
+        """,
+        module="repro/experiments/fixture.py",
+        select={"RPR001"},
+    )
+    assert findings == []
+
+
+def test_noqa_suppresses(lint):
+    findings = lint(
+        """
+        import time
+
+        def stamp():
+            return time.time()  # repro: noqa[RPR001]
+        """,
+        select={"RPR001"},
+    )
+    assert findings == []

@@ -1,0 +1,110 @@
+"""RPR007 (no print in library code) and RPR008 (no engine re-entry)."""
+
+from tests.unit.analysis.conftest import codes
+
+
+class TestNoPrint:
+    def test_print_in_library_flagged(self, lint):
+        findings = lint(
+            """
+            def report(rows):
+                for row in rows:
+                    print(row)
+            """,
+            select={"RPR007"},
+        )
+        assert codes(findings) == ["RPR007"]
+
+    def test_main_module_exempt(self, lint):
+        findings = lint(
+            """
+            def main():
+                print("ok")
+            """,
+            module="repro/experiments/__main__.py",
+            select={"RPR007"},
+        )
+        assert findings == []
+
+    def test_reporter_module_exempt(self, lint):
+        findings = lint(
+            """
+            def render(rows):
+                print(rows)
+            """,
+            module="repro/experiments/report.py",
+            select={"RPR007"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, lint):
+        findings = lint(
+            """
+            def debug(x):
+                print(x)  # repro: noqa[RPR007]
+            """,
+            select={"RPR007"},
+        )
+        assert findings == []
+
+
+class TestNoEngineReentry:
+    def test_run_inside_component_flagged(self, lint):
+        findings = lint(
+            """
+            class RefreshScheduler:
+                def _fire(self):
+                    self.engine.run_until(self.deadline)
+            """,
+            module="repro/dram/fixture.py",
+            select={"RPR008"},
+        )
+        assert codes(findings) == ["RPR008"]
+
+    def test_lambda_callback_flagged(self, lint):
+        findings = lint(
+            """
+            class Controller:
+                def kick(self, when):
+                    self.engine.schedule_at(when, lambda: self.engine.run())
+            """,
+            module="repro/dram/fixture.py",
+            select={"RPR008"},
+        )
+        assert codes(findings) == ["RPR008"]
+
+    def test_driver_modules_exempt(self, lint):
+        findings = lint(
+            """
+            class System:
+                def run(self):
+                    self.engine.run_until(self.end)
+            """,
+            module="repro/core/system.py",
+            select={"RPR008"},
+        )
+        assert findings == []
+
+    def test_schedule_calls_are_clean(self, lint):
+        findings = lint(
+            """
+            class Controller:
+                def kick(self, when, flat):
+                    self.engine.schedule_at(when, lambda: self.pick(flat))
+            """,
+            module="repro/dram/fixture.py",
+            select={"RPR008"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, lint):
+        findings = lint(
+            """
+            class Tool:
+                def drain(self):
+                    self.engine.run()  # repro: noqa[RPR008]
+            """,
+            module="repro/dram/fixture.py",
+            select={"RPR008"},
+        )
+        assert findings == []

@@ -1,0 +1,143 @@
+"""RPR003 (bare set iteration) and RPR004 (heap tie-breaks)."""
+
+from tests.unit.analysis.conftest import codes
+
+
+class TestBareSetIteration:
+    def test_set_literal_iteration_flagged(self, lint):
+        findings = lint(
+            """
+            def fanout():
+                for bank in {3, 1, 2}:
+                    yield bank
+            """,
+            select={"RPR003"},
+        )
+        assert codes(findings) == ["RPR003"]
+
+    def test_set_call_in_comprehension_flagged(self, lint):
+        findings = lint(
+            """
+            def banks(tasks):
+                return [t for t in set(tasks)]
+            """,
+            select={"RPR003"},
+        )
+        assert codes(findings) == ["RPR003"]
+
+    def test_bare_keys_iteration_flagged(self, lint):
+        findings = lint(
+            """
+            def names(table):
+                for key in table.keys():
+                    yield key
+            """,
+            select={"RPR003"},
+        )
+        assert codes(findings) == ["RPR003"]
+
+    def test_sorted_wrapping_is_clean(self, lint):
+        findings = lint(
+            """
+            def fanout(banks, table):
+                for bank in sorted(banks):
+                    yield bank
+                for key in sorted(table):
+                    yield key
+            """,
+            select={"RPR003"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, lint):
+        findings = lint(
+            """
+            def fanout():
+                for bank in {1, 2}:  # repro: noqa[RPR003]
+                    yield bank
+            """,
+            select={"RPR003"},
+        )
+        assert findings == []
+
+
+class TestHeapTieBreak:
+    def test_bare_tuple_without_tiebreak_flagged(self, lint):
+        findings = lint(
+            """
+            import heapq
+
+            def push(heap, time):
+                heapq.heappush(heap, (time,))
+            """,
+            select={"RPR004"},
+        )
+        assert codes(findings) == ["RPR004"]
+
+    def test_unverifiable_item_flagged(self, lint):
+        findings = lint(
+            """
+            import heapq
+
+            def push(heap, item):
+                heapq.heappush(heap, item)
+            """,
+            select={"RPR004"},
+        )
+        assert codes(findings) == ["RPR004"]
+
+    def test_keyed_tuple_is_clean(self, lint):
+        findings = lint(
+            """
+            import heapq
+
+            def push(heap, time, seq, fn):
+                heapq.heappush(heap, (time, seq, fn))
+            """,
+            select={"RPR004"},
+        )
+        assert findings == []
+
+    def test_local_class_with_lt_is_clean(self, lint):
+        # The Engine.schedule_at shape: push an instance of a class whose
+        # __lt__ orders by (time, seq).
+        findings = lint(
+            """
+            import heapq
+
+            class Event:
+                def __lt__(self, other):
+                    return (self.time, self.seq) < (other.time, other.seq)
+
+            def push(heap, time, seq):
+                event = Event()
+                heapq.heappush(heap, event)
+            """,
+            select={"RPR004"},
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_heap_packages(self, lint):
+        findings = lint(
+            """
+            import heapq
+
+            def push(heap, item):
+                heapq.heappush(heap, item)
+            """,
+            module="repro/experiments/fixture.py",
+            select={"RPR004"},
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self, lint):
+        findings = lint(
+            """
+            import heapq
+
+            def push(heap, item):
+                heapq.heappush(heap, item)  # repro: noqa[RPR004]
+            """,
+            select={"RPR004"},
+        )
+        assert findings == []

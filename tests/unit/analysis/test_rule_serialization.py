@@ -1,0 +1,120 @@
+"""RPR005: to_dict/from_dict pairing and hash-stable field coverage."""
+
+from tests.unit.analysis.conftest import codes
+
+
+def test_one_way_serializer_flagged(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            name: str
+
+            def to_dict(self):
+                return {"name": self.name}
+        """,
+        select={"RPR005"},
+    )
+    assert codes(findings) == ["RPR005"]
+    assert "from_dict" in findings[0].message
+
+
+def test_omitted_field_flagged(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            name: str
+            windows: float
+
+            def to_dict(self):
+                return {"name": self.name}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(**data)
+        """,
+        select={"RPR005"},
+    )
+    assert codes(findings) == ["RPR005"]
+    assert "windows" in findings[0].message
+
+
+def test_field_order_mismatch_flagged(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            name: str
+            windows: float
+
+            def to_dict(self):
+                return {"windows": self.windows, "name": self.name}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(**data)
+        """,
+        select={"RPR005"},
+    )
+    assert codes(findings) == ["RPR005"]
+    assert "order" in findings[0].message
+
+
+def test_complete_pair_is_clean(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:
+            name: str
+            windows: float
+
+            def to_dict(self):
+                return {"name": self.name, "windows": self.windows}
+
+            @classmethod
+            def from_dict(cls, data):
+                return cls(**data)
+        """,
+        select={"RPR005"},
+    )
+    assert findings == []
+
+
+def test_plain_dataclass_without_serializers_is_clean(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Stats:
+            hits: int = 0
+        """,
+        select={"RPR005"},
+    )
+    assert findings == []
+
+
+def test_noqa_suppresses(lint):
+    findings = lint(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Spec:  # repro: noqa[RPR005]
+            name: str
+
+            def to_dict(self):
+                return {"name": self.name}
+        """,
+        select={"RPR005"},
+    )
+    assert findings == []

@@ -1,0 +1,91 @@
+"""RPR002: module-level mutable state and mutable default arguments."""
+
+from tests.unit.analysis.conftest import codes
+
+
+def test_module_scope_itertools_count_flagged(lint):
+    # The exact shape of the task-id bug PR 1 fixed.
+    findings = lint(
+        """
+        import itertools
+
+        _task_ids = itertools.count()
+        """,
+        select={"RPR002"},
+    )
+    assert codes(findings) == ["RPR002"]
+    assert "process-global" in findings[0].message
+
+
+def test_count_flagged_even_allcaps_or_from_import(lint):
+    findings = lint(
+        """
+        from itertools import count
+
+        NEXT_IDS = count()
+        """,
+        select={"RPR002"},
+    )
+    assert codes(findings) == ["RPR002"]
+
+
+def test_lowercase_mutable_global_flagged(lint):
+    findings = lint(
+        """
+        _cache = {}
+        registry = []
+        """,
+        select={"RPR002"},
+    )
+    assert codes(findings) == ["RPR002", "RPR002"]
+
+
+def test_constant_tables_and_dunders_exempt(lint):
+    findings = lint(
+        """
+        __all__ = ["a", "b"]
+
+        DENSITY_TABLE = {8: 350.0, 16: 530.0}
+        BANKS = (0, 1, 2, 3)
+        """,
+        select={"RPR002"},
+    )
+    assert findings == []
+
+
+def test_mutable_default_argument_flagged(lint):
+    findings = lint(
+        """
+        def collect(item, into=[]):
+            into.append(item)
+            return into
+        """,
+        select={"RPR002"},
+    )
+    assert codes(findings) == ["RPR002"]
+    assert "default" in findings[0].message
+
+
+def test_function_local_mutables_are_clean(lint):
+    findings = lint(
+        """
+        def build():
+            cache = {}
+            items = []
+            return cache, items
+        """,
+        select={"RPR002"},
+    )
+    assert findings == []
+
+
+def test_noqa_suppresses(lint):
+    findings = lint(
+        """
+        import itertools
+
+        _ids = itertools.count()  # repro: noqa[RPR002]
+        """,
+        select={"RPR002"},
+    )
+    assert findings == []

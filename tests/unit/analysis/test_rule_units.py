@@ -1,0 +1,93 @@
+"""RPR006: unit-suffix discipline in timing arithmetic."""
+
+from tests.unit.analysis.conftest import codes
+
+
+def test_mixed_suffix_addition_flagged(lint):
+    findings = lint(
+        """
+        def total(trfc_ns, window_ck):
+            return trfc_ns + window_ck
+        """,
+        select={"RPR006"},
+    )
+    assert codes(findings) == ["RPR006"]
+    assert "_ck" in findings[0].message and "_ns" in findings[0].message
+
+
+def test_mixed_suffix_comparison_flagged(lint):
+    findings = lint(
+        """
+        def overdue(deadline_ns, now_ck):
+            return now_ck >= deadline_ns
+        """,
+        select={"RPR006"},
+    )
+    assert codes(findings) == ["RPR006"]
+
+
+def test_attribute_suffixes_seen(lint):
+    findings = lint(
+        """
+        def total(cfg, now_ck):
+            return cfg.trefi_ab_us - now_ck
+        """,
+        select={"RPR006"},
+    )
+    assert codes(findings) == ["RPR006"]
+
+
+def test_one_finding_per_mixed_chain(lint):
+    findings = lint(
+        """
+        def total(a_ns, b_ck, c_ck):
+            return a_ns + b_ck + c_ck
+        """,
+        select={"RPR006"},
+    )
+    assert codes(findings) == ["RPR006"]
+
+
+def test_same_suffix_arithmetic_is_clean(lint):
+    findings = lint(
+        """
+        def total(trcd_ns, trp_ns, tras_ns):
+            return trcd_ns + trp_ns + tras_ns
+        """,
+        select={"RPR006"},
+    )
+    assert findings == []
+
+
+def test_conversion_call_is_a_boundary(lint):
+    findings = lint(
+        """
+        def total(cpu, trfc_ns, window_ck):
+            return cpu.cycles(ns(trfc_ns)) + window_ck
+        """,
+        select={"RPR006"},
+    )
+    assert findings == []
+
+
+def test_multiplicative_conversion_is_clean(lint):
+    # Multiplying/dividing across units is how conversions are written.
+    findings = lint(
+        """
+        def cycles(duration_ns, freq_mhz):
+            return duration_ns * freq_mhz / 1000.0
+        """,
+        select={"RPR006"},
+    )
+    assert findings == []
+
+
+def test_noqa_suppresses(lint):
+    findings = lint(
+        """
+        def total(a_ns, b_ck):
+            return a_ns + b_ck  # repro: noqa[RPR006]
+        """,
+        select={"RPR006"},
+    )
+    assert findings == []

@@ -23,7 +23,7 @@ def mapping():
 
 def make_task(mapping, spec, num_pages=32, seed=5):
     workload = StatisticalWorkload(spec, mapping)
-    task = Task(spec.name, workload)
+    task = Task(spec.name, workload, task_id=0)
     task.rng = random.Random(seed)
     for frame in range(num_pages):
         task.add_frame(frame, mapping.frame_to_bank_index(frame))
@@ -89,7 +89,7 @@ class TestStatisticalWorkload:
     def test_no_frames_yields_compute_gaps(self, mapping):
         spec = BenchmarkSpec("x", mpki=10.0, footprint_bytes=4096)
         workload = StatisticalWorkload(spec, mapping)
-        task = Task("x", workload)
+        task = Task("x", workload, task_id=0)
         task.rng = random.Random(1)
         assert workload.next_access(task).address is None
 

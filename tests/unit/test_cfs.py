@@ -1,5 +1,7 @@
 """Unit tests for the CFS runqueue."""
 
+import itertools
+
 import pytest
 
 from repro.errors import SchedulerError
@@ -7,8 +9,13 @@ from repro.os.cfs import CfsRunqueue
 from repro.os.task import Task
 
 
+_ids = itertools.count()
+
+
 def make_task(name, vruntime=0.0):
-    task = Task(name, None)
+    # Task requires an explicit id; mint creation-ordered ones like the
+    # removed process-global counter so tie-break tests keep their meaning.
+    task = Task(name, None, task_id=next(_ids))
     task.vruntime = vruntime
     return task
 

@@ -1,6 +1,5 @@
 """Unit tests for the interval core model (MLP, ROB, context switches)."""
 
-from typing import Optional
 
 import pytest
 
@@ -44,7 +43,7 @@ def setup():
 def make_task(workload) -> Task:
     import random
 
-    task = Task("t", workload)
+    task = Task("t", workload, task_id=0)
     task.rng = random.Random(7)
     return task
 

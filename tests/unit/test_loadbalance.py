@@ -1,5 +1,6 @@
 """Unit tests for the CFS load balancer."""
 
+import itertools
 import random
 
 import pytest
@@ -35,9 +36,13 @@ def build(num_cores=2, quantum=1000):
     return engine, CfsScheduler(engine, cores, quantum)
 
 
+_ids = itertools.count()
+
+
 def make_task(name, banks=None):
     task = Task(name, ComputeWorkload(),
-                possible_banks=frozenset(banks) if banks else None)
+                possible_banks=frozenset(banks) if banks else None,
+                task_id=next(_ids))
     task.rng = random.Random(1)
     return task
 

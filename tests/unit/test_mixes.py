@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigError
 from repro.workloads.benchmark import MpkiClass
 from repro.workloads.mixes import (
-    WORKLOAD_MIXES,
     mix_label,
     mix_names,
     scaled_mix,

@@ -1,5 +1,6 @@
 """Unit tests for the Algorithm 2 partitioning allocator."""
 
+import itertools
 import pytest
 
 from repro.config.dram_configs import DramOrganization
@@ -16,9 +17,13 @@ def build(policy=PartitionPolicy.SOFT, rows_per_bank=8):
     return memory, PartitioningAllocator(memory, policy)
 
 
+_ids = itertools.count()
+
+
 def make_task(banks=None, name="t"):
     return Task(name, workload=None,
-                possible_banks=frozenset(banks) if banks is not None else None)
+                possible_banks=frozenset(banks) if banks is not None else None,
+                task_id=next(_ids))
 
 
 class TestUnpartitioned:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import run_simulation
-from repro.dram.power import DramEnergyParams, EnergyBreakdown, estimate_energy
+from repro.dram.power import DramEnergyParams, EnergyBreakdown
 
 FAST = dict(num_windows=0.5, warmup_windows=0.1, refresh_scale=512)
 

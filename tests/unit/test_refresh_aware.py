@@ -1,5 +1,6 @@
 """Unit tests for the refresh-aware scheduler (Algorithm 3)."""
 
+import itertools
 import random
 
 import pytest
@@ -41,8 +42,12 @@ def build(refresh_policy="same_bank", **kwargs):
     return engine, timing, scheduler
 
 
+_ids = itertools.count()
+
+
 def make_task(name, banks):
-    task = Task(name, ComputeWorkload(), possible_banks=frozenset(banks))
+    task = Task(name, ComputeWorkload(), possible_banks=frozenset(banks),
+                task_id=next(_ids))
     task.rng = random.Random(3)
     # Simulate data presence in exactly the allowed banks.
     for i, bank in enumerate(sorted(banks)):

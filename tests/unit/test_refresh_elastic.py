@@ -1,6 +1,5 @@
 """Unit tests for Elastic Refresh (Stuecheli et al., MICRO 2010)."""
 
-import pytest
 
 from repro.config.dram_configs import DramOrganization
 from repro.config.system_configs import default_system_config

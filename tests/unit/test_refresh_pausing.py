@@ -1,6 +1,5 @@
 """Unit tests for Refresh Pausing (Nair et al., HPCA 2013)."""
 
-import pytest
 
 from repro.config.dram_configs import DramOrganization
 from repro.config.system_configs import default_system_config
@@ -8,7 +7,6 @@ from repro.core.engine import Engine
 from repro.dram.address import AddressMapping
 from repro.dram.controller import MemoryController
 from repro.dram.refresh import make_scheduler
-from repro.dram.refresh.pausing import RefreshPausing
 from repro.dram.request import MemoryRequest, RequestType
 from repro.dram.timing import DramTiming
 

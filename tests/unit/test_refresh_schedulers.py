@@ -9,11 +9,6 @@ from repro.dram.address import AddressMapping
 from repro.dram.controller import MemoryController
 from repro.dram.refresh import SCHEDULERS, make_scheduler
 from repro.dram.refresh.adaptive import AdaptiveRefresh
-from repro.dram.refresh.all_bank import AllBankRefresh
-from repro.dram.refresh.no_refresh import NoRefresh
-from repro.dram.refresh.ooo_per_bank import OutOfOrderPerBank
-from repro.dram.refresh.per_bank_rr import PerBankRoundRobin
-from repro.dram.refresh.same_bank import SameBankSequential
 from repro.dram.timing import DramTiming
 
 

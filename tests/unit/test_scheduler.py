@@ -1,5 +1,6 @@
 """Unit tests for the CFS scheduler driving cores at quantum granularity."""
 
+import itertools
 import random
 
 import pytest
@@ -36,8 +37,11 @@ def build(num_cores=2, quantum=1000):
     return engine, cores, scheduler
 
 
+_ids = itertools.count()
+
+
 def make_task(name):
-    task = Task(name, ComputeWorkload())
+    task = Task(name, ComputeWorkload(), task_id=next(_ids))
     task.rng = random.Random(1)
     return task
 

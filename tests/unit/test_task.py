@@ -1,15 +1,27 @@
 """Unit tests for Task and TaskStats."""
 
+import pytest
+
+from repro.errors import ConfigError
 from repro.os.task import Task, TaskStats
 
 
-def test_task_ids_unique():
-    a, b = Task("a", None), Task("b", None)
-    assert a.task_id != b.task_id
+def test_explicit_task_ids_respected():
+    a, b = Task("a", None, task_id=0), Task("b", None, task_id=1)
+    assert (a.task_id, b.task_id) == (0, 1)
+
+
+def test_task_id_is_required():
+    # A process-global fallback counter would make ids depend on
+    # allocation history and break bit-identical replay (RPR002).
+    with pytest.raises(ConfigError):
+        Task("a", None)
+    with pytest.raises(ConfigError):
+        Task("a", None, task_id=-1)  # -1 is the free-frame sentinel
 
 
 def test_bank_accounting():
-    task = Task("t", None)
+    task = Task("t", None, task_id=0)
     task.add_frame(10, bank=3)
     task.add_frame(11, bank=3)
     task.add_frame(12, bank=7)
@@ -21,12 +33,12 @@ def test_bank_accounting():
 
 
 def test_fraction_with_no_pages():
-    task = Task("t", None)
+    task = Task("t", None, task_id=0)
     assert task.fraction_in_bank(0) == 0.0
 
 
 def test_scheduling_hooks_accumulate_cycles():
-    task = Task("t", None)
+    task = Task("t", None, task_id=0)
     task.on_scheduled(100, core_id=0)
     assert task.current_core == 0
     task.on_descheduled(150)
@@ -56,7 +68,7 @@ def test_read_latency_recording():
 
 
 def test_possible_banks_frozen():
-    task = Task("t", None, possible_banks={1, 2})
+    task = Task("t", None, possible_banks={1, 2}, task_id=0)
     assert isinstance(task.possible_banks, frozenset)
-    unrestricted = Task("u", None)
+    unrestricted = Task("u", None, task_id=1)
     assert unrestricted.possible_banks is None

@@ -6,7 +6,6 @@ from repro.config.dram_configs import FgrMode
 from repro.config.system_configs import default_system_config
 from repro.dram.timing import DramTiming
 from repro.errors import ConfigError
-from repro.units import ms
 
 
 def make(**overrides):

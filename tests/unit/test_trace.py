@@ -30,7 +30,7 @@ def make_hierarchy():
 
 
 def make_task(mapping, workload, num_pages=64):
-    task = Task("trace", workload)
+    task = Task("trace", workload, task_id=0)
     task.rng = random.Random(1)
     for frame in range(num_pages):
         task.add_frame(frame, mapping.frame_to_bank_index(frame))
@@ -83,7 +83,7 @@ def test_cache_resident_trace_yields_compute_gaps(mapping):
 
 def test_no_frames_task_gets_compute_gap(mapping):
     workload = TraceWorkload("t", sequential_trace(8), make_hierarchy())
-    task = Task("empty", workload)
+    task = Task("empty", workload, task_id=0)
     task.rng = random.Random(1)
     assert workload.next_access(task).address is None
 

@@ -18,7 +18,7 @@ def build(rows_per_bank=8, policy=PartitionPolicy.SOFT):
 
 
 def make_vm(allocator, footprint=16, banks=None, **kwargs):
-    task = Task("t", None,
+    task = Task("t", None, task_id=0,
                 possible_banks=frozenset(banks) if banks else None)
     return task, VirtualMemory(task, allocator, footprint, **kwargs)
 
@@ -126,7 +126,7 @@ def test_zero_footprint_rejected():
 
 def test_oom_with_nothing_resident_raises():
     memory, allocator = build(rows_per_bank=2)
-    hog = Task("hog", None)
+    hog = Task("hog", None, task_id=1)
     allocator.alloc_footprint(hog, memory.total_frames)
     task, vm = make_vm(allocator, footprint=4)
     with pytest.raises(OutOfMemoryError):
