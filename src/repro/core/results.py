@@ -13,10 +13,11 @@ from dataclasses import dataclass, field, fields
 from repro.core.metrics import harmonic_mean
 from repro.dram.power import EnergyBreakdown
 from repro.errors import ConfigError
+from repro.telemetry.timeseries import Timeseries
 
 #: Version tag for the serialized result layout.  Bump whenever a field is
 #: added/removed/renamed so stale disk-cache entries are recomputed.
-RESULT_SCHEMA = 2
+RESULT_SCHEMA = 3
 
 
 @dataclass
@@ -73,6 +74,9 @@ class RunResult:
     #: DRAM energy estimate over the measured interval (None when the
     #: result was constructed directly, e.g. in unit tests).
     energy: EnergyBreakdown | None = None
+    #: Windowed samples (IPC, queue depth, refresh-stall fraction) when
+    #: the spec requested them (``RunSpec.sample_windows``), else None.
+    timeseries: Timeseries | None = None
 
     @property
     def hmean_ipc(self) -> float:
@@ -99,10 +103,13 @@ class RunResult:
         data = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("tasks", "energy")
+            if f.name not in ("tasks", "energy", "timeseries")
         }
         data["tasks"] = [t.to_dict() for t in self.tasks]
         data["energy"] = self.energy.to_dict() if self.energy is not None else None
+        data["timeseries"] = (
+            self.timeseries.to_dict() if self.timeseries is not None else None
+        )
         return data
 
     @classmethod
@@ -119,6 +126,10 @@ class RunResult:
             energy = data.pop("energy", None)
             data["energy"] = (
                 EnergyBreakdown.from_dict(energy) if energy is not None else None
+            )
+            timeseries = data.pop("timeseries", None)
+            data["timeseries"] = (
+                Timeseries.from_dict(timeseries) if timeseries is not None else None
             )
         except (TypeError, AttributeError) as exc:
             raise ConfigError(f"RunResult: malformed payload ({exc})") from None

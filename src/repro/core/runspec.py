@@ -31,7 +31,7 @@ from repro.workloads.benchmark import BenchmarkSpec
 
 #: Version tag for the serialized spec layout.  Bump on field changes so
 #: stale cache entries are recomputed instead of mis-parsed.
-SPEC_SCHEMA = 2
+SPEC_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,10 @@ class RunSpec:
     num_windows: float = 2.0
     warmup_windows: float = 0.25
     banks_per_task: int | None = None
+    #: Timeseries samples per retention window attached to the result
+    #: (None = no sampling).  Part of the spec — and hence the content
+    #: hash — because it changes what the result contains.
+    sample_windows: int | None = None
 
     def validate(self) -> None:
         if not self.specs:
@@ -58,6 +62,8 @@ class RunSpec:
             raise ConfigError("RunSpec: warmup_windows cannot be negative")
         if self.banks_per_task is not None and self.banks_per_task < 1:
             raise ConfigError("RunSpec: banks_per_task must be >= 1")
+        if self.sample_windows is not None and self.sample_windows < 1:
+            raise ConfigError("RunSpec: sample_windows must be >= 1")
 
     def with_(self, **kwargs) -> "RunSpec":
         """Return a copy with the given fields replaced."""
@@ -75,6 +81,7 @@ class RunSpec:
             "num_windows": self.num_windows,
             "warmup_windows": self.warmup_windows,
             "banks_per_task": self.banks_per_task,
+            "sample_windows": self.sample_windows,
         }
 
     @classmethod

@@ -23,6 +23,7 @@ from repro.core.results import RunResult
 from repro.core.runspec import RunSpec
 from repro.core.system import SCENARIOS, Scenario, System, scenario as get_scenario
 from repro.errors import ConfigError
+from repro.telemetry.hub import Telemetry
 from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.mixes import WORKLOAD_MIXES, workload_mix
 
@@ -67,6 +68,7 @@ def make_run_spec(
     num_windows: float = 2.0,
     warmup_windows: float = 0.25,
     banks_per_task: int | None = None,
+    sample_windows: int | None = None,
     **config_overrides,
 ) -> RunSpec:
     """Resolve workload/scenario/config into a serializable :class:`RunSpec`.
@@ -83,7 +85,7 @@ def make_run_spec(
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     name, specs = resolve_workload(workload)
-    return RunSpec(
+    spec = RunSpec(
         workload_name=name,
         specs=tuple(specs),
         scenario=scenario,
@@ -91,21 +93,40 @@ def make_run_spec(
         num_windows=num_windows,
         warmup_windows=warmup_windows,
         banks_per_task=banks_per_task,
+        sample_windows=sample_windows,
     )
+    spec.validate()
+    return spec
 
 
-def run_spec(spec: RunSpec) -> RunResult:
-    """Execute one :class:`RunSpec` — a pure, deterministic function of the
-    spec's content (the engine seeds every RNG from ``config.seed``)."""
-    system = System(
+def build_system_from_spec(
+    spec: RunSpec, telemetry: Optional[Telemetry] = None
+) -> System:
+    """Construct (but do not run) the :class:`System` a spec describes.
+
+    ``telemetry`` carries runtime-only event sinks (``--trace``); it is
+    deliberately *not* part of the spec or its content hash because sinks
+    observe a run without changing its result.
+    """
+    return System(
         spec.config,
         list(spec.specs),
         spec.scenario,
         workload_name=spec.workload_name,
         banks_per_task=spec.banks_per_task,
+        telemetry=telemetry,
     )
+
+
+def run_spec(spec: RunSpec, telemetry: Optional[Telemetry] = None) -> RunResult:
+    """Execute one :class:`RunSpec` — a pure, deterministic function of the
+    spec's content (the engine seeds every RNG from ``config.seed``).
+    Attached event sinks observe the run but never change its result."""
+    system = build_system_from_spec(spec, telemetry=telemetry)
     return system.run(
-        num_windows=spec.num_windows, warmup_windows=spec.warmup_windows
+        num_windows=spec.num_windows,
+        warmup_windows=spec.warmup_windows,
+        sample_windows=spec.sample_windows,
     )
 
 
@@ -116,6 +137,8 @@ def run_simulation(
     num_windows: float = 2.0,
     warmup_windows: float = 0.25,
     banks_per_task: int | None = None,
+    sample_windows: int | None = None,
+    telemetry: Optional[Telemetry] = None,
     **config_overrides,
 ) -> RunResult:
     """Simulate one workload under one scenario.
@@ -143,8 +166,10 @@ def run_simulation(
             num_windows=num_windows,
             warmup_windows=warmup_windows,
             banks_per_task=banks_per_task,
+            sample_windows=sample_windows,
             **config_overrides,
-        )
+        ),
+        telemetry=telemetry,
     )
 
 

@@ -17,7 +17,7 @@ from repro.core.results import RunResult, TaskResult
 from repro.cpu.core import Core
 from repro.dram.address import AddressMapping
 from repro.dram.controller import MemoryController
-from repro.dram.refresh import make_scheduler
+from repro.dram.refresh import make_scheduler, validate_policy
 from repro.dram.timing import DramTiming
 from repro.errors import ConfigError
 from repro.os.codesign import assign_bank_vectors
@@ -26,6 +26,9 @@ from repro.os.partition import PartitioningAllocator, PartitionPolicy
 from repro.os.refresh_aware import RefreshAwareScheduler
 from repro.os.scheduler import CfsScheduler
 from repro.os.task import Task
+from repro.telemetry.events import SchedulerPickEvent
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.benchmark import BenchmarkSpec, StatisticalWorkload
 
 
@@ -38,6 +41,12 @@ class Scenario:
     refresh_aware: bool = False
     partition: PartitionPolicy = PartitionPolicy.NONE
     best_effort: bool = False
+
+    def __post_init__(self):
+        # Fail at construction, not at System build time: an unknown
+        # policy name in a sweep definition surfaces immediately, with a
+        # did-you-mean suggestion.
+        validate_policy(self.refresh_policy)
 
     def to_dict(self) -> dict:
         return {
@@ -133,6 +142,7 @@ class System:
         scenario: Scenario,
         workload_name: str = "custom",
         banks_per_task: int | None = None,
+        telemetry: Telemetry | None = None,
     ):
         config.validate()
         if not specs:
@@ -140,8 +150,10 @@ class System:
         self.config = config
         self.scenario = scenario
         self.workload_name = workload_name
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
 
         self.engine = Engine()
+        self.telemetry.bind_clock(self.engine)
         self.timing = DramTiming.from_config(config)
 
         rows_for_mapping = max(
@@ -160,12 +172,17 @@ class System:
             write_drain_low=config.write_drain_low,
             write_drain_high=config.write_drain_high,
             row_policy=config.row_policy,
+            telemetry=self.telemetry,
         )
         self.refresh_scheduler = make_scheduler(scenario.refresh_policy)
-        self.refresh_scheduler.attach(self.controller, self.engine, self.timing)
+        self.refresh_scheduler.attach(
+            self.controller, self.engine, self.timing, telemetry=self.telemetry
+        )
 
         self.memory = PhysicalMemory(self.mapping)
-        self.allocator = PartitioningAllocator(self.memory, scenario.partition)
+        self.allocator = PartitioningAllocator(
+            self.memory, scenario.partition, telemetry=self.telemetry
+        )
 
         self.cores = [
             Core(i, self.engine, self.controller, rob_entries=config.cores.rob_entries)
@@ -189,6 +206,7 @@ class System:
             self.scheduler = CfsScheduler(self.engine, self.cores, quantum)
         for i, task in enumerate(self.tasks):
             self.scheduler.add_task(task, cpu=i % len(self.cores))
+        self.scheduler.subscribe(self._emit_pick)
 
         self.load_balancer = None
         if config.os.load_balance:
@@ -199,6 +217,7 @@ class System:
                 interval_quanta=config.os.load_balance_interval_quanta,
                 bank_aware=scenario.refresh_aware,
                 total_banks=config.organization.total_banks,
+                telemetry=self.telemetry,
             )
 
         self._started = False
@@ -260,6 +279,75 @@ class System:
             else:
                 self.allocator.alloc_footprint(task, pages)
 
+    # -- telemetry ---------------------------------------------------------------
+
+    def _emit_pick(self, time: int, core_id: int, task) -> None:
+        """Pick observer installed on the scheduler: enriches the raw
+        dispatch with the refresh schedule's view (which bank will be
+        refresh-busy mid-quantum, and whether the task has data there)."""
+        if not self.telemetry.enabled:
+            return
+        probe = time + self.scheduler.quantum_cycles // 2
+        bank = self.refresh_scheduler.stretch_bank_at(probe)
+        conflict = (
+            task is not None and bank is not None and task.has_data_in_bank(bank)
+        )
+        self.telemetry.emit(
+            SchedulerPickEvent(
+                time=time,
+                core_id=core_id,
+                task_id=task.task_id if task is not None else None,
+                task_name=task.name if task is not None else "(idle)",
+                refresh_bank=bank,
+                conflict=conflict,
+                quantum_cycles=self.scheduler.quantum_cycles,
+            )
+        )
+
+    def metrics(self) -> MetricsRegistry:
+        """A :class:`MetricsRegistry` over every live stats object.
+
+        Snapshots are taken at query time, so one registry serves both
+        mid-run peeks and end-of-run export (``--metrics-out``).
+        """
+        registry = MetricsRegistry()
+        registry.register("dram.controller", self.controller.stats)
+        registry.register("dram.refresh", self.refresh_scheduler.stats)
+        for bank in self.controller.banks:
+            registry.register(
+                f"dram.ch{bank.channel}.rk{bank.rank_id}.bank{bank.bank_id}",
+                bank.stats,
+            )
+        for task in self.tasks:
+            registry.register(f"os.task.{task.task_id}", task.stats)
+            if task.vm is not None:
+                registry.register(f"os.task.{task.task_id}.vm", task.vm.stats)
+        allocator = self.allocator
+        registry.register(
+            "os.alloc",
+            lambda: {
+                "cache_hits": allocator.cache_hits,
+                "cache_fills": allocator.cache_fills,
+                "spills": allocator.spills,
+                "free_frames": allocator.free_frames(),
+            },
+        )
+        scheduler = self.scheduler
+        registry.register(
+            "os.sched.context_switches", lambda: scheduler.context_switches
+        )
+        if isinstance(scheduler, RefreshAwareScheduler):
+            registry.register(
+                "os.sched.clean_picks", lambda: scheduler.clean_picks
+            )
+            registry.register(
+                "os.sched.fallback_picks", lambda: scheduler.fallback_picks
+            )
+        if self.load_balancer is not None:
+            balancer = self.load_balancer
+            registry.register("os.balance.migrations", lambda: balancer.migrations)
+        return registry
+
     # -- execution -------------------------------------------------------------------
 
     @property
@@ -267,9 +355,16 @@ class System:
         """CPU cycles in one (scaled) retention window."""
         return self.timing.trefw
 
-    def run(self, num_windows: float = 2.0, warmup_windows: float = 0.25) -> RunResult:
+    def run(
+        self,
+        num_windows: float = 2.0,
+        warmup_windows: float = 0.25,
+        sample_windows: int | None = None,
+    ) -> RunResult:
         """Simulate ``warmup + num_windows`` retention windows; statistics
-        cover only the measured portion."""
+        cover only the measured portion.  With ``sample_windows = N`` a
+        timeseries with N samples per retention window is attached to the
+        result."""
         if self._started:
             raise ConfigError("a System can only be run once")
         self._started = True
@@ -283,8 +378,17 @@ class System:
             self._reset_stats()
         measure_start = self.engine.now
         end = measure_start + int(self.window_cycles * num_windows)
+        sampler = None
+        if sample_windows is not None:
+            from repro.telemetry.timeseries import TimeseriesSampler
+
+            sampler = TimeseriesSampler(self, sample_windows)
+            sampler.start(measure_start, end)
         self.engine.run_until(end)
-        return self._collect(measure_start)
+        result = self._collect(measure_start)
+        if sampler is not None:
+            result.timeseries = sampler.result()
+        return result
 
     def _reset_stats(self) -> None:
         from repro.dram.controller import ControllerStats

@@ -10,12 +10,21 @@ scheduler is working on — the direct visual of the paper's Figure 9:
 >>> tracer = ScheduleTracer(system)
 >>> _ = system.run(num_windows=1.0)
 >>> print(tracer.timeline())  # doctest: +SKIP
+
+The tracer is a consumer of the structured event stream: it subscribes a
+:class:`~repro.telemetry.sinks.CallbackSink` to the system's
+:class:`~repro.telemetry.hub.Telemetry` hub and keeps only the
+:class:`~repro.telemetry.events.SchedulerPickEvent` records (which the
+system enriches with the refresh schedule's view of each quantum).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.telemetry.events import SchedulerPickEvent, TraceEvent
+from repro.telemetry.sinks import CallbackSink
 
 
 @dataclass(frozen=True)
@@ -36,23 +45,23 @@ class ScheduleTracer:
     def __init__(self, system):
         self.system = system
         self.records: list[PickRecord] = []
-        system.scheduler.pick_observers.append(self._observe)
+        self._sink = system.telemetry.subscribe(CallbackSink(self._observe))
 
-    def _observe(self, time: int, core_id: int, task) -> None:
-        refresh = self.system.refresh_scheduler
-        probe = time + self.system.scheduler.quantum_cycles // 2
-        bank = refresh.stretch_bank_at(probe)
-        conflict = (
-            task is not None and bank is not None and task.has_data_in_bank(bank)
-        )
+    def detach(self) -> None:
+        """Stop recording (unsubscribes from the event stream)."""
+        self.system.telemetry.unsubscribe(self._sink)
+
+    def _observe(self, event: TraceEvent) -> None:
+        if not isinstance(event, SchedulerPickEvent):
+            return
         self.records.append(
             PickRecord(
-                time=time,
-                core_id=core_id,
-                task_id=task.task_id if task is not None else None,
-                task_name=task.name if task is not None else "(idle)",
-                refresh_bank=bank,
-                conflict=conflict,
+                time=event.time,
+                core_id=event.core_id,
+                task_id=event.task_id,
+                task_name=event.task_name,
+                refresh_bank=event.refresh_bank,
+                conflict=event.conflict,
             )
         )
 

@@ -12,10 +12,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.telemetry.stats import StatsBase
 
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsBase):
     hits: int = 0
     misses: int = 0
     evictions: int = 0

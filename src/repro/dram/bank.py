@@ -15,10 +15,11 @@ from typing import Optional
 from repro.dram.request import MemoryRequest
 from repro.dram.timing import DramTiming
 from repro.errors import ProtocolError
+from repro.telemetry.stats import StatsBase
 
 
 @dataclass
-class BankStats:
+class BankStats(StatsBase):
     activations: int = 0
     precharges: int = 0
     row_hits: int = 0

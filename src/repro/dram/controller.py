@@ -17,10 +17,13 @@ from repro.dram.bank import Bank, ChannelBus, Rank
 from repro.dram.request import MemoryRequest
 from repro.dram.timing import DramTiming
 from repro.errors import SimulationError
+from repro.telemetry.events import DramCommandEvent, RefreshCommandEvent
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.stats import StatsBase
 
 
 @dataclass
-class ControllerStats:
+class ControllerStats(StatsBase):
     reads_completed: int = 0
     writes_completed: int = 0
     read_latency_sum: int = 0
@@ -58,9 +61,11 @@ class MemoryController:
         write_drain_low: int = 32,
         write_drain_high: int = 54,
         row_policy: str = "open",
+        telemetry: Optional[Telemetry] = None,
     ):
         if row_policy not in ("open", "closed"):
             raise SimulationError(f"unknown row policy {row_policy!r}")
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.engine = engine
         self.timing = timing
         self.org = organization
@@ -147,6 +152,17 @@ class MemoryController:
         start = bank_obj.refresh_start_time(self.engine.now, self.timing)
         end = bank_obj.begin_refresh(start, trfc, subarray=subarray)
         self.stats.bank_refreshes += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                RefreshCommandEvent(
+                    time=start,
+                    channel=channel,
+                    rank=rank,
+                    bank=bank,
+                    duration=trfc,
+                    all_bank=False,
+                )
+            )
         self._kick(flat, at=end)
         return end
 
@@ -161,6 +177,17 @@ class MemoryController:
         for b in members:
             b.begin_refresh(start, trfc)
         self.stats.rank_refreshes += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                RefreshCommandEvent(
+                    time=start,
+                    channel=channel,
+                    rank=rank,
+                    bank=-1,
+                    duration=trfc,
+                    all_bank=True,
+                )
+            )
         for offset in range(self.org.banks_per_rank):
             self._kick(base + offset, at=end)
         return end
@@ -245,6 +272,21 @@ class MemoryController:
 
     def _complete(self, request: MemoryRequest) -> None:
         request.finish_time = self.engine.now
+        if self.telemetry.enabled:
+            coord = request.coord
+            self.telemetry.emit(
+                DramCommandEvent(
+                    time=self.engine.now,
+                    op="RD" if request.is_read else "WR",
+                    channel=coord.channel,
+                    rank=coord.rank,
+                    bank=coord.bank,
+                    row_hit=request.row_hit,
+                    task_id=request.task_id,
+                    latency=request.latency,
+                    refresh_stall=request.refresh_stall,
+                )
+            )
         stats = self.stats
         if request.is_read:
             stats.reads_completed += 1

@@ -5,6 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.stats import StatsBase
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import Engine
     from repro.dram.controller import MemoryController
@@ -12,7 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 @dataclass
-class RefreshStats:
+class RefreshStats(StatsBase):
     """Counters shared by all refresh schedulers."""
 
     commands_issued: int = 0
@@ -45,17 +48,21 @@ class RefreshScheduler:
         self.engine: Optional["Engine"] = None
         self.timing: Optional["DramTiming"] = None
         self.stats = RefreshStats()
+        self.telemetry = Telemetry()
 
     def attach(
         self,
         controller: "MemoryController",
         engine: "Engine",
         timing: "DramTiming",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """Wire the scheduler to its controller/engine; call before start."""
         self.controller = controller
         self.engine = engine
         self.timing = timing
+        if telemetry is not None:
+            self.telemetry = telemetry
 
     def start(self) -> None:
         """Schedule the first refresh event.  Subclasses override."""

@@ -18,6 +18,10 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dram.refresh.base import RefreshScheduler
+from repro.telemetry.events import (
+    RefreshStretchBeginEvent,
+    RefreshStretchEndEvent,
+)
 
 
 class SameBankSequential(RefreshScheduler):
@@ -87,7 +91,13 @@ class SameBankSequential(RefreshScheduler):
             subarray = (
                 self._rows_refreshed * num_subarrays // self._commands_per_bank
             )
-        mc.refresh_bank(channel, rank, bank, self._trfc_cmd, subarray=subarray)
+        if self.telemetry.enabled and self._rows_refreshed == 0:
+            self.telemetry.emit(
+                RefreshStretchBeginEvent(time=self.engine.now, bank=flat)
+            )
+        end = mc.refresh_bank(
+            channel, rank, bank, self._trfc_cmd, subarray=subarray
+        )
         row_units = timing.refreshes_per_bank / self._commands_per_bank
         self.stats.record(flat, row_units=row_units)
 
@@ -97,6 +107,10 @@ class SameBankSequential(RefreshScheduler):
         if self._rows_refreshed >= self._commands_per_bank:
             self._rows_refreshed = 0
             self._next_refresh_flat = (flat + 1) % mc.org.total_banks
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    RefreshStretchEndEvent(time=end, bank=flat)
+                )
 
         self._cmd_index += 1
         self.engine.schedule_at(self._command_time(self._cmd_index), self._fire)

@@ -48,11 +48,15 @@ def _ablations(runner):
     return ablations.format_results(rows)
 
 
+def _figure9(runner, trace_dir=None):
+    return figure9.format_results(figure9.run(trace_dir=trace_dir))
+
+
 EXPERIMENTS = {
     "figure3": _simple(figure3),
     "figure4": _simple(figure4),
     "figure5": _figure5,
-    "figure9": lambda runner: figure9.format_results(figure9.run()),
+    "figure9": _figure9,
     "figure10": _simple(figure10),
     "figure11": _simple(figure11),
     "figure12": _simple(figure12),
@@ -93,6 +97,11 @@ def main(argv: list[str] | None = None) -> int:
         "--no-cache", action="store_true",
         help="disable the persistent result cache",
     )
+    parser.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="write Chrome trace-event JSON files for traced experiments "
+             "(currently figure9) into DIR",
+    )
     args = parser.parse_args(argv)
 
     profile = FULL_PROFILE if args.profile == "full" else QUICK_PROFILE
@@ -105,7 +114,10 @@ def main(argv: list[str] | None = None) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         start = time.time()
-        print(EXPERIMENTS[name](runner))
+        if name == "figure9":
+            print(_figure9(runner, trace_dir=args.trace_dir))
+        else:
+            print(EXPERIMENTS[name](runner))
         print(f"[{name}: {time.time() - start:.1f}s, "
               f"{format_run_stats(runner)}]\n")
     return 0

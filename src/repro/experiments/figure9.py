@@ -10,9 +10,11 @@ fraction of conflict-free quanta and the rendered timeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.simulator import build_system
 from repro.core.trace import ScheduleTracer
+from repro.telemetry import ChromeTraceSink
 
 
 @dataclass
@@ -21,20 +23,37 @@ class Figure9Result:
     conflict_free_fraction: float
     quanta: int
     timeline: str
+    trace_path: str | None = None
 
 
-def run(workload: str = "WL-1", refresh_scale: int = 512) -> list[Figure9Result]:
+def run(
+    workload: str = "WL-1",
+    refresh_scale: int = 512,
+    trace_dir: str | None = None,
+) -> list[Figure9Result]:
+    """Trace both scenarios; with *trace_dir*, also export each run as a
+    Chrome trace (``figure9.<scenario>.trace.json``, Perfetto-loadable)."""
     results = []
     for scenario in ("codesign", "same_bank_hw_only"):
         system = build_system(workload, scenario, refresh_scale=refresh_scale)
         tracer = ScheduleTracer(system)
+        chrome = None
+        if trace_dir is not None:
+            chrome = system.telemetry.subscribe(ChromeTraceSink())
         system.run(num_windows=1.0, warmup_windows=0.0)
+        trace_path = None
+        if chrome is not None:
+            out = Path(trace_dir) / f"figure9.{scenario}.trace.json"
+            out.parent.mkdir(parents=True, exist_ok=True)
+            chrome.write(out)
+            trace_path = str(out)
         results.append(
             Figure9Result(
                 scenario=scenario,
                 conflict_free_fraction=tracer.conflict_free_fraction(),
                 quanta=len(tracer.quanta()),
                 timeline=tracer.timeline(max_quanta=16),
+                trace_path=trace_path,
             )
         )
     return results
@@ -48,4 +67,6 @@ def format_results(results: list[Figure9Result]) -> str:
             f"{r.quanta} quanta conflict-free ---"
         )
         parts.append(r.timeline)
+        if r.trace_path is not None:
+            parts.append(f"(chrome trace: {r.trace_path})")
     return "\n".join(parts)

@@ -117,9 +117,14 @@ class SweepRunner:
         workload: str | Sequence[BenchmarkSpec],
         scenario: str | Scenario,
         banks_per_task: int | None = None,
+        sample_windows: int | None = None,
         **config_overrides,
     ) -> RunSpec:
-        """The :class:`RunSpec` for one data point under the active profile."""
+        """The :class:`RunSpec` for one data point under the active profile.
+
+        ``sample_windows`` attaches a per-window timeseries to the result
+        (cache-compatible: it is part of the spec's content hash).
+        """
         overrides = dict(config_overrides)
         overrides.setdefault("refresh_scale", self.profile.refresh_scale)
         return make_run_spec(
@@ -128,6 +133,7 @@ class SweepRunner:
             num_windows=self.profile.num_windows,
             warmup_windows=self.profile.warmup_windows,
             banks_per_task=banks_per_task,
+            sample_windows=sample_windows,
             **overrides,
         )
 

@@ -17,6 +17,8 @@ from typing import Optional
 
 from repro.os.scheduler import OsScheduler
 from repro.os.task import Task
+from repro.telemetry.events import TaskMigrationEvent
+from repro.telemetry.hub import Telemetry
 
 
 class LoadBalancer:
@@ -28,6 +30,7 @@ class LoadBalancer:
         interval_quanta: int = 4,
         bank_aware: bool = False,
         total_banks: int = 16,
+        telemetry: Optional[Telemetry] = None,
     ):
         if interval_quanta < 1:
             raise ValueError("interval_quanta must be >= 1")
@@ -35,6 +38,7 @@ class LoadBalancer:
         self.interval_quanta = interval_quanta
         self.bank_aware = bank_aware
         self.total_banks = total_banks
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.migrations = 0
         self._started = False
 
@@ -72,6 +76,15 @@ class LoadBalancer:
             idlest.enqueue(task)
             self.migrations += 1
             made += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    TaskMigrationEvent(
+                        time=self.scheduler.engine.now,
+                        task_id=task.task_id,
+                        src_cpu=busiest.cpu_id,
+                        dst_cpu=idlest.cpu_id,
+                    )
+                )
 
     def _pick_migration(self, source, destination) -> Optional[Task]:
         candidates = source.tasks()

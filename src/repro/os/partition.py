@@ -30,6 +30,8 @@ from repro.errors import OutOfMemoryError
 from repro.os.buddy import BuddyAllocator
 from repro.os.page import PhysicalMemory
 from repro.os.task import Task
+from repro.telemetry.events import PageAllocEvent
+from repro.telemetry.hub import Telemetry
 
 
 class PartitionPolicy(enum.Enum):
@@ -41,9 +43,15 @@ class PartitionPolicy(enum.Enum):
 class PartitioningAllocator:
     """Algorithm 2: get_page_from_freelist with per-bank free-list caches."""
 
-    def __init__(self, memory: PhysicalMemory, policy: PartitionPolicy):
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        policy: PartitionPolicy,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.memory = memory
         self.policy = policy
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.buddy = BuddyAllocator(memory.total_frames)
         total_banks = memory.total_banks
         self._bank_cache: list[list[int]] = [[] for _ in range(total_banks)]
@@ -62,6 +70,20 @@ class PartitioningAllocator:
         bank = self.memory.bank_of_frame(frame)
         self.memory.claim(frame, task.task_id)
         task.add_frame(frame, bank)
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                PageAllocEvent(
+                    time=self.telemetry.now(),
+                    task_id=task.task_id,
+                    frame=frame,
+                    bank=bank,
+                    spilled=(
+                        task.possible_banks is not None
+                        and self.policy is not PartitionPolicy.NONE
+                        and bank not in task.possible_banks
+                    ),
+                )
+            )
         return frame
 
     def alloc_footprint(self, task: Task, num_pages: int) -> int:

@@ -34,10 +34,34 @@ class OsScheduler:
         self.quantum_cycles = quantum_cycles
         self.runqueues = [CfsRunqueue(core.core_id) for core in cores]
         self.context_switches = 0
-        #: Observers called as fn(time, core_id, task_or_None) after every
-        #: quantum dispatch (used by the schedule tracer).
-        self.pick_observers: list = []
+        # Observers called as fn(time, core_id, task_or_None) after every
+        # quantum dispatch; managed through subscribe()/unsubscribe().
+        self._pick_observers: list = []
         self._started = False
+
+    # -- pick observation --------------------------------------------------------------
+
+    @property
+    def pick_observers(self) -> tuple:
+        """Read-only view of the subscribed pick observers.
+
+        Mutate through :meth:`subscribe` / :meth:`unsubscribe`; appending
+        to this view is a silent no-op, which is why it is a tuple.
+        """
+        return tuple(self._pick_observers)
+
+    def subscribe(self, observer):
+        """Register ``observer(time, core_id, task_or_None)`` to run after
+        every quantum dispatch; returns it as the unsubscribe handle."""
+        self._pick_observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer) -> None:
+        """Remove a subscribed observer; unknown observers are ignored."""
+        try:
+            self._pick_observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- task admission --------------------------------------------------------------
 
@@ -77,7 +101,7 @@ class OsScheduler:
                 runqueue.dequeue(chosen)
                 self.context_switches += 1
             core.run_task(chosen)
-            for observer in self.pick_observers:
+            for observer in self._pick_observers:
                 observer(self.engine.now, core.core_id, chosen)
         self.engine.schedule(self.quantum_cycles, self._tick)
 

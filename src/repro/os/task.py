@@ -6,10 +6,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.errors import ConfigError
+from repro.telemetry.stats import StatsBase
 
 
 @dataclass
-class TaskStats:
+class TaskStats(StatsBase):
     """Counters used for IPC, memory latency, and fairness reporting."""
 
     instructions: int = 0

@@ -23,10 +23,11 @@ from typing import Optional
 from repro.errors import AllocationError, OutOfMemoryError
 from repro.os.partition import PartitioningAllocator
 from repro.os.task import Task
+from repro.telemetry.stats import StatsBase
 
 
 @dataclass
-class VmStats:
+class VmStats(StatsBase):
     minor_faults: int = 0
     major_faults: int = 0
     evictions: int = 0

@@ -1,0 +1,67 @@
+"""Unified telemetry layer: metrics registry, events, sinks, timeseries.
+
+Three pillars (see ``docs/OBSERVABILITY.md``):
+
+* :class:`MetricsRegistry` — hierarchical dotted-name snapshots of every
+  ``*Stats`` object (``dram.ch0.rk0.bank3.row_hits``), glob-queryable and
+  JSON-exportable;
+* the structured event stream — typed :class:`TraceEvent` records fanned
+  out by the per-system :class:`Telemetry` hub to pluggable sinks,
+  including a Chrome trace-event exporter loadable in Perfetto;
+* :class:`Timeseries` — windowed samples (IPC, queue depth, refresh-stall
+  fraction) attached to :class:`~repro.core.results.RunResult`.
+"""
+
+from repro.telemetry.events import (
+    EVENT_TYPES,
+    DramCommandEvent,
+    PageAllocEvent,
+    RefreshCommandEvent,
+    RefreshStretchBeginEvent,
+    RefreshStretchEndEvent,
+    SchedulerPickEvent,
+    TaskMigrationEvent,
+    TraceEvent,
+)
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sinks import (
+    CallbackSink,
+    ChromeTraceSink,
+    EventSink,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    read_jsonl,
+)
+from repro.telemetry.stats import StatsBase
+from repro.telemetry.timeseries import (
+    Timeseries,
+    TimeseriesSample,
+    TimeseriesSampler,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "CallbackSink",
+    "ChromeTraceSink",
+    "DramCommandEvent",
+    "EventSink",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "PageAllocEvent",
+    "RefreshCommandEvent",
+    "RefreshStretchBeginEvent",
+    "RefreshStretchEndEvent",
+    "RingBufferSink",
+    "SchedulerPickEvent",
+    "StatsBase",
+    "TaskMigrationEvent",
+    "Telemetry",
+    "Timeseries",
+    "TimeseriesSample",
+    "TimeseriesSampler",
+    "TraceEvent",
+    "read_jsonl",
+]

@@ -1,0 +1,161 @@
+"""Typed structured events emitted by the simulator.
+
+Each event is a small frozen dataclass with a ``kind`` tag and an
+integer ``time`` in CPU cycles.  Components emit them through the
+:class:`~repro.telemetry.hub.Telemetry` hub, which fans them out to the
+attached sinks (ring buffer, JSONL, Chrome trace — see
+:mod:`repro.telemetry.sinks`).  Emission sites are guarded by
+``telemetry.enabled`` so a run without sinks never constructs an event.
+
+Events round-trip through plain dicts: ``to_dict`` embeds the ``kind``
+tag and ``TraceEvent.from_dict`` dispatches on it, which is what the
+JSONL sink uses to reload a written stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import ClassVar, Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: a tagged, timestamped record."""
+
+    kind: ClassVar[str] = "event"
+
+    time: int
+
+    def to_dict(self) -> dict:
+        data = {"kind": self.kind}
+        for f in dataclasses.fields(self):
+            data[f.name] = getattr(self, f.name)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        """Reconstruct any registered event from its ``to_dict`` form."""
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"TraceEvent: expected a dict, got {type(data).__name__}"
+            )
+        data = dict(data)
+        kind = data.pop("kind", None)
+        try:
+            event_cls = EVENT_TYPES[kind]
+        except KeyError:
+            raise ConfigError(
+                f"unknown event kind {kind!r}; known: {sorted(EVENT_TYPES)}"
+            ) from None
+        try:
+            return event_cls(**data)
+        except TypeError as exc:
+            raise ConfigError(
+                f"{event_cls.__name__}: malformed payload ({exc})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class DramCommandEvent(TraceEvent):
+    """One completed DRAM column access (read or write)."""
+
+    kind: ClassVar[str] = "dram.cmd"
+
+    op: str  # "RD" | "WR"
+    channel: int
+    rank: int
+    bank: int
+    row_hit: bool
+    task_id: int
+    latency: int
+    refresh_stall: int
+
+
+@dataclass(frozen=True)
+class RefreshCommandEvent(TraceEvent):
+    """One refresh command accepted by the controller.
+
+    ``bank`` is the bank index within the rank for per-bank refresh, or
+    ``-1`` with ``all_bank=True`` for a rank-wide REF.
+    """
+
+    kind: ClassVar[str] = "dram.refresh"
+
+    channel: int
+    rank: int
+    bank: int
+    duration: int
+    all_bank: bool
+
+
+@dataclass(frozen=True)
+class RefreshStretchBeginEvent(TraceEvent):
+    """A same-bank refresh stretch began on flat bank ``bank``."""
+
+    kind: ClassVar[str] = "refresh.stretch_begin"
+
+    bank: int
+
+
+@dataclass(frozen=True)
+class RefreshStretchEndEvent(TraceEvent):
+    """The stretch on flat bank ``bank`` finished (last command done)."""
+
+    kind: ClassVar[str] = "refresh.stretch_end"
+
+    bank: int
+
+
+@dataclass(frozen=True)
+class SchedulerPickEvent(TraceEvent):
+    """One quantum dispatch decision on one core."""
+
+    kind: ClassVar[str] = "sched.pick"
+
+    core_id: int
+    task_id: Optional[int]  # None when the core goes idle
+    task_name: str
+    refresh_bank: Optional[int]  # None when the schedule is unpredictable
+    conflict: bool  # picked task has data in the refreshed bank
+    quantum_cycles: int
+
+
+@dataclass(frozen=True)
+class PageAllocEvent(TraceEvent):
+    """One page frame allocated to a task."""
+
+    kind: ClassVar[str] = "os.alloc"
+
+    task_id: int
+    frame: int
+    bank: int
+    spilled: bool  # landed outside the task's possible-banks vector
+
+
+@dataclass(frozen=True)
+class TaskMigrationEvent(TraceEvent):
+    """The load balancer moved a task between per-CPU runqueues."""
+
+    kind: ClassVar[str] = "os.migrate"
+
+    task_id: int
+    src_cpu: int
+    dst_cpu: int
+
+
+#: ``kind`` tag -> event class (used by :meth:`TraceEvent.from_dict`).
+EVENT_TYPES: dict[str, type[TraceEvent]] = {
+    cls.kind: cls
+    for cls in (
+        DramCommandEvent,
+        RefreshCommandEvent,
+        RefreshStretchBeginEvent,
+        RefreshStretchEndEvent,
+        SchedulerPickEvent,
+        PageAllocEvent,
+        TaskMigrationEvent,
+    )
+}

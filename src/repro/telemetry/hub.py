@@ -1,0 +1,78 @@
+"""The telemetry hub: fan-out of structured events to attached sinks.
+
+Every :class:`~repro.core.system.System` owns a :class:`Telemetry` hub.
+With no sinks attached (the default) the hub is *disabled* and every
+emission site short-circuits on the plain-attribute ``enabled`` flag
+before constructing an event, so the instrumented hot paths cost one
+attribute read when telemetry is off.
+
+Sinks subscribe and unsubscribe at any time; the returned handle is the
+sink itself.  The hub also carries the simulation clock (bound by the
+system builder) so components without an engine reference — the page
+allocator — can timestamp their events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.telemetry.sinks import EventSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import Engine
+    from repro.telemetry.events import TraceEvent
+
+
+class Telemetry:
+    """Event fan-out hub with a cheap enabled flag."""
+
+    __slots__ = ("enabled", "_sinks", "_clock")
+
+    def __init__(self, sinks: Iterable[EventSink] = ()):
+        self._sinks: list[EventSink] = list(sinks)
+        self.enabled: bool = bool(self._sinks)
+        self._clock: "Engine | None" = None
+
+    # -- clock ----------------------------------------------------------------
+
+    def bind_clock(self, engine: "Engine") -> None:
+        """Attach the simulation clock used by :meth:`now`."""
+        self._clock = engine
+
+    def now(self) -> int:
+        """Current simulation time (0 before a clock is bound)."""
+        return self._clock.now if self._clock is not None else 0
+
+    # -- sink management ------------------------------------------------------
+
+    @property
+    def sinks(self) -> tuple[EventSink, ...]:
+        return tuple(self._sinks)
+
+    def subscribe(self, sink: EventSink) -> EventSink:
+        """Attach *sink*; returns it as the unsubscribe handle."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    def unsubscribe(self, sink: EventSink) -> None:
+        """Detach *sink*; unknown sinks are ignored."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+        self.enabled = bool(self._sinks)
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self, event: "TraceEvent") -> None:
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink (flushes file-backed ones)."""
+        for sink in self._sinks:
+            sink.close()
+
+    def __repr__(self) -> str:
+        return f"Telemetry(sinks={len(self._sinks)}, enabled={self.enabled})"

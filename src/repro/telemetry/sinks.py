@@ -1,0 +1,285 @@
+"""Pluggable event sinks for the structured event stream.
+
+Sink matrix:
+
+==================  ============================================================
+Sink                Use case
+==================  ============================================================
+:class:`NullSink`   Default: telemetry disabled, near-zero overhead.
+:class:`RingBufferSink`
+                    Keep the last *N* events in memory (post-mortem peeks).
+:class:`CallbackSink`
+                    Invoke a function per event (in-process consumers such as
+                    :class:`~repro.core.trace.ScheduleTracer`).
+:class:`JsonlSink`  Append one JSON object per event to a file; reload with
+                    :func:`read_jsonl`.
+:class:`ChromeTraceSink`
+                    Chrome trace-event JSON loadable in Perfetto /
+                    ``chrome://tracing``: refresh stretches and per-core
+                    scheduler picks appear as separate tracks.
+==================  ============================================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable, Optional
+
+from repro.telemetry.events import (
+    DramCommandEvent,
+    RefreshCommandEvent,
+    RefreshStretchBeginEvent,
+    RefreshStretchEndEvent,
+    SchedulerPickEvent,
+    TaskMigrationEvent,
+    TraceEvent,
+)
+
+
+class EventSink:
+    """Interface: receives every emitted event; ``close`` flushes."""
+
+    def emit(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (default: nothing to do)."""
+
+
+class NullSink(EventSink):
+    """Discards everything."""
+
+    def emit(self, event: TraceEvent) -> None:
+        pass
+
+
+class CallbackSink(EventSink):
+    """Calls ``fn(event)`` for every event."""
+
+    def __init__(self, fn: Callable[[TraceEvent], None]):
+        self.fn = fn
+
+    def emit(self, event: TraceEvent) -> None:
+        self.fn(event)
+
+
+class RingBufferSink(EventSink):
+    """Keeps the most recent ``capacity`` events, evicting the oldest."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+        self.emitted += 1
+
+    def events(self) -> list[TraceEvent]:
+        """Retained events, oldest first."""
+        return list(self._buffer)
+
+    @property
+    def evicted(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return max(0, self.emitted - len(self._buffer))
+
+    def clear(self) -> None:
+        self._buffer.clear()
+        self.emitted = 0
+
+
+class JsonlSink(EventSink):
+    """Writes one canonical-JSON object per line to *path*."""
+
+    def __init__(self, path):
+        self.path = path
+        self._file = open(path, "w", encoding="utf-8")
+        self.written = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(
+            event.to_dict(), self._file, sort_keys=True, separators=(",", ":")
+        )
+        self._file.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_jsonl(path) -> list[TraceEvent]:
+    """Reload a :class:`JsonlSink` file into typed events."""
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+    return events
+
+
+class ChromeTraceSink(EventSink):
+    """Builds Chrome trace-event JSON (the Perfetto/about:tracing format).
+
+    Track layout (one ``ts`` unit = one CPU cycle, displayed as µs):
+
+    * pid 1 ``dram`` / tid 0 ``refresh stretches`` — one complete ("X")
+      slice per same-bank refresh stretch, named ``refresh b<bank>``;
+    * pid 1 ``dram`` / tid 1 ``refresh commands`` — one slice per
+      individual refresh command (every policy);
+    * pid 2 ``cpu`` / tid *c* ``core c`` — one slice per quantum dispatch,
+      named after the running task, with conflict/refresh-bank details in
+      ``args``; idle quanta are skipped;
+    * task migrations appear as instant ("i") events on the destination
+      core's track.
+
+    DRAM command events are high-volume and skipped unless
+    ``include_dram_commands=True``.
+
+    The output is a pure function of the event stream: two identical runs
+    produce byte-identical files.
+    """
+
+    PID_DRAM = 1
+    PID_CPU = 2
+    TID_STRETCH = 0
+    TID_REFRESH_CMD = 1
+
+    def __init__(self, include_dram_commands: bool = False):
+        self.include_dram_commands = include_dram_commands
+        self._slices: list[dict] = []
+        self._open_stretch: Optional[tuple[int, int]] = None  # (bank, begin)
+        self._cores: set[int] = set()
+        self.dropped = 0  # events outside the track layout (e.g. allocs)
+
+    # -- event intake ---------------------------------------------------------
+
+    def emit(self, event: TraceEvent) -> None:
+        if isinstance(event, RefreshStretchBeginEvent):
+            self._open_stretch = (event.bank, event.time)
+        elif isinstance(event, RefreshStretchEndEvent):
+            if self._open_stretch is not None:
+                bank, begin = self._open_stretch
+                self._open_stretch = None
+                self._slices.append({
+                    "name": f"refresh b{bank}",
+                    "cat": "refresh",
+                    "ph": "X",
+                    "ts": begin,
+                    "dur": max(0, event.time - begin),
+                    "pid": self.PID_DRAM,
+                    "tid": self.TID_STRETCH,
+                    "args": {"bank": bank},
+                })
+        elif isinstance(event, RefreshCommandEvent):
+            name = "REF" if event.all_bank else f"REFpb b{event.bank}"
+            self._slices.append({
+                "name": name,
+                "cat": "refresh",
+                "ph": "X",
+                "ts": event.time,
+                "dur": event.duration,
+                "pid": self.PID_DRAM,
+                "tid": self.TID_REFRESH_CMD,
+                "args": {
+                    "channel": event.channel,
+                    "rank": event.rank,
+                    "bank": event.bank,
+                },
+            })
+        elif isinstance(event, SchedulerPickEvent):
+            self._cores.add(event.core_id)
+            if event.task_id is None:
+                return  # idle quantum: leave the track empty
+            self._slices.append({
+                "name": event.task_name,
+                "cat": "sched",
+                "ph": "X",
+                "ts": event.time,
+                "dur": event.quantum_cycles,
+                "pid": self.PID_CPU,
+                "tid": event.core_id,
+                "args": {
+                    "task_id": event.task_id,
+                    "refresh_bank": event.refresh_bank,
+                    "conflict": event.conflict,
+                },
+            })
+        elif isinstance(event, TaskMigrationEvent):
+            self._cores.add(event.dst_cpu)
+            self._slices.append({
+                "name": f"migrate t{event.task_id}",
+                "cat": "sched",
+                "ph": "i",
+                "s": "t",
+                "ts": event.time,
+                "pid": self.PID_CPU,
+                "tid": event.dst_cpu,
+                "args": {"task_id": event.task_id, "from": event.src_cpu},
+            })
+        elif isinstance(event, DramCommandEvent):
+            if not self.include_dram_commands:
+                self.dropped += 1
+                return
+            self._slices.append({
+                "name": event.op,
+                "cat": "dram",
+                "ph": "X",
+                "ts": max(0, event.time - event.latency),
+                "dur": event.latency,
+                "pid": self.PID_DRAM,
+                "tid": 2 + event.bank,
+                "args": {
+                    "task_id": event.task_id,
+                    "row_hit": event.row_hit,
+                    "refresh_stall": event.refresh_stall,
+                },
+            })
+        else:
+            self.dropped += 1
+
+    # -- export ---------------------------------------------------------------
+
+    def _metadata(self) -> list[dict]:
+        def meta(pid, tid, key, name):
+            entry = {"ph": "M", "pid": pid, "name": key, "args": {"name": name}}
+            if tid is not None:
+                entry["tid"] = tid
+            return entry
+
+        events = [
+            meta(self.PID_DRAM, None, "process_name", "dram"),
+            meta(self.PID_DRAM, self.TID_STRETCH, "thread_name",
+                 "refresh stretches"),
+            meta(self.PID_DRAM, self.TID_REFRESH_CMD, "thread_name",
+                 "refresh commands"),
+            meta(self.PID_CPU, None, "process_name", "cpu"),
+        ]
+        for core in sorted(self._cores):
+            events.append(
+                meta(self.PID_CPU, core, "thread_name", f"core {core}")
+            )
+        return events
+
+    def trace(self) -> dict:
+        """The complete Chrome trace object (an unfinished stretch at the
+        end of the run is dropped — its end time is unknown)."""
+        return {
+            "displayTimeUnit": "ms",
+            "metadata": {"unit": "1 ts = 1 CPU cycle"},
+            "traceEvents": self._metadata() + self._slices,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic JSON text (byte-identical for identical runs)."""
+        return json.dumps(self.trace(), sort_keys=True, indent=1)
+
+    def write(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_json())
+            f.write("\n")

@@ -1,0 +1,78 @@
+"""RPR009: *Stats dataclasses must inherit the StatsBase snapshot mixin."""
+
+from tests.unit.analysis.conftest import codes
+
+BARE_STATS = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class WidgetStats:
+        hits: int = 0
+"""
+
+MIXIN_STATS = """
+    from dataclasses import dataclass
+
+    from repro.telemetry.stats import StatsBase
+
+    @dataclass
+    class WidgetStats(StatsBase):
+        hits: int = 0
+"""
+
+ALIASED_IMPORT = """
+    import dataclasses
+
+    from repro.telemetry import stats
+
+    @dataclasses.dataclass
+    class WidgetStats(stats.StatsBase):
+        hits: int = 0
+"""
+
+NOT_A_DATACLASS = """
+    class WidgetStats:
+        def __init__(self):
+            self.hits = 0
+"""
+
+NOT_A_STATS_NAME = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class WidgetCounters:
+        hits: int = 0
+"""
+
+
+def test_bare_stats_dataclass_flagged(lint):
+    findings = lint(BARE_STATS, select={"RPR009"})
+    assert codes(findings) == ["RPR009"]
+    assert "WidgetStats" in findings[0].message
+
+
+def test_mixin_subclass_passes(lint):
+    assert lint(MIXIN_STATS, select={"RPR009"}) == []
+
+
+def test_attribute_base_resolves(lint):
+    assert lint(ALIASED_IMPORT, select={"RPR009"}) == []
+
+
+def test_plain_class_and_other_names_exempt(lint):
+    assert lint(NOT_A_DATACLASS, select={"RPR009"}) == []
+    assert lint(NOT_A_STATS_NAME, select={"RPR009"}) == []
+
+
+def test_rule_scoped_to_simulator_packages(lint):
+    findings = lint(
+        BARE_STATS, module="repro/experiments/fixture.py", select={"RPR009"}
+    )
+    assert findings == []
+
+
+def test_rule_covers_telemetry_package(lint):
+    findings = lint(
+        BARE_STATS, module="repro/telemetry/fixture.py", select={"RPR009"}
+    )
+    assert codes(findings) == ["RPR009"]

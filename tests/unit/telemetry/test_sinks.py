@@ -1,0 +1,182 @@
+"""Event sinks: ring-buffer eviction, JSONL round-trip, Chrome traces."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.telemetry import (
+    CallbackSink,
+    ChromeTraceSink,
+    DramCommandEvent,
+    JsonlSink,
+    NullSink,
+    PageAllocEvent,
+    RefreshCommandEvent,
+    RefreshStretchBeginEvent,
+    RefreshStretchEndEvent,
+    RingBufferSink,
+    SchedulerPickEvent,
+    TaskMigrationEvent,
+    Telemetry,
+    TraceEvent,
+    read_jsonl,
+)
+
+
+def sample_events():
+    return [
+        RefreshStretchBeginEvent(time=0, bank=3),
+        RefreshCommandEvent(
+            time=10, channel=0, rank=0, bank=3, duration=40, all_bank=False
+        ),
+        DramCommandEvent(
+            time=90, op="RD", channel=0, rank=0, bank=5, row_hit=True,
+            task_id=2, latency=30, refresh_stall=0,
+        ),
+        SchedulerPickEvent(
+            time=100, core_id=1, task_id=4, task_name="mcf",
+            refresh_bank=3, conflict=False, quantum_cycles=1000,
+        ),
+        RefreshStretchEndEvent(time=500, bank=3),
+        PageAllocEvent(time=600, task_id=2, frame=17, bank=5, spilled=True),
+        TaskMigrationEvent(time=700, task_id=4, src_cpu=0, dst_cpu=1),
+    ]
+
+
+# -- hub -----------------------------------------------------------------------
+
+
+def test_hub_enabled_tracks_subscriptions():
+    hub = Telemetry()
+    assert not hub.enabled
+    sink = hub.subscribe(NullSink())
+    assert hub.enabled
+    hub.unsubscribe(sink)
+    assert not hub.enabled
+    hub.unsubscribe(sink)  # unknown: ignored
+    assert not hub.enabled
+
+
+def test_hub_fans_out_to_every_sink():
+    hub = Telemetry()
+    seen_a, seen_b = [], []
+    hub.subscribe(CallbackSink(seen_a.append))
+    hub.subscribe(CallbackSink(seen_b.append))
+    for event in sample_events():
+        hub.emit(event)
+    assert len(seen_a) == len(seen_b) == len(sample_events())
+
+
+# -- ring buffer ---------------------------------------------------------------
+
+
+def test_ring_buffer_keeps_newest_and_counts_evictions():
+    ring = RingBufferSink(capacity=3)
+    events = sample_events()
+    for event in events:
+        ring.emit(event)
+    assert ring.emitted == len(events)
+    assert ring.evicted == len(events) - 3
+    assert ring.events() == events[-3:]
+    ring.clear()
+    assert ring.events() == [] and ring.emitted == 0
+
+
+def test_ring_buffer_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def test_jsonl_round_trip_preserves_types(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(path)
+    events = sample_events()
+    for event in events:
+        sink.emit(event)
+    sink.close()
+    assert sink.written == len(events)
+    reloaded = read_jsonl(path)
+    assert reloaded == events
+    assert [type(e) for e in reloaded] == [type(e) for e in events]
+
+
+def test_event_round_trip_via_dict():
+    for event in sample_events():
+        assert TraceEvent.from_dict(event.to_dict()) == event
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ConfigError, match="unknown event kind"):
+        TraceEvent.from_dict({"kind": "dram.teleport", "time": 0})
+
+
+def test_malformed_event_payload_rejected():
+    with pytest.raises(ConfigError, match="malformed payload"):
+        TraceEvent.from_dict({"kind": "refresh.stretch_begin", "time": 0})
+
+
+# -- Chrome trace --------------------------------------------------------------
+
+
+def test_chrome_trace_pairs_stretches_and_skips_idle():
+    sink = ChromeTraceSink()
+    for event in sample_events():
+        sink.emit(event)
+    sink.emit(
+        SchedulerPickEvent(
+            time=2000, core_id=0, task_id=None, task_name="(idle)",
+            refresh_bank=None, conflict=False, quantum_cycles=1000,
+        )
+    )
+    trace = sink.trace()
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    stretch = [s for s in slices if s["tid"] == ChromeTraceSink.TID_STRETCH
+               and s["pid"] == ChromeTraceSink.PID_DRAM]
+    assert len(stretch) == 1
+    assert stretch[0]["name"] == "refresh b3"
+    assert stretch[0]["ts"] == 0 and stretch[0]["dur"] == 500
+    picks = [s for s in slices if s["pid"] == ChromeTraceSink.PID_CPU]
+    assert len(picks) == 1  # the idle quantum is skipped
+    instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+    assert len(instants) == 1 and instants[0]["tid"] == 1
+    # DRAM commands are dropped unless opted in; allocs always drop.
+    assert sink.dropped == 2
+
+
+def test_chrome_trace_can_include_dram_commands():
+    sink = ChromeTraceSink(include_dram_commands=True)
+    for event in sample_events():
+        sink.emit(event)
+    names = {e["name"] for e in sink.trace()["traceEvents"]}
+    assert "RD" in names
+    assert sink.dropped == 1  # only the alloc event has no track
+
+
+def test_chrome_trace_json_is_deterministic(tmp_path):
+    def build():
+        sink = ChromeTraceSink()
+        for event in sample_events():
+            sink.emit(event)
+        return sink.to_json()
+
+    assert build() == build()
+    path = tmp_path / "trace.json"
+    sink = ChromeTraceSink()
+    for event in sample_events():
+        sink.emit(event)
+    sink.write(path)
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+def test_chrome_trace_declares_track_names():
+    sink = ChromeTraceSink()
+    for event in sample_events():
+        sink.emit(event)
+    meta = [e for e in sink.trace()["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert {"dram", "cpu", "refresh stretches", "refresh commands"} <= names
+    assert "core 1" in names

@@ -1,0 +1,83 @@
+"""Windowed timeseries sampling: serialization and live sampling on a run."""
+
+import json
+
+import pytest
+
+from repro.core.results import RunResult
+from repro.core.simulator import make_run_spec, run_simulation
+from repro.errors import ConfigError
+from repro.telemetry import Timeseries, TimeseriesSample
+
+FAST = dict(refresh_scale=1024, num_windows=0.5, warmup_windows=0.0)
+
+
+@pytest.fixture(scope="module")
+def sampled_result():
+    return run_simulation("WL-6", "all_bank", sample_windows=8, **FAST)
+
+
+def test_sampler_attaches_timeseries(sampled_result):
+    ts = sampled_result.timeseries
+    assert ts is not None
+    # 0.5 windows measured at 8 samples/window -> 4 intervals.
+    assert len(ts.samples) == 4
+    times = ts.metric("t")
+    assert times == sorted(times)
+    assert all(
+        times[i + 1] - times[i] == ts.interval_cycles
+        for i in range(len(times) - 1)
+    )
+
+
+def test_samples_carry_plausible_rates(sampled_result):
+    ts = sampled_result.timeseries
+    assert all(s.ipc > 0 for s in ts.samples)
+    assert all(0.0 <= s.refresh_stall_fraction <= 1.0 for s in ts.samples)
+    assert all(s.queue_depth >= 0 for s in ts.samples)
+    assert sum(ts.metric("instructions")) > 0
+
+
+def test_run_result_round_trips_timeseries(sampled_result):
+    payload = json.loads(json.dumps(sampled_result.to_dict()))
+    reloaded = RunResult.from_dict(payload)
+    assert reloaded.timeseries == sampled_result.timeseries
+
+
+def test_unsampled_run_has_no_timeseries():
+    result = run_simulation("WL-6", "all_bank", **FAST)
+    assert result.timeseries is None
+    reloaded = RunResult.from_dict(result.to_dict())
+    assert reloaded.timeseries is None
+
+
+def test_timeseries_round_trip():
+    ts = Timeseries(
+        interval_cycles=100,
+        samples=[
+            TimeseriesSample(
+                t=100, instructions=50, ipc=0.5, reads_completed=10,
+                refresh_stall_fraction=0.2, queue_depth=3,
+            )
+        ],
+    )
+    assert Timeseries.from_dict(ts.to_dict()) == ts
+
+
+def test_timeseries_rejects_malformed_payloads():
+    with pytest.raises(ConfigError, match="expected a dict"):
+        Timeseries.from_dict([1, 2])
+    with pytest.raises(ConfigError, match="expected a dict"):
+        Timeseries.from_dict({"interval_cycles": 1, "samples": [3]})
+    with pytest.raises(ConfigError, match="malformed payload"):
+        Timeseries.from_dict({"interval_cycles": 1, "samples": 3})
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ConfigError, match="unknown timeseries metric"):
+        Timeseries(interval_cycles=1).metric("latency")
+
+
+def test_sample_windows_validated_in_spec():
+    with pytest.raises(ConfigError, match="sample_windows"):
+        make_run_spec("WL-6", "all_bank", sample_windows=0, **FAST)

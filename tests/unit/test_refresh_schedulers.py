@@ -7,9 +7,15 @@ from repro.config.system_configs import default_system_config
 from repro.core.engine import Engine
 from repro.dram.address import AddressMapping
 from repro.dram.controller import MemoryController
-from repro.dram.refresh import SCHEDULERS, make_scheduler
+from repro.dram.refresh import (
+    REGISTRY,
+    SCHEDULERS,
+    available_policies,
+    make_scheduler,
+)
 from repro.dram.refresh.adaptive import AdaptiveRefresh
 from repro.dram.timing import DramTiming
+from repro.errors import ConfigError
 
 
 def build(scheduler_name: str, refresh_scale: int = 1024):
@@ -25,12 +31,19 @@ def build(scheduler_name: str, refresh_scale: int = 1024):
 
 
 def test_registry_contents():
-    assert set(SCHEDULERS) == {
+    assert set(REGISTRY) == {
         "no_refresh", "all_bank", "per_bank", "same_bank",
         "ooo_per_bank", "adaptive", "elastic", "pausing",
     }
-    with pytest.raises(ValueError):
+    assert SCHEDULERS is REGISTRY  # compatibility alias
+    assert available_policies() == sorted(REGISTRY)
+    with pytest.raises(ConfigError):
         make_scheduler("bogus")
+
+
+def test_unknown_policy_suggests_close_match():
+    with pytest.raises(ConfigError, match="did you mean 'same_bank'"):
+        make_scheduler("samebank")
 
 
 class TestNoRefresh:

@@ -84,6 +84,22 @@ def test_empty_spec_list_rejected():
         build_system([], "all_bank")
 
 
+def test_scenario_rejects_unknown_refresh_policy():
+    from repro.core.system import Scenario
+
+    with pytest.raises(ConfigError, match="did you mean 'same_bank'"):
+        Scenario(name="typo", refresh_policy="samebank")
+
+
+def test_scenario_accepts_registered_policies():
+    from repro.core.system import SCENARIOS
+    from repro.dram.refresh import available_policies
+
+    registered = set(available_policies())
+    for scenario in SCENARIOS.values():
+        assert scenario.refresh_policy in registered
+
+
 def test_quantum_equals_stretch(codesign_system):
     assert (
         codesign_system.scheduler.quantum_cycles
