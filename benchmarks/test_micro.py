@@ -7,6 +7,7 @@ to track the simulator's own performance over time.
 
 import random
 
+from repro.bench import kernels
 from repro.config.dram_configs import DramOrganization
 from repro.config.system_configs import default_system_config
 from repro.core.engine import Engine
@@ -92,6 +93,31 @@ def test_partition_allocator_throughput(benchmark):
         return allocated
 
     assert benchmark(churn) == 2000
+
+
+def test_engine_handle_churn_throughput(benchmark):
+    """Cancellable handles: event pool reuse + stub compaction."""
+    assert benchmark(kernels.engine_handle_churn) == 2500
+
+
+def test_engine_far_future_mix_throughput(benchmark):
+    """Mixed near/far delays exercising the bucket -> heap spill path."""
+    assert benchmark(kernels.engine_far_future_mix) == 5000
+
+
+def test_address_decode_throughput(benchmark):
+    """Byte-address decode through the memoised frame tables."""
+    assert benchmark(kernels.address_decode) == 20_000
+
+
+def test_refresh_all_bank_tick_rate(benchmark):
+    """All-bank refresh cadence incl. batched rank wake-ups."""
+    assert benchmark(kernels.refresh_schedule_ticks) > 0
+
+
+def test_core_compute_fast_forward_rate(benchmark):
+    """Compute-gap issue loop: folded gap chains, one event per chain."""
+    assert benchmark(kernels.core_compute_fast_forward) > 0
 
 
 def test_full_quantum_simulation_rate(benchmark):

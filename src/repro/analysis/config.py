@@ -53,6 +53,7 @@ class AnalysisConfig:
         "repro.core.engine",
         "repro.core.system",
         "repro.core.simulator",
+        "repro.bench",
     )
 
     #: Reporter/CLI modules exempt from the ``print`` ban (RPR007).

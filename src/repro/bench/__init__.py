@@ -1,0 +1,28 @@
+"""Reusable performance kernels for the simulator's hot paths.
+
+Each kernel is a deterministic workload over one hot component (engine,
+core, controller, refresh scheduler, address decode) returning an
+operation count; :mod:`repro.bench.kernels` also provides the timing
+wrapper.  The kernels are shared by ``benchmarks/test_micro.py``
+(pytest-benchmark tracking) and ``scripts/bench_report.py`` (the
+``BENCH_<date>.json`` perf-trajectory reports recorded by CI).
+
+This package sits outside the simulator's pure packages: it is allowed
+to read the wall clock, but everything it *measures* stays seeded and
+deterministic — run-to-run variation is wall time only, never operation
+or event counts.
+"""
+
+from repro.bench.kernels import (
+    KERNELS,
+    KernelResult,
+    run_kernel,
+    wl6_codesign_end_to_end,
+)
+
+__all__ = [
+    "KERNELS",
+    "KernelResult",
+    "run_kernel",
+    "wl6_codesign_end_to_end",
+]

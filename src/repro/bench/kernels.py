@@ -1,0 +1,262 @@
+"""Deterministic micro-kernels over the simulator's hot paths.
+
+Every kernel builds its own fixture, runs a fixed seeded workload and
+returns the number of operations performed.  Operation counts are pure
+functions of the kernel arguments — two invocations must agree exactly
+(that is what the CI bench job gates on); only wall time may vary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config.dram_configs import DramOrganization
+from repro.config.system_configs import default_system_config
+from repro.core.engine import Engine
+from repro.dram.address import AddressMapping
+from repro.dram.controller import MemoryController
+from repro.dram.refresh.all_bank import AllBankRefresh
+from repro.dram.refresh.same_bank import SameBankSequential
+from repro.dram.request import MemoryRequest, RequestType
+from repro.dram.timing import DramTiming
+
+
+# -- engine ------------------------------------------------------------------
+
+
+def engine_event_chain(events: int = 5000) -> int:
+    """The canonical engine micro: a self-rescheduling delay-1 chain.
+
+    Mirrors ``test_engine_event_throughput`` — the ISSUE-4 2x acceptance
+    bar is measured on this body.
+    """
+    engine = Engine()
+    counter = [0]
+
+    def tick():
+        counter[0] += 1
+        if counter[0] < events:
+            engine.schedule(1, tick)
+
+    engine.schedule(0, tick)
+    engine.run()
+    return counter[0]
+
+
+def engine_handle_churn(events: int = 5000) -> int:
+    """Cancellable-event churn: pool reuse plus cancellation compaction.
+
+    Half the handles are cancelled before firing, so the free-list and
+    the dead-stub compaction both stay on the hot path.
+    """
+    engine = Engine()
+    fired = [0]
+
+    def tick(_arg=None):
+        fired[0] += 1
+
+    handles = [engine.schedule_event(i % 97 + 1, tick) for i in range(events)]
+    for handle in handles[::2]:
+        handle.cancel()
+    engine.run()
+    return fired[0]
+
+
+def engine_far_future_mix(events: int = 5000) -> int:
+    """Mixed near/far delays: exercises the bucket + heap spill path."""
+    engine = Engine()
+    rng = random.Random(11)
+    seen = [0]
+
+    def tick():
+        seen[0] += 1
+
+    for _ in range(events):
+        engine.schedule(rng.choice((1, 2, 3, 500, 20_000)), tick)
+    engine.run()
+    return seen[0]
+
+
+# -- DRAM --------------------------------------------------------------------
+
+
+def _dram_fixture(refresh_scale: int = 1024):
+    config = default_system_config(refresh_scale=refresh_scale)
+    timing = DramTiming.from_config(config)
+    org = DramOrganization()
+    mapping = AddressMapping(org, total_rows_per_bank=64)
+    return config, timing, org, mapping
+
+
+def address_decode(decodes: int = 20_000) -> int:
+    """Byte-address -> coordinate decode (memoised frame tables)."""
+    _, _, _, mapping = _dram_fixture()
+    rng = random.Random(7)
+    addresses = [
+        mapping.frame_offset_to_address(
+            rng.randrange(mapping.total_frames), rng.randrange(64) * 64
+        )
+        for _ in range(512)
+    ]
+    total = 0
+    for i in range(decodes):
+        coord = mapping.address_to_coordinate(addresses[i % 512])
+        total += coord.bank
+    return decodes if total >= 0 else 0
+
+
+def controller_request_stream(requests: int = 2000) -> int:
+    """FR-FCFS service of a seeded random read stream."""
+    _, timing, org, mapping = _dram_fixture()
+    rng = random.Random(7)
+    addresses = [
+        mapping.frame_offset_to_address(
+            rng.randrange(mapping.total_frames), rng.randrange(64) * 64
+        )
+        for _ in range(requests)
+    ]
+    engine = Engine()
+    mc = MemoryController(engine, timing, org, mapping)
+    done = []
+    for address in addresses:
+        mc.enqueue(
+            MemoryRequest(
+                RequestType.READ,
+                address,
+                mapping.address_to_coordinate(address),
+                on_complete=done.append,
+            )
+        )
+    engine.run_until(50_000_000)
+    return len(done)
+
+
+def refresh_schedule_ticks(scenario: str = "all_bank", windows: int = 4) -> int:
+    """Refresh commands issued over *windows* retention windows with an
+    otherwise idle controller (batched rank wake-ups included)."""
+    _, timing, org, mapping = _dram_fixture(refresh_scale=64)
+    engine = Engine()
+    mc = MemoryController(engine, timing, org, mapping)
+    scheduler = {"all_bank": AllBankRefresh, "same_bank": SameBankSequential}[
+        scenario
+    ]()
+    scheduler.attach(mc, engine, timing)
+    scheduler.start()
+    engine.run_until(timing.trefw * windows)
+    return scheduler.stats.commands_issued
+
+
+# -- CPU ---------------------------------------------------------------------
+
+
+class _ComputeWorkload:
+    """Infinite compute-only access stream (drives the fast-forward)."""
+
+    name = "bench-compute"
+    mlp = 1
+
+    def next_access(self, task):
+        from repro.workloads.benchmark import MemAccess
+
+        return MemAccess(100, 50, None)
+
+
+def core_compute_fast_forward(gaps: int = 20_000) -> int:
+    """Compute-gap issue loop: one engine event per folded gap chain."""
+    from repro.cpu.core import Core
+    from repro.os.task import Task
+
+    _, timing, org, mapping = _dram_fixture()
+    engine = Engine()
+    mc = MemoryController(engine, timing, org, mapping)
+    core = Core(0, engine, mc)
+    task = Task("bench", _ComputeWorkload(), task_id=0)
+    task.rng = random.Random(7)
+    core.run_task(task)
+    engine.run_until(gaps * 50)
+    core.preempt()
+    return task.stats.instructions
+
+
+# -- end-to-end --------------------------------------------------------------
+
+
+def wl6_codesign_end_to_end(refresh_scale: int = 64) -> dict:
+    """One full WL-6 codesign run; returns wall time, events and a result
+    digest (the quantities the CI determinism gate compares)."""
+    from repro.core.simulator import build_system
+
+    start = time.perf_counter()
+    system = build_system("WL-6", "codesign", refresh_scale=refresh_scale)
+    result = system.run()
+    wall = time.perf_counter() - start
+    payload = json.dumps(result.to_dict(), sort_keys=True)
+    return {
+        "name": "wl6_codesign_end_to_end",
+        "wall_seconds": round(wall, 4),
+        "events_processed": system.engine.events_processed,
+        "result_sha256": hashlib.sha256(payload.encode()).hexdigest(),
+        "reads_completed": result.reads_completed,
+    }
+
+
+# -- harness -----------------------------------------------------------------
+
+
+@dataclass
+class KernelResult:
+    name: str
+    ops: int
+    wall_seconds: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "ops": self.ops,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "ops_per_sec": round(self.ops_per_sec),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "KernelResult":
+        return cls(
+            name=data["name"],
+            ops=data["ops"],
+            wall_seconds=data["wall_seconds"],
+        )
+
+
+#: name -> zero-argument kernel callable returning its operation count.
+KERNELS: dict[str, Callable[[], int]] = {
+    "engine_event_chain": engine_event_chain,
+    "engine_handle_churn": engine_handle_churn,
+    "engine_far_future_mix": engine_far_future_mix,
+    "address_decode": address_decode,
+    "controller_request_stream": controller_request_stream,
+    "refresh_all_bank_ticks": refresh_schedule_ticks,
+    "refresh_same_bank_ticks": lambda: refresh_schedule_ticks("same_bank"),
+    "core_compute_fast_forward": core_compute_fast_forward,
+}
+
+
+def run_kernel(name: str, repeat: int = 5) -> KernelResult:
+    """Best-of-*repeat* timing of one named kernel."""
+    fn = KERNELS[name]
+    best = None
+    ops = 0
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return KernelResult(name=name, ops=ops, wall_seconds=best or 0.0)

@@ -3,38 +3,136 @@
 Time is measured in integer **CPU cycles**.  Events are callbacks scheduled
 at absolute times; ties are broken by insertion order, which makes every run
 fully deterministic.
+
+Hot-path design (see docs/PERFORMANCE.md):
+
+* **Bucketed calendar queue with a head fast path.**  Entries at the same
+  absolute time share one insertion-ordered list (a *bucket*).  The
+  earliest bucket is pinned in ``_head`` and served without touching any
+  other structure; later buckets live in ``_buckets`` (time -> list)
+  ordered by a plain int min-heap of their times.  Heap comparisons are
+  C-level int compares, the time-then-insertion-order tie-break falls out
+  of list order, and the dominant schedule-soon/fire-next pattern never
+  touches the dict or heap at all.  Invariants: every scheduled time has
+  exactly one bucket; ``_times`` holds exactly the keys of ``_buckets``
+  (no stale entries); ``_head_time`` is smaller than every heap time.
+* **Fire-and-forget entries are bare callables.**  :meth:`Engine.schedule`
+  stores the callback itself in the bucket — no per-event object at all —
+  and returns ``None``.  The drain loop is a uniform ``entry()`` call.
+  When a caller needs to cancel, it asks for a handle explicitly with
+  :meth:`Engine.schedule_event`; arg-bearing callbacks are wrapped in a
+  pooled :class:`Event` whose ``__call__`` does the bookkeeping.  This
+  split keeps the dominant path allocation-free and branch-free.
+* **Event free-list pool.**  Fired and reclaimed :class:`Event` wrappers
+  are recycled through ``_pool`` instead of becoming garbage.  A recycled
+  Event is only a *stale handle* to its old schedule: cancelling after
+  the event fired is a no-op (its ``fn`` is cleared), but holding a
+  handle across later schedules and then cancelling it would cancel the
+  new occupant.  Nothing in the simulator cancels late; external callers
+  must not either.  A pooled event may briefly keep its last ``arg``
+  alive; the pool is capped, so the retained set is small and bounded.
+* **Liveness = ``fn is not None``** (for :class:`Event` entries; a bare
+  callable entry is always live).  A pending event has its callback set;
+  firing and cancelling both clear it.  ``pending_events`` and
+  ``peek_time`` test this single field, so cancelled stubs can linger in
+  buckets without skewing any observable until :meth:`Engine._compact`
+  sweeps them out.
+* **Batched counters.**  The run loops count processed events per bucket
+  and flush once on exit, so ``events_processed`` is only guaranteed
+  current between :meth:`run`/:meth:`run_until` calls (``step`` updates
+  it per event).
+
+The engine is not re-entrant: callbacks must not call :meth:`run`,
+:meth:`run_until` or :meth:`step` (rule RPR008 enforces this for library
+code).  If a callback raises, the exception propagates; the remainder of
+the partially drained bucket is kept and resumes exactly where it
+stopped on the next run call.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Callable, Optional
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+#: Cancelled stubs are cheap; only compact once they outnumber the live
+#: events and are numerous enough for the O(n) sweep to pay for itself.
+_COMPACT_MIN = 64
+
+#: Free-list cap — enough to absorb the steady-state event population of a
+#: full-system run without hoarding memory after bursts.
+_POOL_MAX = 4096
+
 
 class Event:
-    """A scheduled callback.  Returned by :meth:`Engine.schedule` so the
-    caller can cancel it with :meth:`Event.cancel`."""
+    """A scheduled callback with a cancellable handle and/or an argument.
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    Only the engine constructs these (via :meth:`Engine.schedule_event`
+    or an arg-bearing :meth:`Engine.schedule`); buckets store either an
+    Event or the bare callback itself, and the drain loop just calls the
+    entry — :meth:`__call__` unwraps and does the pool bookkeeping.
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
-        self.time = time
-        self.seq = seq
+    Handles are valid until the event fires; after that the engine may
+    recycle the object for a future schedule (see module docstring).
+    """
+
+    __slots__ = ("engine", "fn", "arg", "cancelled")
+
+    def __init__(self, fn: Optional[Callable], arg: Any, engine: "Engine"):
+        self.engine = engine
         self.fn = fn
+        self.arg = arg
         self.cancelled = False
 
-    def cancel(self) -> None:
-        """Prevent this event's callback from running."""
-        self.cancelled = True
+    def __call__(self) -> None:
+        """Fire (run-loop internal).  The run loops count every drained
+        entry optimistically; a cancelled stub undoes its own count."""
+        fn = self.fn
+        if fn is None:
+            engine = self.engine
+            engine._events_processed -= 1
+            if self.cancelled:
+                self.cancelled = False
+                engine._cancelled -= 1
+                pool = engine._pool
+                if len(pool) < _POOL_MAX:
+                    pool.append(self)
+            return
+        arg = self.arg
+        self.fn = None
+        pool = self.engine._pool
+        if len(pool) < _POOL_MAX:
+            pool.append(self)
+        if arg is None:
+            fn()
+        else:
+            self.arg = None
+            fn(arg)
 
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+    def cancel(self) -> None:
+        """Prevent this event's callback from running.
+
+        Safe to call repeatedly and after the event fired (both no-ops);
+        invalid once the handle has been recycled by a later schedule.
+        """
+        if self.fn is None:
+            return
+        self.fn = None
+        self.arg = None
+        self.cancelled = True
+        engine = self.engine
+        cancelled = engine._cancelled + 1
+        engine._cancelled = cancelled
+        if cancelled > _COMPACT_MIN and cancelled * 2 > engine._queued_entries():
+            engine._compact()
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time}, seq={self.seq}, {state})"
+        if self.cancelled:
+            state = "cancelled"
+        else:
+            state = "pending" if self.fn is not None else "fired"
+        return f"Event({state})"
 
 
 class Engine:
@@ -42,88 +140,495 @@ class Engine:
 
     >>> eng = Engine()
     >>> hits = []
-    >>> _ = eng.schedule(10, lambda: hits.append(eng.now))
+    >>> eng.schedule(10, lambda: hits.append(eng.now))
     >>> eng.run_until(100)
     >>> hits
     [10]
     """
 
+    __slots__ = (
+        "now",
+        "_head_time",
+        "_head",
+        "_buckets",
+        "_times",
+        "_events_processed",
+        "_cancelled",
+        "_pool",
+        "_run_list",
+        "_run_index",
+        "_run_time",
+        "_spare",
+    )
+
     def __init__(self):
         self.now: int = 0
-        self._heap: list[Event] = []
-        self._seq: int = 0
+        # Earliest bucket, pinned outside the dict/heap (None = no head).
+        self._head_time: Optional[int] = None
+        self._head: list[Callable] = []
+        # All later buckets: time -> entries in insertion order, with an
+        # int min-heap over exactly those times.
+        self._buckets: dict[int, list[Callable]] = {}
+        self._times: list[int] = []
         self._events_processed: int = 0
+        self._cancelled: int = 0
+        self._pool: list[Event] = []
+        # Bucket currently being drained (already detached) + resume index
+        # and its time (maintained by step() and by an exception unwind;
+        # the run loops resume from and reset them).
+        self._run_list: Optional[list[Callable]] = None
+        self._run_index: int = 0
+        self._run_time: int = 0
+        self._spare: Optional[list[Callable]] = None
 
     # -- scheduling ---------------------------------------------------------
 
-    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
-        """Schedule *fn* to run *delay* cycles from now."""
+    def schedule(self, delay: int, fn: Callable, arg: Any = None) -> None:
+        """Schedule *fn* to run *delay* (integer) cycles from now.
+
+        Fire-and-forget: no handle is returned.  Use
+        :meth:`schedule_event` when the caller needs to cancel.  With
+        *arg*, the callback fires as ``fn(arg)`` — the hot paths use this
+        to pass a bound method plus its argument instead of allocating a
+        closure per event.
+        """
+        # Mirrors _insert, inlined: this is the hottest function in the
+        # simulator and a second call frame is measurable.
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self.now + delay, fn)
+        time = self.now + delay
+        if arg is not None:
+            pool = self._pool
+            if pool:
+                event = pool.pop()
+                event.fn = fn
+                event.arg = arg
+            else:
+                event = Event(fn, arg, self)
+            fn = event
+        head_time = self._head_time
+        if head_time is None:
+            times = self._times
+            if not times or time < times[0]:
+                self._head_time = time
+                self._head.append(fn)
+            else:
+                bucket = self._buckets.get(time)
+                if bucket is None:
+                    self._buckets[time] = [fn]
+                    heappush(times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+                else:
+                    bucket.append(fn)
+        elif time == head_time:
+            self._head.append(fn)
+        elif time > head_time:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [fn]
+                heappush(self._times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            else:
+                bucket.append(fn)
+        else:
+            # New earliest time: demote the head bucket into the calendar.
+            self._buckets[head_time] = self._head
+            heappush(self._times, head_time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            self._head = [fn]
+            self._head_time = time
 
-    def schedule_at(self, time: int, fn: Callable[[], None]) -> Event:
-        """Schedule *fn* to run at absolute *time*."""
+    def schedule_event(self, delay: int, fn: Callable, arg: Any = None) -> Event:
+        """Like :meth:`schedule`, but returns a cancellable handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+            event.fn = fn
+            event.arg = arg
+        else:
+            event = Event(fn, arg, self)
+        self._insert(self.now + delay, event)
+        return event
+
+    def schedule_at(self, time: int, fn: Callable, arg: Any = None) -> None:
+        """Schedule *fn* to run at absolute *time* (fire-and-forget)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
-        event = Event(int(time), self._seq, fn)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        if arg is not None:
+            pool = self._pool
+            if pool:
+                event = pool.pop()
+                event.fn = fn
+                event.arg = arg
+            else:
+                event = Event(fn, arg, self)
+            fn = event
+        self._insert(int(time), fn)
+
+    def _insert(self, time: int, entry: Callable) -> None:
+        """Append *entry* to the bucket for absolute *time* (cold mirror
+        of the install branch inlined in :meth:`schedule`)."""
+        head_time = self._head_time
+        if head_time is None:
+            times = self._times
+            if not times or time < times[0]:
+                self._head_time = time
+                self._head.append(entry)
+            else:
+                bucket = self._buckets.get(time)
+                if bucket is None:
+                    self._buckets[time] = [entry]
+                    heappush(times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+                else:
+                    bucket.append(entry)
+        elif time == head_time:
+            self._head.append(entry)
+        elif time > head_time:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [entry]
+                heappush(self._times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            else:
+                bucket.append(entry)
+        else:
+            self._buckets[head_time] = self._head
+            heappush(self._times, head_time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            self._head = [entry]
+            self._head_time = time
 
     # -- execution ----------------------------------------------------------
 
+    def _take_next_bucket(self) -> Optional[list[Callable]]:
+        """Detach the earliest bucket for draining (head first, then heap)."""
+        head_time = self._head_time
+        if head_time is not None:
+            bucket = self._head
+            self._head_time = None
+            spare = self._spare
+            if spare is None:
+                self._head = []
+            else:
+                self._head = spare
+                self._spare = None
+            self._run_time = head_time
+            return bucket
+        if self._times:
+            time = heappop(self._times)
+            self._run_time = time
+            return self._buckets.pop(time)
+        return None
+
+    def _retire_run_list(self) -> None:
+        """Recycle a fully drained bucket (cold path: step/peek_time).
+
+        Fired Events pooled themselves in ``__call__``; only cancelled
+        stubs that were never drained still need reclaiming here."""
+        run_list = self._run_list
+        pool = self._pool
+        for entry in run_list:
+            if entry.__class__ is Event and entry.cancelled:
+                entry.cancelled = False
+                self._cancelled -= 1
+                if len(pool) < _POOL_MAX:
+                    pool.append(entry)
+        run_list.clear()
+        if self._spare is None:
+            self._spare = run_list
+        self._run_list = None
+        self._run_index = 0
+
+    def _drop_dead_bucket(self, bucket: list[Callable]) -> None:
+        """Reclaim a bucket that contains only cancelled stubs."""
+        pool = self._pool
+        for entry in bucket:
+            entry.cancelled = False
+            self._cancelled -= 1
+            if len(pool) < _POOL_MAX:
+                pool.append(entry)
+        bucket.clear()
+
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or ``None`` if the queue is empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        run_list = self._run_list
+        if run_list is not None:
+            for entry in run_list[self._run_index:]:
+                if entry.__class__ is not Event or entry.fn is not None:
+                    return self._run_time
+            self._retire_run_list()
+        if self._head_time is not None:
+            head = self._head
+            if any(e.__class__ is not Event or e.fn is not None for e in head):
+                return self._head_time
+            self._head_time = None
+            self._drop_dead_bucket(head)
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            if any(e.__class__ is not Event or e.fn is not None for e in bucket):
+                return time
+            heappop(times)
+            del buckets[time]
+            self._drop_dead_bucket(bucket)
+        return None
 
     def step(self) -> bool:
         """Run the next event.  Returns ``False`` when no events remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn()
-            return True
-        return False
+        pool = self._pool
+        while True:
+            run_list = self._run_list
+            if run_list is None:
+                run_list = self._take_next_bucket()
+                if run_list is None:
+                    return False
+                self._run_list = run_list
+                self._run_index = 0
+            index = self._run_index
+            length = len(run_list)
+            time = self._run_time
+            while index < length:
+                entry = run_list[index]
+                index += 1
+                if entry.__class__ is Event:
+                    fn = entry.fn
+                    if fn is None:
+                        # Cancelled stub: reclaim in place.
+                        if entry.cancelled:
+                            entry.cancelled = False
+                            self._cancelled -= 1
+                            if len(pool) < _POOL_MAX:
+                                pool.append(entry)
+                        continue
+                    self._run_index = index
+                    self.now = time
+                    self._events_processed += 1
+                    arg = entry.arg
+                    entry.fn = None
+                    if len(pool) < _POOL_MAX:
+                        pool.append(entry)
+                    if arg is None:
+                        fn()
+                    else:
+                        entry.arg = None
+                        fn(arg)
+                    return True
+                self._run_index = index
+                self.now = time
+                self._events_processed += 1
+                entry()
+                return True
+            self._run_index = index
+            self._retire_run_list()
 
     def run_until(self, end_time: int) -> None:
         """Run every event scheduled strictly before or at *end_time*, then
         advance the clock to *end_time*."""
-        heap = self._heap
-        while heap:
-            event = heap[0]
-            if event.time > end_time:
-                break
-            heapq.heappop(heap)
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.fn()
+        buckets = self._buckets
+        times = self._times
+        run_list = self._run_list
+        index = self._run_index
+        if run_list is not None:
+            if index < len(run_list) and self._run_time > end_time:
+                # A bucket detached by step() extends past the horizon;
+                # leave it pending.
+                if end_time > self.now:
+                    self.now = end_time
+                return
+            self._run_list = None
+            self._run_index = 0
+        else:
+            run_list = []
+        n = len(run_list)
+        processed = n - index
+        try:
+            while True:
+                while index < n:
+                    entry = run_list[index]
+                    index += 1
+                    entry()
+                run_list.clear()
+                index = 0
+                n = 0
+                head_time = self._head_time
+                if head_time is not None:
+                    if head_time > end_time:
+                        break
+                    self._head_time = None
+                    nxt = self._head
+                    self._head = run_list
+                    run_list = nxt
+                    self.now = head_time
+                elif times and times[0] <= end_time:
+                    time = heappop(times)
+                    self._spare = run_list
+                    run_list = buckets.pop(time)
+                    self.now = time
+                else:
+                    break
+                n = len(run_list)
+                processed += n
+        finally:
+            self._events_processed += processed - (n - index)
+            if index < n:
+                self._run_list = run_list
+                self._run_index = index
+                self._run_time = self.now
         if end_time > self.now:
             self.now = end_time
 
     def run(self) -> None:
         """Run until the event queue drains."""
-        while self.step():
-            pass
+        buckets = self._buckets
+        times = self._times
+        run_list = self._run_list
+        index = self._run_index
+        if run_list is None:
+            run_list = []
+        else:
+            self._run_list = None
+            self._run_index = 0
+        n = len(run_list)
+        processed = n - index
+        try:
+            while True:
+                while index < n:
+                    entry = run_list[index]
+                    index += 1
+                    entry()
+                run_list.clear()
+                index = 0
+                n = 0
+                head_time = self._head_time
+                if head_time is not None:
+                    self._head_time = None
+                    nxt = self._head
+                    self._head = run_list
+                    run_list = nxt
+                    self.now = head_time
+                elif times:
+                    time = heappop(times)
+                    self._spare = run_list
+                    run_list = buckets.pop(time)
+                    self.now = time
+                else:
+                    break
+                n = len(run_list)
+                processed += n
+        finally:
+            self._events_processed += processed - (n - index)
+            if index < n:
+                self._run_list = run_list
+                self._run_index = index
+                self._run_time = self.now
+
+    # -- maintenance --------------------------------------------------------
+
+    def _compact(self) -> None:
+        """Sweep cancelled stubs out and rebuild the time heap in place."""
+        pool = self._pool
+        reclaimed = 0
+        if self._head_time is not None:
+            head = self._head
+            live = [
+                e for e in head
+                if e.__class__ is not Event or not e.cancelled
+            ]
+            if len(live) != len(head):
+                for entry in head:
+                    if entry.__class__ is Event and entry.cancelled:
+                        entry.cancelled = False
+                        reclaimed += 1
+                        if len(pool) < _POOL_MAX:
+                            pool.append(entry)
+                head[:] = live
+                if not live:
+                    self._head_time = None
+        buckets = self._buckets
+        for time in list(buckets):
+            bucket = buckets[time]
+            live = [
+                e for e in bucket
+                if e.__class__ is not Event or not e.cancelled
+            ]
+            if len(live) == len(bucket):
+                continue
+            for entry in bucket:
+                if entry.__class__ is Event and entry.cancelled:
+                    entry.cancelled = False
+                    reclaimed += 1
+                    if len(pool) < _POOL_MAX:
+                        pool.append(entry)
+            if live:
+                buckets[time] = live
+            else:
+                del buckets[time]
+        self._times = list(buckets)
+        heapify(self._times)
+        # Stubs in a detached bucket mid-drain stay counted until their
+        # run list retires.
+        self._cancelled -= reclaimed
+
+    def clear_pending(self) -> int:
+        """Drop every queued event (test/driver helper); returns the number
+        of live events discarded.  The clock and counters are untouched."""
+        dropped = self.pending_events
+        self._head_time = None
+        self._head.clear()
+        self._buckets.clear()
+        self._times.clear()
+        self._run_list = None
+        self._run_index = 0
+        self._cancelled = 0
+        return dropped
+
+    # -- introspection ------------------------------------------------------
+
+    def _queued_entries(self) -> int:
+        """Total queued entries, cancelled stubs included.
+
+        O(number of buckets), not O(number of entries) — this is the
+        cheap denominator for the compaction trigger (compact once stubs
+        exceed half the queue)."""
+        count = len(self._head)
+        for bucket in self._buckets.values():
+            count += len(bucket)
+        run_list = self._run_list
+        if run_list is not None:
+            count += len(run_list) - self._run_index
+        return count
 
     @property
     def events_processed(self) -> int:
-        """Total number of (non-cancelled) events executed so far."""
+        """Total number of (non-cancelled) events executed so far.
+
+        Updated in batches by :meth:`run`/:meth:`run_until`; only
+        guaranteed current between run calls."""
         return self._events_processed
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently queued (including cancelled stubs)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events currently queued.
+
+        Computed on demand — the hot paths keep no counter."""
+        count = 0
+        run_list = self._run_list
+        if run_list is not None:
+            count += sum(
+                1 for e in run_list[self._run_index:]
+                if e.__class__ is not Event or e.fn is not None
+            )
+        count += sum(
+            1 for e in self._head
+            if e.__class__ is not Event or e.fn is not None
+        )
+        for bucket in self._buckets.values():
+            count += sum(
+                1 for e in bucket
+                if e.__class__ is not Event or e.fn is not None
+            )
+        return count
 
     def __repr__(self) -> str:
         return f"Engine(now={self.now}, pending={self.pending_events})"

@@ -398,6 +398,11 @@ class System:
         from repro.dram.bank import BankStats
 
         now = self.engine.now
+        # Credit fast-forwarded compute gaps that elapsed before the
+        # warmup boundary, so zeroing below drops exactly what the
+        # one-event-per-gap schedule would have credited by now.
+        for core in self.cores:
+            core.sync_accounting(now)
         self.controller.stats = ControllerStats()
         self.refresh_scheduler.stats = RefreshStats()
         for bank in self.controller.banks:
@@ -418,6 +423,7 @@ class System:
         now = self.engine.now
         # Close each running task's accounting interval.
         for core in self.cores:
+            core.sync_accounting(now)
             task = core.current_task
             if task is not None and task._scheduled_at is not None:
                 task.stats.scheduled_cycles += now - task._scheduled_at

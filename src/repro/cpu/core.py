@@ -30,6 +30,11 @@ from repro.dram.request import MemoryRequest, RequestType
 from repro.errors import SimulationError
 
 
+#: Max pure-compute gaps folded into one fast-forward wake-up.  Bounds the
+#: workload prefetch when no quantum boundary caps the chain.
+_CHAIN_MAX = 64
+
+
 class _RobEntry:
     """One outstanding miss: its preceding instruction gap and done flag."""
 
@@ -67,18 +72,34 @@ class Core:
         self._pending_gap_start = 0
         self._pending_gap_cycles = 0
         self._pending_instructions = 0
+        # Compute-chain fast-forward state: a run of pure-compute gaps
+        # collapsed into one engine event.  ``_chain`` holds
+        # (end_offset, instructions) per folded gap, offsets relative to
+        # ``_chain_start``; ``_chain_final`` is the trailing (unfolded)
+        # access's (start_offset, gap_cycles, instructions).
+        self._quantum_end: Optional[int] = None
+        self._chain: Optional[list[tuple[int, int]]] = None
+        self._chain_start = 0
+        self._chain_credited = 0
+        self._chain_final = (0, 0, 0)
         self.idle_cycles = 0
         self._idle_since: Optional[int] = None
 
     # -- scheduler interface -----------------------------------------------------
 
-    def run_task(self, task) -> None:
-        """Context-switch *task* onto this core (or go idle with ``None``)."""
+    def run_task(self, task, quantum_end: Optional[int] = None) -> None:
+        """Context-switch *task* onto this core (or go idle with ``None``).
+
+        *quantum_end* (absolute cycle of the next scheduler tick, if
+        known) bounds the compute-chain fast-forward so a chain never
+        crosses a preemption boundary."""
         if self.current_task is not None:
             raise SimulationError(
                 f"core {self.core_id} already running {self.current_task}"
             )
         self._epoch += 1
+        self._quantum_end = quantum_end
+        self._chain = None
         if task is None:
             if self._idle_since is None:
                 self._idle_since = self.engine.now
@@ -104,12 +125,22 @@ class Core:
                 self._idle_since = self.engine.now
             return None
         now = self.engine.now
-        # Credit the fraction of the in-progress compute gap.
-        if self._pending_gap_cycles > 0:
+        self.sync_accounting(now)
+        # Credit the fraction of the in-progress compute gap, rounding
+        # half-up in pure integer arithmetic (a bare int() truncation
+        # would systematically under-credit preempted gaps).
+        gap = self._pending_gap_cycles
+        if gap > 0:
             elapsed = now - self._pending_gap_start
-            fraction = min(1.0, max(0.0, elapsed / self._pending_gap_cycles))
-            task.stats.instructions += int(self._pending_instructions * fraction)
+            if elapsed < 0:
+                elapsed = 0
+            elif elapsed > gap:
+                elapsed = gap
+            task.stats.instructions += (
+                2 * self._pending_instructions * elapsed + gap
+            ) // (2 * gap)
         self._pending_gap_cycles = 0
+        self._chain = None
         self._deferred = None
         task.on_descheduled(now)
         self.current_task = None
@@ -124,18 +155,87 @@ class Core:
 
     def _schedule_next_issue(self) -> None:
         task = self.current_task
+        now = self.engine.now
+        qend = self._quantum_end
         access = task.workload.next_access(task)
-        gap_cycles = max(1, access.gap_cycles)
-        self._pending_gap_start = self.engine.now
-        self._pending_gap_cycles = gap_cycles
+        gap = max(1, access.gap_cycles)
+        offset = gap
+        chain = None
+        # Compute-chain fast-forward: fold consecutive pure-compute gaps
+        # that end strictly inside the current quantum into one engine
+        # event.  Per-gap instruction credits are replayed lazily by
+        # sync_accounting, so every observer (preemption, stats
+        # collection, time-series sampling) sees the same cycle-exact
+        # accounting the one-event-per-gap schedule produced.
+        while (
+            access.address is None
+            and (qend is None or now + offset < qend)
+            and (chain is None or len(chain) < _CHAIN_MAX)
+        ):
+            if chain is None:
+                chain = []
+            chain.append((offset, access.instructions))
+            access = task.workload.next_access(task)
+            gap = max(1, access.gap_cycles)
+            offset += gap
+        self._chain = chain
+        self._chain_start = now
+        self._chain_credited = 0
+        self._chain_final = (offset - gap, gap, access.instructions)
+        self._pending_gap_start = now + offset - gap
+        self._pending_gap_cycles = gap
         self._pending_instructions = access.instructions
-        epoch = self._epoch
-        self.engine.schedule(gap_cycles, lambda: self._issue(epoch, access))
+        self.engine.schedule(offset, self._issue, (self._epoch, access))
 
-    def _issue(self, epoch: int, access) -> None:
+    def sync_accounting(self, now: Optional[int] = None) -> None:
+        """Credit fully-elapsed fast-forward chain gaps up to *now*.
+
+        The fast-forward replaces one engine event per compute gap with a
+        single event at the end of the chain; anything that reads
+        ``task.stats.instructions`` mid-chain must call this first so the
+        credit matches the per-event schedule cycle for cycle.  Also
+        re-points the pending-gap proration window at whichever gap is in
+        progress at *now*."""
+        chain = self._chain
+        task = self.current_task
+        if chain is None or task is None:
+            return
+        if now is None:
+            now = self.engine.now
+        start = self._chain_start
+        i = self._chain_credited
+        n = len(chain)
+        stats = task.stats
+        while i < n and start + chain[i][0] <= now:
+            stats.instructions += chain[i][1]
+            i += 1
+        self._chain_credited = i
+        if i < n:
+            end, instructions = chain[i]
+            prev_end = chain[i - 1][0] if i else 0
+            self._pending_gap_start = start + prev_end
+            self._pending_gap_cycles = end - prev_end
+            self._pending_instructions = instructions
+        else:
+            foff, fgap, finstr = self._chain_final
+            self._pending_gap_start = start + foff
+            self._pending_gap_cycles = fgap
+            self._pending_instructions = finstr
+            self._chain = None  # fully replayed
+
+    def _issue(self, ctx: tuple[int, object]) -> None:
+        epoch, access = ctx
         if epoch != self._epoch:
             return  # stale: the task was switched out
         task = self.current_task
+        chain = self._chain
+        if chain is not None:
+            # The chain ends strictly before this event, so every folded
+            # gap is fully elapsed: flush any uncredited remainder.
+            stats = task.stats
+            for i in range(self._chain_credited, len(chain)):
+                stats.instructions += chain[i][1]
+            self._chain = None
         if access.address is not None and not self._can_issue(task):
             # The gap elapsed but the window is full: the front end is
             # actually stalled — defer the miss until retirement frees room.
@@ -163,8 +263,9 @@ class Core:
             access.address,
             self.controller.mapping.address_to_coordinate(access.address),
             task_id=task.task_id,
-            on_complete=self._completion_callback(epoch, task, entry),
+            on_complete=self._on_read_complete,
         )
+        request.ctx = (epoch, task, entry)
         self.controller.enqueue(request)
         task.stats.reads_issued += 1
         self._outstanding += 1
@@ -198,29 +299,27 @@ class Core:
         head_gap = self._window[0].instructions if self._window else 0
         return self._inflight_instr - head_gap < self.rob_entries
 
-    def _completion_callback(self, epoch: int, task, entry: _RobEntry):
-        def on_complete(request: MemoryRequest) -> None:
-            task.stats.record_read_latency(request.latency, request.refresh_stall)
-            if epoch != self._epoch:
-                return  # completion for a task no longer on this core
-            entry.done = True
-            self._outstanding -= 1
-            # In-order retirement: only entries at the head of the window
-            # (every older miss complete) free ROB space.
-            window = self._window
-            while window and window[0].done:
-                retired = window.popleft()
-                self._inflight_instr -= retired.instructions
-            if self._stalled and self._can_issue(task):
-                self._stalled = False
-                deferred = self._deferred
-                if deferred is not None:
-                    self._deferred = None
-                    self._do_issue(epoch, task, deferred)
-                else:
-                    self._schedule_next_issue()
-
-        return on_complete
+    def _on_read_complete(self, request: MemoryRequest) -> None:
+        epoch, task, entry = request.ctx
+        task.stats.record_read_latency(request.latency, request.refresh_stall)
+        if epoch != self._epoch:
+            return  # completion for a task no longer on this core
+        entry.done = True
+        self._outstanding -= 1
+        # In-order retirement: only entries at the head of the window
+        # (every older miss complete) free ROB space.
+        window = self._window
+        while window and window[0].done:
+            retired = window.popleft()
+            self._inflight_instr -= retired.instructions
+        if self._stalled and self._can_issue(task):
+            self._stalled = False
+            deferred = self._deferred
+            if deferred is not None:
+                self._deferred = None
+                self._do_issue(epoch, task, deferred)
+            else:
+                self._schedule_next_issue()
 
     def __repr__(self) -> str:
         running = self.current_task.task_id if self.current_task else "idle"

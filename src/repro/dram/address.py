@@ -13,15 +13,24 @@ its natural bank-level parallelism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config.dram_configs import DramOrganization
 from repro.errors import AddressMapError
 
+#: Frame-decode memo bound.  Cleared (deterministically, by insertion
+#: count alone) when full, so long sweeps cannot grow it without bound.
+_FRAME_CACHE_MAX = 65536
 
-@dataclass(frozen=True)
-class DramCoordinate:
-    """A fully decoded DRAM location."""
+
+class DramCoordinate(NamedTuple):
+    """A fully decoded DRAM location.
+
+    A NamedTuple rather than a dataclass: the controller decodes one of
+    these per memory access, and C-level tuple construction keeps that
+    path cheap.  Immutable, ordered, hashable — same contract as the
+    frozen dataclass it replaced.
+    """
 
     channel: int
     rank: int
@@ -88,26 +97,64 @@ class AddressMapping:
         )
         self.page_bytes = organization.row_size_bytes
         self.total_bytes = self.total_frames * self.page_bytes
+        # -- decode acceleration (pure precomputation; no semantic change) --
+        # Per-layout divisor chain, unrolled into a parallel tuple so the
+        # decode loop needs no dict lookups.
+        self._field_chain = tuple(
+            (field, self._field_sizes[field]) for field in self._fields
+        )
+        # Frame -> (channel, rank, bank, row) memo; frames repeat heavily
+        # within a run (every access to a page hits the same frame).
+        self._frame_cache: dict[int, DramCoordinate] = {}
+        # Byte address split via shifts when the page/cacheline sizes are
+        # powers of two (they always are for real organizations).
+        page = self.page_bytes
+        line = organization.cacheline_bytes
+        if page & (page - 1) == 0 and line & (line - 1) == 0:
+            self._page_shift = page.bit_length() - 1
+            self._page_mask = page - 1
+            self._line_shift = line.bit_length() - 1
+        else:  # pragma: no cover - exotic configs keep the divmod path
+            self._page_shift = None
+            self._page_mask = 0
+            self._line_shift = 0
+        # Flat bank index -> (channel, rank, bank) lookup table.
+        self._unflat = tuple(
+            (
+                flat // (self._ranks * self._banks),
+                (flat // self._banks) % self._ranks,
+                flat % self._banks,
+            )
+            for flat in range(organization.total_banks)
+        )
 
     # -- frame-level mapping (used by the OS allocator) ----------------------
 
     def frame_to_coordinate(self, frame: int) -> DramCoordinate:
         """Decode a physical frame number into a DRAM coordinate (column 0)."""
+        coord = self._frame_cache.get(frame)
+        if coord is not None:
+            return coord
         if not 0 <= frame < self.total_frames:
             raise AddressMapError(
                 f"frame {frame} out of range [0, {self.total_frames})"
             )
         values = {}
         rest = frame
-        for field in self._fields:
-            rest, values[field] = divmod(rest, self._field_sizes[field])
-        return DramCoordinate(
+        for field, size in self._field_chain:
+            rest, values[field] = divmod(rest, size)
+        coord = DramCoordinate(
             channel=values["channel"],
             rank=values["rank"],
             bank=values["bank"],
             row=values["row"],
             column=0,
         )
+        cache = self._frame_cache
+        if len(cache) >= _FRAME_CACHE_MAX:
+            cache.clear()
+        cache[frame] = coord
+        return coord
 
     def coordinate_to_frame(self, coord: DramCoordinate) -> int:
         """Encode a DRAM coordinate back into a frame number."""
@@ -129,7 +176,7 @@ class AddressMapping:
         This is the ``get_bank_id_from_page`` helper of Algorithm 2.
         """
         coord = self.frame_to_coordinate(frame)
-        return self.flat_bank_index(coord.channel, coord.rank, coord.bank)
+        return (coord[0] * self._ranks + coord[1]) * self._banks + coord[2]
 
     # -- address-level mapping (used by the memory controller) ---------------
 
@@ -139,16 +186,16 @@ class AddressMapping:
             raise AddressMapError(
                 f"address {address:#x} out of range [0, {self.total_bytes:#x})"
             )
-        frame, offset = divmod(address, self.page_bytes)
-        coord = self.frame_to_coordinate(frame)
-        column = offset // self.org.cacheline_bytes
-        return DramCoordinate(
-            channel=coord.channel,
-            rank=coord.rank,
-            bank=coord.bank,
-            row=coord.row,
-            column=column,
-        )
+        if self._page_shift is not None:
+            frame = address >> self._page_shift
+            column = (address & self._page_mask) >> self._line_shift
+        else:  # pragma: no cover - exotic configs keep the divmod path
+            frame, offset = divmod(address, self.page_bytes)
+            column = offset // self.org.cacheline_bytes
+        coord = self._frame_cache.get(frame)
+        if coord is None:
+            coord = self.frame_to_coordinate(frame)
+        return DramCoordinate(coord[0], coord[1], coord[2], coord[3], column)
 
     def frame_offset_to_address(self, frame: int, offset: int = 0) -> int:
         """Byte address of *offset* within physical frame *frame*."""
@@ -168,12 +215,10 @@ class AddressMapping:
         return (channel * self._ranks + rank) * self._banks + bank
 
     def unflatten_bank_index(self, index: int) -> tuple[int, int, int]:
-        """Inverse of :meth:`flat_bank_index`."""
+        """Inverse of :meth:`flat_bank_index` (precomputed table)."""
         if not 0 <= index < self.org.total_banks:
             raise AddressMapError(f"bank index {index} out of range")
-        channel, rest = divmod(index, self._ranks * self._banks)
-        rank, bank = divmod(rest, self._banks)
-        return channel, rank, bank
+        return self._unflat[index]
 
     def bank_of_flat_index(self, index: int) -> int:
         """The per-rank bank number of a flat bank index."""

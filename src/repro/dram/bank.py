@@ -10,7 +10,7 @@ or REF command may start, derived from the JEDEC parameters in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.dram.request import MemoryRequest
 from repro.dram.timing import DramTiming
@@ -31,9 +31,11 @@ class BankStats(StatsBase):
     refresh_busy_cycles: int = 0
 
 
-@dataclass
-class ServiceTiming:
-    """Resolved command times for one column access."""
+class ServiceTiming(NamedTuple):
+    """Resolved command times for one column access.
+
+    A NamedTuple: one is built per serviced request, and C-level tuple
+    construction keeps the controller's issue path cheap."""
 
     cas_time: int
     data_start: int
@@ -121,55 +123,65 @@ class Bank:
         The refresh-stall attribution (how long the start was pushed out by
         a refresh-busy bank) is recorded on *request*.
         """
-        earliest = max(now, self.refresh_until)
+        refresh_until = self.refresh_until
+        earliest = now if now > refresh_until else refresh_until
         # Refresh-stall attribution: overlap between the request's wait
         # [arrive, service] and the bank's refresh-busy interval.
-        blocked_from = max(request.arrive_time, self.refresh_started)
-        refresh_stall = max(0, min(self.refresh_until, earliest) - blocked_from)
+        arrive = request.arrive_time
+        started = self.refresh_started
+        blocked_from = arrive if arrive > started else started
+        refresh_stall = refresh_until - blocked_from
+        if refresh_stall < 0:
+            refresh_stall = 0
         row = request.coord.row
         # Subarray refresh blocks only requests into the refreshing subarray.
         if (
             self.sa_refresh_until > earliest
             and self.subarray_of_row(row) == self.sa_refresh_id
         ):
-            sa_blocked_from = max(request.arrive_time, self.sa_refresh_started)
+            sa_blocked_from = max(arrive, self.sa_refresh_started)
             refresh_stall += max(0, self.sa_refresh_until - max(earliest, sa_blocked_from))
             earliest = self.sa_refresh_until
 
+        stats = self.stats
         if self.open_row == row:
             # Row hit: CAS only.
             row_hit = True
-            cas_earliest = max(earliest, self.cas_ready)
-            self.stats.row_hits += 1
+            cas_ready = self.cas_ready
+            cas_earliest = earliest if earliest > cas_ready else cas_ready
+            stats.row_hits += 1
         else:
             row_hit = False
             if self.open_row is None:
                 # Row closed: ACT + CAS.
-                act_earliest = max(earliest, self.act_ready)
-                self.stats.row_misses += 1
+                act_ready = self.act_ready
+                act_earliest = earliest if earliest > act_ready else act_ready
+                stats.row_misses += 1
             else:
                 # Row conflict: PRE + ACT + CAS.
-                pre_time = max(earliest, self.pre_ready)
-                act_earliest = max(pre_time + timing.tRP, self.act_ready)
-                self.stats.row_conflicts += 1
-                self.stats.precharges += 1
+                pre_ready = self.pre_ready
+                pre_time = earliest if earliest > pre_ready else pre_ready
+                act_earliest = pre_time + timing.tRP
+                act_ready = self.act_ready
+                if act_ready > act_earliest:
+                    act_earliest = act_ready
+                stats.row_conflicts += 1
+                stats.precharges += 1
             act_time = rank.earliest_activate(act_earliest, timing)
             rank.record_activate(act_time, timing)
-            self.stats.activations += 1
+            stats.activations += 1
             self.open_row = row
             self.act_ready = act_time + timing.tRC
             self.pre_ready = act_time + timing.tRAS
             cas_earliest = act_time + timing.tRCD
 
-        if request.is_read:
-            cas_to_data = timing.tCL
-        else:
-            cas_to_data = timing.tCWL
+        is_read = request.is_read
+        cas_to_data = timing.tCL if is_read else timing.tCWL
         # Reserve a burst slot on the shared data bus; the CAS is delayed so
         # its data lands exactly in the granted slot.
         data_start = bus.reserve(
             cas_earliest + cas_to_data,
-            is_read=request.is_read,
+            is_read=is_read,
             rank_key=(self.channel, self.rank_id),
             timing=timing,
         )
@@ -177,12 +189,16 @@ class Bank:
         finish = data_start + timing.tBL
 
         self.cas_ready = cas_time + timing.tCCD
-        if request.is_read:
-            self.pre_ready = max(self.pre_ready, cas_time + timing.tRTP)
-            self.stats.reads += 1
+        if is_read:
+            ready = cas_time + timing.tRTP
+            if ready > self.pre_ready:
+                self.pre_ready = ready
+            stats.reads += 1
         else:
-            self.pre_ready = max(self.pre_ready, data_start + timing.tBL + timing.tWR)
-            self.stats.writes += 1
+            ready = data_start + timing.tBL + timing.tWR
+            if ready > self.pre_ready:
+                self.pre_ready = ready
+            stats.writes += 1
 
         if close_row:
             # Closed-row policy: auto-precharge after the access; the next

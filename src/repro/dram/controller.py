@@ -104,10 +104,15 @@ class MemoryController:
         self.read_count = 0
         self.write_count = 0
         self.drain_mode = False
-        # One in-flight pick per bank: time of the next scheduled pick event,
-        # or None when the bank is idle and must be kicked on enqueue.
+        # One in-flight pick per bank (True while a pick event is queued).
+        # Picks are never deferred on empty queues: the pick event's
+        # position in its cycle bucket is what arbitrates same-cycle bus
+        # contention between banks, so even a "dead" pick must be queued
+        # to keep tie-break order (and therefore results) bit-identical.
         self._pick_pending: list[bool] = [False] * total
         self._next_req_id = 0
+        self._ranks_per_channel = organization.ranks_per_channel
+        self._banks_per_rank = organization.banks_per_rank
         self.stats = ControllerStats()
 
     # -- admission ---------------------------------------------------------------
@@ -121,7 +126,9 @@ class MemoryController:
     def enqueue(self, request: MemoryRequest) -> None:
         """Accept a request into its bank queue and kick the bank."""
         coord = request.coord
-        flat = self.mapping.flat_bank_index(coord.channel, coord.rank, coord.bank)
+        flat = (
+            coord[0] * self._ranks_per_channel + coord[1]
+        ) * self._banks_per_rank + coord[2]
         if request.req_id < 0:
             request.req_id = self._next_req_id
             self._next_req_id += 1
@@ -188,8 +195,7 @@ class MemoryController:
                     all_bank=True,
                 )
             )
-        for offset in range(self.org.banks_per_rank):
-            self._kick(base + offset, at=end)
+        self._kick_rank(base, end)
         return end
 
     # -- introspection (used by OOO refresh and AR) --------------------------------
@@ -210,8 +216,35 @@ class MemoryController:
         if self._pick_pending[flat]:
             return
         self._pick_pending[flat] = True
-        when = self.engine.now if at is None else max(at, self.engine.now)
-        self.engine.schedule_at(when, lambda: self._pick(flat))
+        now = self.engine.now
+        when = now if at is None else max(at, now)
+        self.engine.schedule_at(when, self._pick, flat)
+
+    def _kick_rank(self, base: int, end: int) -> None:
+        """Wake every bank of a rank after an all-bank refresh.
+
+        All non-pending banks share one batched wake-up event; the picks
+        run in flat-index order, exactly the order the per-bank events
+        used to occupy in the cycle bucket, so same-cycle bus arbitration
+        is unchanged."""
+        batch: Optional[list[int]] = None
+        for flat in range(base, base + self._banks_per_rank):
+            if self._pick_pending[flat]:
+                continue
+            self._pick_pending[flat] = True
+            if batch is None:
+                batch = []
+            batch.append(flat)
+        if batch is not None:
+            now = self.engine.now
+            self.engine.schedule_at(
+                end if end > now else now, self._pick_many, batch
+            )
+
+    def _pick_many(self, flats: list[int]) -> None:
+        for flat in flats:
+            if self._pick_pending[flat]:
+                self._pick(flat)
 
     def _pick(self, flat: int) -> None:
         """Issue the FR-FCFS-best request for bank *flat*, if any."""
@@ -235,9 +268,7 @@ class MemoryController:
             close_row=self.row_policy == "closed",
         )
         request.start_time = service.cas_time
-        self.engine.schedule_at(
-            service.finish, lambda: self._complete(request)
-        )
+        self.engine.schedule_at(service.finish, self._complete, request)
         if request.is_read:
             self.read_count -= 1
         else:
@@ -245,7 +276,11 @@ class MemoryController:
             if self.drain_mode and self.write_count <= self.write_drain_low:
                 self.drain_mode = False
         # Next pick once this command has gone out on the command bus.
-        self._kick(flat, at=max(service.cas_time, now + 1))
+        cas = service.cas_time
+        nxt = now + 1
+        if cas > nxt:
+            nxt = cas
+        self._kick(flat, at=nxt)
 
     def _select(self, flat: int, bank: Bank) -> Optional[MemoryRequest]:
         """FR-FCFS: prefer row hits, then oldest; reads before writes except

@@ -20,17 +20,21 @@ class AllBankRefresh(RefreshScheduler):
     def start(self) -> None:
         mc = self.controller
         trefi = self.timing.trefi_ab
+        self._trefi = trefi
+        self._trfc = self.timing.trfc_ab
+        self._banks_per_rank = mc.org.banks_per_rank
         for channel in range(mc.org.channels):
             for rank in range(mc.org.ranks_per_channel):
                 offset = rank * trefi // mc.org.ranks_per_channel
-                self._schedule_rank(channel, rank, offset)
+                base_flat = mc.mapping.flat_bank_index(channel, rank, 0)
+                self.engine.schedule(
+                    offset, self._fire, (channel, rank, base_flat)
+                )
 
-    def _schedule_rank(self, channel: int, rank: int, at: int) -> None:
-        def fire() -> None:
-            self.controller.refresh_rank(channel, rank, self.timing.trfc_ab)
-            base_flat = self.controller.mapping.flat_bank_index(channel, rank, 0)
-            for bank in range(self.controller.org.banks_per_rank):
-                self.stats.record(base_flat + bank, row_units=1.0)
-            self._schedule_rank(channel, rank, self.timing.trefi_ab)
-
-        self.engine.schedule(at, fire)
+    def _fire(self, ctx: tuple[int, int, int]) -> None:
+        channel, rank, base_flat = ctx
+        self.controller.refresh_rank(channel, rank, self._trfc)
+        record = self.stats.record
+        for bank in range(self._banks_per_rank):
+            record(base_flat + bank, row_units=1.0)
+        self.engine.schedule(self._trefi, self._fire, ctx)

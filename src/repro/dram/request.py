@@ -36,6 +36,8 @@ class MemoryRequest:
         "refresh_stall",
         "on_complete",
         "row_hit",
+        "ctx",
+        "is_read",
     )
 
     def __init__(
@@ -51,6 +53,9 @@ class MemoryRequest:
         # not a process-global counter (RPR002); -1 = not yet enqueued.
         self.req_id = req_id
         self.rtype = rtype
+        # Precomputed: the controller/bank hot path tests this on every
+        # queue, service and completion step.
+        self.is_read = rtype is RequestType.READ
         self.address = address
         self.coord = coord
         self.task_id = task_id
@@ -60,10 +65,10 @@ class MemoryRequest:
         self.refresh_stall = 0
         self.on_complete = on_complete
         self.row_hit = False
-
-    @property
-    def is_read(self) -> bool:
-        return self.rtype is RequestType.READ
+        # Issuer-owned completion context (e.g. the core's ROB entry).
+        # Letting the issuer hang its state here keeps ``on_complete`` a
+        # plain bound method instead of a per-request closure.
+        self.ctx = None
 
     @property
     def latency(self) -> int:

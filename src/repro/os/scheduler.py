@@ -91,6 +91,7 @@ class OsScheduler:
         self._tick()
 
     def _tick(self) -> None:
+        quantum_end = self.engine.now + self.quantum_cycles
         for core, runqueue in zip(self.cores, self.runqueues):
             previous = core.preempt()
             if previous is not None:
@@ -100,7 +101,7 @@ class OsScheduler:
             if chosen is not None:
                 runqueue.dequeue(chosen)
                 self.context_switches += 1
-            core.run_task(chosen)
+            core.run_task(chosen, quantum_end)
             for observer in self._pick_observers:
                 observer(self.engine.now, core.core_id, chosen)
         self.engine.schedule(self.quantum_cycles, self._tick)

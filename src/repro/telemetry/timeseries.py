@@ -106,6 +106,10 @@ class TimeseriesSampler:
     # -- counter reads --------------------------------------------------------
 
     def _instructions(self) -> int:
+        # Flush fast-forwarded compute-gap credits before reading.
+        now = self.system.engine.now
+        for core in self.system.cores:
+            core.sync_accounting(now)
         return sum(t.stats.instructions for t in self.system.tasks)
 
     # -- driving --------------------------------------------------------------

@@ -153,6 +153,7 @@ class StatisticalWorkload:
         self._fault_penalty = 0
         self._burst_left = 0
         mean = spec.instructions_per_miss()
+        self._mean_instr = mean  # spec-derived constant; cached for next_access
         if mean == float("inf"):
             self._intra_instr = self._inter_mean = float("inf")
         else:
@@ -176,7 +177,7 @@ class StatisticalWorkload:
         spec = self.spec
 
         has_memory = task.vm is not None or bool(task.frames)
-        mean_instr = spec.instructions_per_miss()
+        mean_instr = self._mean_instr
         if mean_instr == float("inf") or not has_memory:
             instructions = self.MAX_GAP_INSTRUCTIONS
         elif self._burst_left > 0:

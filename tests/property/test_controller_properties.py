@@ -120,7 +120,7 @@ def test_interleaved_refresh_preserves_completion(plan, seed):
     engine.schedule(0, refresher)
     engine.run_until(5_000_000)
     # Stop injecting and drain.
-    engine._heap.clear()
+    engine.clear_pending()
     engine.run_until(15_000_000)
     assert len(completed) == len(plan)
 

@@ -40,7 +40,7 @@ def test_cancelled_events_never_fire(delays, cancel_mask):
     fired = []
     events = []
     for i, delay in enumerate(delays):
-        events.append(eng.schedule(delay, lambda i=i: fired.append(i)))
+        events.append(eng.schedule_event(delay, lambda i=i: fired.append(i)))
     cancelled = {
         i for i, (event, cancel) in enumerate(zip(events, cancel_mask))
         if cancel and event.cancel() is None and cancel

@@ -138,6 +138,57 @@ def test_preempt_credits_partial_gap(setup):
     assert task.stats.instructions == pytest.approx(500, abs=5)
 
 
+def test_preempt_rounding_credits_half_up(setup):
+    """Regression: a 3-instruction gap preempted halfway credits 2
+    instructions (1.5 rounded half-up); bare int() used to truncate to 1."""
+    engine, mapping, mc, _ = setup
+    workload = ScriptedWorkload([MemAccess(3, 1000, None)])
+    task = make_task(workload)
+    core = Core(0, engine, mc)
+    core.run_task(task)
+    engine.run_until(500)
+    core.preempt()
+    assert task.stats.instructions == 2
+
+
+def test_compute_chain_fast_forward_credits_exactly(setup):
+    """Folded compute chains process far fewer events but credit exactly
+    the instructions the one-event-per-gap schedule credited."""
+    engine, mapping, mc, _ = setup
+    workload = ScriptedWorkload([MemAccess(100, 50, None)])
+    task = make_task(workload)
+    core = Core(0, engine, mc)
+    core.run_task(task)
+    engine.run_until(50 * 1000)  # 1000 gaps
+    core.preempt()
+    assert task.stats.instructions == 100 * 1000
+    assert engine.events_processed < 40  # ~1 event per 65 folded gaps
+
+
+def test_sync_accounting_matches_per_gap_credit(setup):
+    engine, mapping, mc, _ = setup
+    workload = ScriptedWorkload([MemAccess(100, 50, None)])
+    task = make_task(workload)
+    core = Core(0, engine, mc)
+    core.run_task(task)
+    engine.run_until(125)  # halfway through the third gap
+    core.sync_accounting()
+    # Only the two fully elapsed gaps are credited; the in-progress gap
+    # is left to preemption proration, exactly like the unfolded schedule.
+    assert task.stats.instructions == 200
+
+
+def test_fast_forward_respects_quantum_boundary(setup):
+    engine, mapping, mc, _ = setup
+    workload = ScriptedWorkload([MemAccess(10, 100, None)])
+    task = make_task(workload)
+    core = Core(0, engine, mc)
+    core.run_task(task, quantum_end=350)
+    # Gaps end at 100/200/300/400...; only those strictly inside the
+    # quantum are folded, plus the one in-flight crossing access.
+    assert workload._i == 4
+
+
 def test_preempt_and_resume_roundtrip(setup):
     engine, mapping, mc, _ = setup
     workload = ScriptedWorkload([MemAccess(10, 20, address(mapping, 1))])

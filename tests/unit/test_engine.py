@@ -58,7 +58,7 @@ def test_events_scheduled_during_execution_run():
 def test_cancelled_event_does_not_fire():
     eng = Engine()
     hits = []
-    event = eng.schedule(10, lambda: hits.append("x"))
+    event = eng.schedule_event(10, lambda: hits.append("x"))
     event.cancel()
     eng.run_until(100)
     assert hits == []
@@ -92,7 +92,7 @@ def test_step_returns_false_when_empty():
 
 def test_peek_time_skips_cancelled():
     eng = Engine()
-    e1 = eng.schedule(5, lambda: None)
+    e1 = eng.schedule_event(5, lambda: None)
     eng.schedule(9, lambda: None)
     e1.cancel()
     assert eng.peek_time() == 9
@@ -111,7 +111,108 @@ def test_events_processed_counter():
     eng = Engine()
     for t in range(4):
         eng.schedule(t, lambda: None)
-    cancelled = eng.schedule(9, lambda: None)
+    cancelled = eng.schedule_event(9, lambda: None)
     cancelled.cancel()
     eng.run_until(100)
     assert eng.events_processed == 4
+
+
+def test_schedule_at_now_runs_this_cycle():
+    eng = Engine()
+    hits = []
+    eng.schedule(5, lambda: eng.schedule_at(eng.now, lambda: hits.append(eng.now)))
+    eng.run_until(5)
+    assert hits == [5]
+
+
+def test_same_time_tie_break_with_mixed_entry_kinds():
+    """Insertion order is preserved across bare callables, cancellable
+    handles and pooled arg-carrying events sharing one cycle."""
+    eng = Engine()
+    order = []
+    eng.schedule(3, lambda: order.append("bare0"))
+    eng.schedule_event(3, lambda: order.append("handle1"))
+    eng.schedule(3, order.append, "arg2")
+    eng.schedule(3, lambda: order.append("bare3"))
+    eng.run()
+    assert order == ["bare0", "handle1", "arg2", "bare3"]
+
+
+def test_tie_break_stable_after_pool_reuse():
+    eng = Engine()
+    first = []
+    for i in range(4):
+        eng.schedule(1, first.append, i)
+    eng.run_until(1)
+    second = []
+    for i in range(4):  # these reuse pooled Event objects
+        eng.schedule(1, second.append, i)
+    eng.run_until(2)
+    assert first == [0, 1, 2, 3]
+    assert second == [0, 1, 2, 3]
+
+
+def test_cancel_is_idempotent_and_safe_after_fire_time():
+    eng = Engine()
+    hits = []
+    event = eng.schedule_event(5, lambda: hits.append("a"))
+    eng.schedule(5, lambda: hits.append("b"))
+    event.cancel()
+    event.cancel()  # repeated cancel: no-op
+    eng.run_until(5)
+    assert hits == ["b"]
+    event.cancel()  # after its cycle passed: still a no-op
+    assert eng.events_processed == 1
+
+
+def test_run_until_advances_clock_with_empty_queue():
+    eng = Engine()
+    eng.run_until(123)
+    assert eng.now == 123
+    assert eng.events_processed == 0
+    eng.run_until(123)  # not past the target: clock stays put
+    assert eng.now == 123
+
+
+def test_events_processed_invariant_across_identical_specs():
+    """Same scheduling program => same events_processed, fire order and
+    final clock — the invariance the CI bench job gates on."""
+
+    def program(eng):
+        out = []
+        ticks = [0]
+
+        def tick():
+            ticks[0] += 1
+            out.append(eng.now)
+            if ticks[0] < 50:
+                eng.schedule(3, tick)
+
+        eng.schedule(0, tick)
+        handles = [
+            eng.schedule_event(7 * i, out.append, -i) for i in range(1, 6)
+        ]
+        handles[2].cancel()
+        eng.run()
+        return out, eng.events_processed, eng.now
+
+    first = program(Engine())
+    second = program(Engine())
+    assert first == second
+    assert first[1] == 50 + 4
+
+
+def test_pending_events_reports_live_and_compacts_stubs():
+    eng = Engine()
+    keep = [eng.schedule_event(10, lambda: None) for _ in range(10)]
+    drop = [eng.schedule_event(20, lambda: None) for _ in range(200)]
+    assert eng.pending_events == 210
+    for event in drop:
+        event.cancel()
+    # Live count excludes every cancelled stub...
+    assert eng.pending_events == 10
+    # ...and compaction physically removed most of them from the queue.
+    assert eng._queued_entries() < 100
+    eng.run()
+    assert eng.events_processed == 10
+    assert keep[0].cancel() is None  # stale handle cancel stays safe
