@@ -49,10 +49,11 @@ def engine_event_chain(events: int = 5000) -> int:
 
 
 def engine_handle_churn(events: int = 5000) -> int:
-    """Cancellable-event churn: pool reuse plus cancellation compaction.
+    """Cancellable-event churn: handle allocation plus cancellation
+    compaction.
 
-    Half the handles are cancelled before firing, so the free-list and
-    the dead-stub compaction both stay on the hot path.
+    Half the handles are cancelled before firing, so dead-stub
+    compaction stays on the hot path.
     """
     engine = Engine()
     fired = [0]

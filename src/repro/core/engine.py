@@ -23,20 +23,24 @@ Hot-path design (see docs/PERFORMANCE.md):
   :meth:`Engine.schedule_event`; arg-bearing callbacks are wrapped in a
   pooled :class:`Event` whose ``__call__`` does the bookkeeping.  This
   split keeps the dominant path allocation-free and branch-free.
-* **Event free-list pool.**  Fired and reclaimed :class:`Event` wrappers
-  are recycled through ``_pool`` instead of becoming garbage.  A recycled
-  Event is only a *stale handle* to its old schedule: cancelling after
-  the event fired is a no-op (its ``fn`` is cleared), but holding a
-  handle across later schedules and then cancelling it would cancel the
-  new occupant.  Nothing in the simulator cancels late; external callers
-  must not either.  A pooled event may briefly keep its last ``arg``
-  alive; the pool is capped, so the retained set is small and bounded.
+* **Event free-list pool.**  Fired internal arg-carrier :class:`Event`
+  wrappers are recycled through ``_pool`` instead of becoming garbage.
+  Only events the engine creates for itself (arg-bearing
+  :meth:`Engine.schedule`/:meth:`Engine.schedule_at`) are recyclable —
+  no caller ever sees them, so reuse is invisible.  Handles returned by
+  :meth:`Engine.schedule_event` are allocated fresh and never pooled
+  (``Event.recyclable`` is False): cancelling after the event fired is
+  a no-op forever, with no stale-handle hazard.  A pooled event may
+  briefly keep its last ``arg`` alive; the pool is capped, so the
+  retained set is small and bounded.
 * **Liveness = ``fn is not None``** (for :class:`Event` entries; a bare
   callable entry is always live).  A pending event has its callback set;
   firing and cancelling both clear it.  ``pending_events`` and
   ``peek_time`` test this single field, so cancelled stubs can linger in
   buckets without skewing any observable until :meth:`Engine._compact`
-  sweeps them out.
+  sweeps them out.  Compaction mutates ``_buckets``/``_times`` strictly
+  in place, so it is safe to trigger from a callback while a run loop
+  holds local aliases to both.
 * **Batched counters.**  The run loops count processed events per bucket
   and flush once on exit, so ``events_processed`` is only guaranteed
   current between :meth:`run`/:meth:`run_until` calls (``step`` updates
@@ -73,17 +77,26 @@ class Event:
     Event or the bare callback itself, and the drain loop just calls the
     entry — :meth:`__call__` unwraps and does the pool bookkeeping.
 
-    Handles are valid until the event fires; after that the engine may
-    recycle the object for a future schedule (see module docstring).
+    Events handed out by :meth:`Engine.schedule_event` are never recycled
+    (``recyclable`` is False), so a retained handle stays a safe no-op
+    forever after the event fires or is cancelled.  Only the engine's
+    internal arg-carrier events go through the free-list pool.
     """
 
-    __slots__ = ("engine", "fn", "arg", "cancelled")
+    __slots__ = ("engine", "fn", "arg", "cancelled", "recyclable")
 
-    def __init__(self, fn: Optional[Callable], arg: Any, engine: "Engine"):
+    def __init__(
+        self,
+        fn: Optional[Callable],
+        arg: Any,
+        engine: "Engine",
+        recyclable: bool = True,
+    ):
         self.engine = engine
         self.fn = fn
         self.arg = arg
         self.cancelled = False
+        self.recyclable = recyclable
 
     def __call__(self) -> None:
         """Fire (run-loop internal).  The run loops count every drained
@@ -95,15 +108,17 @@ class Event:
             if self.cancelled:
                 self.cancelled = False
                 engine._cancelled -= 1
-                pool = engine._pool
-                if len(pool) < _POOL_MAX:
-                    pool.append(self)
+                if self.recyclable:
+                    pool = engine._pool
+                    if len(pool) < _POOL_MAX:
+                        pool.append(self)
             return
         arg = self.arg
         self.fn = None
-        pool = self.engine._pool
-        if len(pool) < _POOL_MAX:
-            pool.append(self)
+        if self.recyclable:
+            pool = self.engine._pool
+            if len(pool) < _POOL_MAX:
+                pool.append(self)
         if arg is None:
             fn()
         else:
@@ -113,8 +128,9 @@ class Event:
     def cancel(self) -> None:
         """Prevent this event's callback from running.
 
-        Safe to call repeatedly and after the event fired (both no-ops);
-        invalid once the handle has been recycled by a later schedule.
+        Safe to call repeatedly and after the event fired (both no-ops).
+        Handles are never recycled, so a late cancel can never affect a
+        different, later-scheduled event.
         """
         if self.fn is None:
             return
@@ -197,6 +213,13 @@ class Engine:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         time = self.now + delay
+        if time.__class__ is not int:
+            # Match schedule_at's int() coercion: float delays must not
+            # mint float bucket keys (5.000001 != 5 would split a bucket
+            # and change ordering between otherwise identical runs).  The
+            # class check is ~5x cheaper than an unconditional int() on
+            # this, the hottest line in the simulator.
+            time = int(time)
         if arg is not None:
             pool = self._pool
             if pool:
@@ -236,17 +259,15 @@ class Engine:
             self._head_time = time
 
     def schedule_event(self, delay: int, fn: Callable, arg: Any = None) -> Event:
-        """Like :meth:`schedule`, but returns a cancellable handle."""
+        """Like :meth:`schedule`, but returns a cancellable handle.
+
+        The handle is a fresh, never-recycled :class:`Event`, so holding
+        it past the fire time and cancelling late is always a safe no-op.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        pool = self._pool
-        if pool:
-            event = pool.pop()
-            event.fn = fn
-            event.arg = arg
-        else:
-            event = Event(fn, arg, self)
-        self._insert(self.now + delay, event)
+        event = Event(fn, arg, self, recyclable=False)
+        self._insert(self.now + int(delay), event)
         return event
 
     def schedule_at(self, time: int, fn: Callable, arg: Any = None) -> None:
@@ -330,7 +351,7 @@ class Engine:
             if entry.__class__ is Event and entry.cancelled:
                 entry.cancelled = False
                 self._cancelled -= 1
-                if len(pool) < _POOL_MAX:
+                if entry.recyclable and len(pool) < _POOL_MAX:
                     pool.append(entry)
         run_list.clear()
         if self._spare is None:
@@ -344,7 +365,7 @@ class Engine:
         for entry in bucket:
             entry.cancelled = False
             self._cancelled -= 1
-            if len(pool) < _POOL_MAX:
+            if entry.recyclable and len(pool) < _POOL_MAX:
                 pool.append(entry)
         bucket.clear()
 
@@ -398,7 +419,7 @@ class Engine:
                         if entry.cancelled:
                             entry.cancelled = False
                             self._cancelled -= 1
-                            if len(pool) < _POOL_MAX:
+                            if entry.recyclable and len(pool) < _POOL_MAX:
                                 pool.append(entry)
                         continue
                     self._run_index = index
@@ -406,7 +427,7 @@ class Engine:
                     self._events_processed += 1
                     arg = entry.arg
                     entry.fn = None
-                    if len(pool) < _POOL_MAX:
+                    if entry.recyclable and len(pool) < _POOL_MAX:
                         pool.append(entry)
                     if arg is None:
                         fn()
@@ -540,7 +561,7 @@ class Engine:
                     if entry.__class__ is Event and entry.cancelled:
                         entry.cancelled = False
                         reclaimed += 1
-                        if len(pool) < _POOL_MAX:
+                        if entry.recyclable and len(pool) < _POOL_MAX:
                             pool.append(entry)
                 head[:] = live
                 if not live:
@@ -558,14 +579,19 @@ class Engine:
                 if entry.__class__ is Event and entry.cancelled:
                     entry.cancelled = False
                     reclaimed += 1
-                    if len(pool) < _POOL_MAX:
+                    if entry.recyclable and len(pool) < _POOL_MAX:
                         pool.append(entry)
             if live:
                 buckets[time] = live
             else:
                 del buckets[time]
-        self._times = list(buckets)
-        heapify(self._times)
+        # Rebuild the heap *in place*: run()/run_until() hold a local alias
+        # to this exact list (and to _buckets), and cancel() can trigger a
+        # compaction from inside a callback mid-run.  Rebinding self._times
+        # would desynchronise the alias from the bucket dict.
+        times = self._times
+        times[:] = buckets
+        heapify(times)
         # Stubs in a detached bucket mid-drain stay counted until their
         # run list retires.
         self._cancelled -= reclaimed

@@ -202,6 +202,85 @@ def test_events_processed_invariant_across_identical_specs():
     assert first[1] == 50 + 4
 
 
+def test_mass_cancel_from_callback_during_run():
+    """Regression: cancel() can trigger _compact() from inside a callback
+    while run() holds local aliases to _times/_buckets.  Compaction must
+    mutate both in place — rebinding _times used to desync the aliases
+    (KeyError on buckets.pop) and silently drop newly scheduled events."""
+    eng = Engine()
+    fired = []
+    handles = []
+    later = []
+
+    def driver():
+        for handle in handles[1:]:
+            handle.cancel()  # triggers repeated mid-run compactions
+        eng.schedule(500, lambda: later.append(eng.now))
+
+    eng.schedule(1, driver)
+    handles.extend(
+        eng.schedule_event(10 + i, fired.append, 10 + i) for i in range(200)
+    )
+    eng.run()
+    assert fired == [10]  # only the surviving handle fired
+    assert later == [501]  # post-compaction schedule was not dropped
+    assert eng.pending_events == 0
+    assert eng.events_processed == 3
+
+
+def test_mass_cancel_from_callback_during_run_until():
+    """Same regression as above, through the run_until() drain loop."""
+    eng = Engine()
+    fired = []
+    handles = []
+
+    def driver():
+        for handle in handles[1:]:
+            handle.cancel()
+
+    eng.schedule(1, driver)
+    handles.extend(
+        eng.schedule_event(10 + i, fired.append, 10 + i) for i in range(200)
+    )
+    eng.run_until(1000)
+    assert fired == [10]
+    assert eng.now == 1000
+    assert eng.pending_events == 0
+
+
+def test_stale_handle_cancel_cannot_kill_later_events():
+    """Regression: fired schedule_event handles are never recycled, so a
+    retained handle cancelled late can no longer cancel an unrelated,
+    newly scheduled event that would have reused the pooled object."""
+    eng = Engine()
+    hits = []
+    handle = eng.schedule_event(1, hits.append, "first")
+    eng.run_until(1)
+    assert hits == ["first"]
+    for i in range(5):  # arg-carrier events draw from the free-list pool
+        eng.schedule(1, hits.append, i)
+    handle.cancel()  # stale cancel between scheduling and firing
+    handle.cancel()
+    eng.run_until(2)
+    assert hits == ["first", 0, 1, 2, 3, 4]
+    assert eng.events_processed == 6
+
+
+def test_float_delays_coerce_to_int_time():
+    """Regression: schedule()/schedule_event() coerce float delays to int
+    (like schedule_at), so 5.7 lands in the t=5 bucket instead of minting
+    a float bucket key that breaks same-cycle merging and ordering."""
+    eng = Engine()
+    order = []
+    eng.schedule(5, lambda: order.append("int"))
+    eng.schedule(5.7, lambda: order.append("float"))
+    eng.schedule_event(5.2, lambda: order.append("handle"))
+    eng.run()
+    assert order == ["int", "float", "handle"]
+    assert eng.now == 5
+    assert isinstance(eng.now, int)
+
+
 def test_pending_events_reports_live_and_compacts_stubs():
     eng = Engine()
     keep = [eng.schedule_event(10, lambda: None) for _ in range(10)]
