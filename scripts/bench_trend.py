@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Aggregate BENCH_<date>.json reports into a perf-trajectory table.
+
+Every checked-in ``BENCH_*.json`` (written by ``scripts/bench_report.py``)
+is one point on the repo's performance trajectory.  This tool lines them
+up chronologically and, in ``--gate`` mode, compares a freshly produced
+report against the latest checked-in one.  Stdlib only.
+
+Usage::
+
+    python scripts/bench_trend.py                      # print the table
+    python scripts/bench_trend.py --gate --fresh /tmp/out/BENCH_*.json
+
+The gate compares only the *determinism signature* — per-kernel
+operation counts, the end-to-end ``events_processed`` and the result
+digest.  Those are pure functions of the code and must match exactly;
+any drift means an unintended behavior change (or a forgotten
+re-baseline).  Wall times vary with the host and are reported but never
+gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def determinism_signature(report: dict) -> dict:
+    """Gated subset: operation counts and result digests only.
+
+    Mirrors ``scripts/bench_report.py`` (scripts are not a package, so
+    the six lines are repeated rather than imported).
+    """
+    sig = {k["name"]: k["ops"] for k in report["kernels"]}
+    end = report.get("end_to_end")
+    if end is not None:
+        sig["end_to_end.events_processed"] = end["events_processed"]
+        sig["end_to_end.result_sha256"] = end["result_sha256"]
+    return sig
+
+
+def load_reports(directory: Path) -> list:
+    """All BENCH_*.json reports in *directory*, oldest first."""
+    reports = []
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+        report["_path"] = str(path)
+        reports.append(report)
+    return reports
+
+
+def trajectory_table(reports: list) -> str:
+    """One row per report; one column per kernel (wall ms) + end-to-end."""
+    names = []
+    for report in reports:
+        for kernel in report["kernels"]:
+            if kernel["name"] not in names:
+                names.append(kernel["name"])
+
+    # Kernel names are long; head the columns with indices and print a
+    # legend so the table stays within a terminal.
+    legend = [f"  k{i}: {name}" for i, name in enumerate(names)]
+    header = ["date", "git"] + [f"k{i}" for i in range(len(names))] + ["e2e s"]
+    rows = [header]
+    for report in reports:
+        walls = {k["name"]: k["wall_seconds"] for k in report["kernels"]}
+        row = [report.get("date", "?"), report.get("git", "?")]
+        for name in names:
+            wall = walls.get(name)
+            row.append(f"{wall * 1000:.1f}" if wall is not None else "-")
+        end = report.get("end_to_end")
+        row.append(f"{end['wall_seconds']:.2f}" if end else "-")
+        rows.append(row)
+
+    widths = [max(len(r[c]) for r in rows) for c in range(len(header))]
+    lines = ["kernel wall times (ms):"] + legend + [""]
+    for row in rows:
+        lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def gate(latest: dict, fresh: dict) -> list:
+    """Mismatches between the checked-in and fresh determinism signatures."""
+    baseline_sig = determinism_signature(latest)
+    fresh_sig = determinism_signature(fresh)
+    problems = []
+    for key in sorted(baseline_sig.keys() | fresh_sig.keys()):
+        a, b = baseline_sig.get(key), fresh_sig.get(key)
+        if a != b:
+            problems.append(f"{key}: checked-in {a!r} != fresh {b!r}")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument(
+        "--dir", default=str(REPO_ROOT), metavar="PATH",
+        help="directory holding the checked-in BENCH_*.json reports "
+             "(default: repo root)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="compare --fresh against the latest checked-in report and "
+             "exit 1 on any determinism-signature mismatch",
+    )
+    parser.add_argument(
+        "--fresh", metavar="PATH", default=None,
+        help="freshly produced BENCH_*.json to gate (required with --gate)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = load_reports(Path(args.dir))
+    if not reports:
+        print(f"no BENCH_*.json reports under {args.dir}", file=sys.stderr)
+        return 1
+    print(trajectory_table(reports))
+
+    if not args.gate:
+        return 0
+    if args.fresh is None:
+        parser.error("--gate requires --fresh PATH")
+    with open(args.fresh, "r", encoding="utf-8") as f:
+        fresh = json.load(f)
+    latest = reports[-1]
+    problems = gate(latest, fresh)
+    print(
+        f"\ngate: fresh {args.fresh} vs checked-in {latest['_path']}"
+    )
+    if problems:
+        print("DETERMINISM REGRESSION:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(
+            "(if the change is intentional, regenerate the checked-in "
+            "report with scripts/bench_report.py)",
+            file=sys.stderr,
+        )
+        return 1
+    print("gate: determinism signature matches")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

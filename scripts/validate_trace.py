@@ -9,7 +9,11 @@ Checks the subset of the trace-event format the repo relies on (legacy
 Catapult JSON object form, loadable in Perfetto) plus the repo-specific
 track layout: at least one refresh-stretch slice on the DRAM process and
 at least one quantum-pick slice per traced core, with metadata naming
-every track.  Exits non-zero with one message per violation.
+every track.  Also checks stream ordering: slice start times are
+non-decreasing within each track (the sinks see events in simulation
+order), and refresh-stretch slices never overlap (the same-bank schedule
+refreshes one bank at a time).  Exits non-zero with one message per
+violation.
 """
 
 import argparse
@@ -35,6 +39,8 @@ def validate(payload) -> list:
     named_tracks = set()
     slice_tracks = set()
     stretch_slices = 0
+    last_ts = {}  # (pid, tid) -> latest slice start seen on that track
+    stretches = []  # (begin, end, name) of every refresh-stretch slice
     for i, event in enumerate(events):
         where = f"traceEvents[{i}]"
         if not isinstance(event, dict):
@@ -58,9 +64,32 @@ def validate(payload) -> list:
         if ph == "X":
             if not isinstance(event.get("dur"), int) or event["dur"] < 0:
                 errors.append(f"{where}: dur must be a non-negative integer")
-            slice_tracks.add((event.get("pid"), event.get("tid")))
+            track = (event.get("pid"), event.get("tid"))
+            slice_tracks.add(track)
+            ts = event.get("ts")
+            if isinstance(ts, int):
+                prev = last_ts.get(track)
+                if prev is not None and ts < prev:
+                    errors.append(
+                        f"{where}: ts {ts} goes backwards on track "
+                        f"pid={track[0]} tid={track[1]} (previous slice "
+                        f"started at {prev})"
+                    )
+                last_ts[track] = ts
             if str(event.get("name", "")).startswith("refresh b"):
                 stretch_slices += 1
+                if isinstance(ts, int) and isinstance(event.get("dur"), int):
+                    stretches.append((ts, ts + event["dur"], event["name"]))
+
+    # Same-bank stretches are strictly sequential: each bank's slice
+    # must end before the next bank's begins.
+    stretches.sort()
+    for (b0, e0, n0), (b1, e1, n1) in zip(stretches, stretches[1:]):
+        if b1 < e0:
+            errors.append(
+                f"refresh stretches overlap: {n0} [{b0}, {e0}) and "
+                f"{n1} [{b1}, {e1})"
+            )
 
     # Every slice lands on a track that metadata names (process-level
     # names have tid None in the key, so check pid coverage).

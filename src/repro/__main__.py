@@ -9,6 +9,9 @@ Usage::
     python -m repro WL-6 codesign --trace trace.json           # Perfetto
     python -m repro WL-6 codesign --metrics-out metrics.json
     python -m repro WL-6 codesign --timeseries 32 --json r.json
+    python -m repro WL-6 codesign --monitors            # invariant checks
+    python -m repro WL-6 codesign --monitors=strict     # fail fast
+    python -m repro WL-6 codesign --profile prof.json   # engine profile
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
 
@@ -17,9 +20,13 @@ experiment harness: results persist in the content-addressed disk cache
 (``--cache-dir``, ``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable
 with ``--no-cache``), and a comma-separated scenario list fans out over
 ``--jobs`` worker processes.  ``--trace``/``--trace-jsonl`` and
-``--metrics-out`` need the events of a *live* run, so they bypass the
+``--metrics-out`` — and the ``repro.obs`` consumers ``--monitors`` and
+``--profile`` — need the events of a *live* run, so they bypass the
 result cache; with several scenarios each output file gets a
 ``.<scenario>`` suffix before its extension.
+
+Exit codes with ``--monitors``: 0 clean, 1 violations collected,
+2 strict-mode fail-fast.
 """
 
 from __future__ import annotations
@@ -61,21 +68,57 @@ def _suffixed(path: str, name: str, multi: bool) -> str:
 
 
 def _run_observed(spec, name: str, args, multi: bool):
-    """Execute one spec live with the requested sinks attached."""
+    """Execute one spec live with the requested sinks/monitors attached."""
     telemetry = Telemetry()
-    chrome = jsonl = None
+    chrome = jsonl = suite = profiler = None
     if args.trace:
         chrome = telemetry.subscribe(ChromeTraceSink())
     if args.trace_jsonl:
         jsonl = telemetry.subscribe(
             JsonlSink(_suffixed(args.trace_jsonl, name, multi))
         )
-    system = build_system_from_spec(spec, telemetry=telemetry)
-    result = system.run(
-        num_windows=spec.num_windows,
-        warmup_windows=spec.warmup_windows,
-        sample_windows=spec.sample_windows,
-    )
+    if args.monitors:
+        from repro.obs.monitors import MonitorSuite
+
+        # Attach before system construction: page allocations are
+        # emitted while the System is being built, and the suite
+        # buffers them until bind().
+        suite = MonitorSuite(strict=args.monitors == "strict").attach(telemetry)
+    try:
+        system = build_system_from_spec(spec, telemetry=telemetry)
+        if suite is not None:
+            suite.bind(system)
+        if args.profile:
+            from repro.obs.profiler import EngineProfiler
+
+            profiler = EngineProfiler()
+            system.engine.set_profiler(profiler)
+        result = system.run(
+            num_windows=spec.num_windows,
+            warmup_windows=spec.warmup_windows,
+            sample_windows=spec.sample_windows,
+        )
+    finally:
+        # Mid-run exceptions (including strict-mode MonitorError) must
+        # still flush file sinks: complete JSONL lines beat a lost file.
+        telemetry.close()
+    if suite is not None:
+        suite.finish(system.engine.now)
+        result.monitor_violations = suite.violations()
+        counts = ", ".join(
+            f"{monitor}: {entry['violations']}"
+            for monitor, entry in suite.summary().items()
+            if entry["active"]
+        )
+        print(f"  monitors           : {counts}")
+        for violation in result.monitor_violations:
+            print(f"    VIOLATION {violation}")
+    if profiler is not None:
+        out = _suffixed(args.profile, name, multi)
+        with open(out, "w") as f:
+            json.dump(profiler.report(), f, indent=2)
+        print(f"  wrote profile {out}")
+        print("  " + profiler.format_table().replace("\n", "\n  "))
     if chrome is not None:
         out = _suffixed(args.trace, name, multi)
         chrome.write(out)
@@ -86,7 +129,6 @@ def _run_observed(spec, name: str, args, multi: bool):
         out = _suffixed(args.metrics_out, name, multi)
         system.metrics().write(out)
         print(f"  wrote metrics {out}")
-    telemetry.close()
     return result
 
 
@@ -137,6 +179,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--timeseries", type=int, default=None, metavar="N",
                         help="attach a timeseries with N samples per "
                              "retention window to the result")
+    parser.add_argument("--monitors", nargs="?", const="collect",
+                        choices=["collect", "strict"], default=None,
+                        help="run invariant monitors over the event stream "
+                             "(collect: report violations and exit 1 if any; "
+                             "strict: fail fast with exit 2; "
+                             "bypasses the result cache)")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="profile engine dispatch per subsystem and write "
+                             "the report as JSON (bypasses the result cache)")
     args = parser.parse_args(argv)
 
     if args.workload not in available_workloads():
@@ -168,15 +219,24 @@ def main(argv: list[str] | None = None) -> int:
         for name in scenarios
     ]
 
-    observed = args.trace or args.trace_jsonl or args.metrics_out
+    observed = (
+        args.trace or args.trace_jsonl or args.metrics_out
+        or args.monitors or args.profile
+    )
     results = []
     if observed:
-        # Event sinks and metric snapshots need a live run: execute each
-        # spec in-process instead of resolving through the result cache.
+        # Event sinks, monitors and profiles need a live run: execute
+        # each spec in-process instead of resolving through the cache.
+        from repro.errors import MonitorError
+
         for spec, name in zip(specs, scenarios):
-            results.append(
-                _run_observed(spec, name, args, multi=len(specs) > 1)
-            )
+            try:
+                results.append(
+                    _run_observed(spec, name, args, multi=len(specs) > 1)
+                )
+            except MonitorError as exc:
+                print(f"monitor violation ({name}): {exc}", file=sys.stderr)
+                return 2
     else:
         # Resolve through the sweep runner: disk cache + parallel fan-out.
         from repro.experiments.runner import SweepRunner
@@ -201,6 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2)
         print(f"  wrote {args.json}")
+    if args.monitors and any(r.monitor_violations for r in results):
+        return 1
     return 0
 
 

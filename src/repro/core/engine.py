@@ -175,6 +175,7 @@ class Engine:
         "_run_index",
         "_run_time",
         "_spare",
+        "_profiler",
     )
 
     def __init__(self):
@@ -196,6 +197,10 @@ class Engine:
         self._run_index: int = 0
         self._run_time: int = 0
         self._spare: Optional[list[Callable]] = None
+        # Dispatch profiler (repro.obs.profiler) or None.  The run loops
+        # test this once per call, so the unprofiled hot path pays a
+        # single attribute read.
+        self._profiler = None
 
     # -- scheduling ---------------------------------------------------------
 
@@ -443,9 +448,87 @@ class Engine:
             self._run_index = index
             self._retire_run_list()
 
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None`` remove) a dispatch profiler.
+
+        The profiler must expose ``clock()`` (a monotonic float clock,
+        injected so this module never reads wall time itself) and
+        ``record(fn, elapsed)``; see
+        :class:`repro.obs.profiler.EngineProfiler`.  While installed,
+        :meth:`run` and :meth:`run_until` divert to an instrumented
+        drain loop; event order, times and counts are identical.
+        """
+        self._profiler = profiler
+
+    def _run_profiled(self, end_time: Optional[int]) -> None:
+        """Instrumented drain loop used while a profiler is installed.
+
+        Mirrors :meth:`run` / :meth:`run_until` (``end_time=None`` means
+        drain everything) but times every callback through the injected
+        profiler clock.  Slower than the plain loops (per-entry state
+        writes, two clock reads per event) — only ever active for
+        explicitly profiled runs.
+        """
+        profiler = self._profiler
+        clock = profiler.clock
+        record = profiler.record
+        pool = self._pool
+        while True:
+            next_time = self.peek_time()
+            if next_time is None or (end_time is not None and next_time > end_time):
+                break
+            run_list = self._run_list
+            if run_list is None:
+                run_list = self._take_next_bucket()
+                self._run_list = run_list
+                self._run_index = 0
+            index = self._run_index
+            n = len(run_list)
+            time = self._run_time
+            while index < n:
+                entry = run_list[index]
+                index += 1
+                # Keep the resume state exact per entry so an exception
+                # unwinds to the same place the plain loops would.
+                self._run_index = index
+                if entry.__class__ is Event:
+                    fn = entry.fn
+                    if fn is None:
+                        if entry.cancelled:
+                            entry.cancelled = False
+                            self._cancelled -= 1
+                            if entry.recyclable and len(pool) < _POOL_MAX:
+                                pool.append(entry)
+                        continue
+                    self.now = time
+                    self._events_processed += 1
+                    arg = entry.arg
+                    entry.fn = None
+                    if entry.recyclable and len(pool) < _POOL_MAX:
+                        pool.append(entry)
+                    start = clock()
+                    if arg is None:
+                        fn()
+                    else:
+                        entry.arg = None
+                        fn(arg)
+                    record(fn, clock() - start)
+                else:
+                    self.now = time
+                    self._events_processed += 1
+                    start = clock()
+                    entry()
+                    record(entry, clock() - start)
+            self._retire_run_list()
+        if end_time is not None and end_time > self.now:
+            self.now = end_time
+
     def run_until(self, end_time: int) -> None:
         """Run every event scheduled strictly before or at *end_time*, then
         advance the clock to *end_time*."""
+        if self._profiler is not None:
+            self._run_profiled(end_time)
+            return
         buckets = self._buckets
         times = self._times
         run_list = self._run_list
@@ -501,6 +584,9 @@ class Engine:
 
     def run(self) -> None:
         """Run until the event queue drains."""
+        if self._profiler is not None:
+            self._run_profiled(None)
+            return
         buckets = self._buckets
         times = self._times
         run_list = self._run_list

@@ -17,7 +17,7 @@ from repro.telemetry.timeseries import Timeseries
 
 #: Version tag for the serialized result layout.  Bump whenever a field is
 #: added/removed/renamed so stale disk-cache entries are recomputed.
-RESULT_SCHEMA = 3
+RESULT_SCHEMA = 4
 
 
 @dataclass
@@ -77,6 +77,12 @@ class RunResult:
     #: Windowed samples (IPC, queue depth, refresh-stall fraction) when
     #: the spec requested them (``RunSpec.sample_windows``), else None.
     timeseries: Timeseries | None = None
+    #: Invariant-monitor findings (``repro.obs.monitors``) when the run was
+    #: monitored — an empty list means "monitored, clean".  ``None`` means
+    #: the run was not monitored, and the field is then omitted from
+    #: ``to_dict`` entirely so unmonitored result JSON is byte-identical
+    #: to the pre-monitor layout.
+    monitor_violations: list | None = None
 
     @property
     def hmean_ipc(self) -> float:
@@ -103,13 +109,17 @@ class RunResult:
         data = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("tasks", "energy", "timeseries")
+            if f.name not in ("tasks", "energy", "timeseries", "monitor_violations")
         }
         data["tasks"] = [t.to_dict() for t in self.tasks]
         data["energy"] = self.energy.to_dict() if self.energy is not None else None
         data["timeseries"] = (
             self.timeseries.to_dict() if self.timeseries is not None else None
         )
+        if self.monitor_violations is not None:
+            data["monitor_violations"] = [
+                v.to_dict() for v in self.monitor_violations
+            ]
         return data
 
     @classmethod
@@ -131,6 +141,12 @@ class RunResult:
             data["timeseries"] = (
                 Timeseries.from_dict(timeseries) if timeseries is not None else None
             )
+            violations = data.pop("monitor_violations", None)
+            if violations is not None:
+                from repro.obs.monitors import MonitorViolation
+
+                violations = [MonitorViolation.from_dict(v) for v in violations]
+            data["monitor_violations"] = violations
         except (TypeError, AttributeError) as exc:
             raise ConfigError(f"RunResult: malformed payload ({exc})") from None
         return dataclass_from_dict(cls, data)

@@ -301,6 +301,7 @@ class System:
                 refresh_bank=bank,
                 conflict=conflict,
                 quantum_cycles=self.scheduler.quantum_cycles,
+                fallback=getattr(self.scheduler, "last_pick_fallback", False),
             )
         )
 

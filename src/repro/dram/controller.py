@@ -320,6 +320,7 @@ class MemoryController:
                     task_id=request.task_id,
                     latency=request.latency,
                     refresh_stall=request.refresh_stall,
+                    issue=request.start_time,
                 )
             )
         stats = self.stats

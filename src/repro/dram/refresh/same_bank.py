@@ -24,13 +24,43 @@ from repro.telemetry.events import (
 )
 
 
+#: tRFC growth when one command covers b-times the rows, fitted to the
+#: paper's DDR4 FGR data (1x/2x/4x granularity -> tRFC ratios
+#: 1 / 1.35 / 1.63, i.e. roughly rows^0.35).
+BATCH_EXPONENT = 0.35
+
+
+def plan_batches(timing, batch_exponent: float = BATCH_EXPONENT) -> tuple[int, int]:
+    """Plan the per-command row batch so a bank's refresh work fits in its
+    stretch; returns ``(commands_per_bank, trfc_per_command)``.
+
+    At 32 ms retention and high densities, tRFC_pb exceeds tREFI_pb:
+    serialised single-row-group commands cannot finish a bank within
+    tREFW / total_banks.  Batching b row groups per command costs only
+    ~b^0.35 in tRFC (coarser granularity is more efficient — the inverse
+    of the DDR4 FGR scaling in Section 6.3), so doubling the batch
+    shrinks total refresh-busy time until the stretch fits.
+
+    A module-level function (not a method) so the invariant monitors can
+    recompute the expected schedule from the timing alone, independent of
+    any scheduler instance's state.
+    """
+    n = timing.refreshes_per_bank
+    stretch = timing.refresh_stretch
+    batch = 1
+    while batch < n:
+        commands = -(-n // batch)
+        trfc = round(timing.trfc_pb * batch ** batch_exponent)
+        if commands * trfc <= stretch:
+            break
+        batch *= 2
+    return -(-n // batch), round(timing.trfc_pb * batch ** batch_exponent)
+
+
 class SameBankSequential(RefreshScheduler):
     name = "same_bank"
 
-    #: tRFC growth when one command covers b-times the rows, fitted to the
-    #: paper's DDR4 FGR data (1x/2x/4x granularity -> tRFC ratios
-    #: 1 / 1.35 / 1.63, i.e. roughly rows^0.35).
-    BATCH_EXPONENT = 0.35
+    BATCH_EXPONENT = BATCH_EXPONENT
 
     def __init__(self):
         super().__init__()
@@ -46,28 +76,10 @@ class SameBankSequential(RefreshScheduler):
         self._trfc_cmd = 0
 
     def _plan_batches(self) -> None:
-        """Pick the per-command row batch so a bank's refresh work fits in
-        its stretch.
-
-        At 32 ms retention and high densities, tRFC_pb exceeds tREFI_pb:
-        serialised single-row-group commands cannot finish a bank within
-        tREFW / total_banks.  Batching b row groups per command costs only
-        ~b^0.35 in tRFC (coarser granularity is more efficient — the
-        inverse of the DDR4 FGR scaling in Section 6.3), so doubling the
-        batch shrinks total refresh-busy time until the stretch fits.
-        """
-        timing = self.timing
-        n = timing.refreshes_per_bank
-        stretch = timing.refresh_stretch
-        batch = 1
-        while batch < n:
-            commands = -(-n // batch)
-            trfc = round(timing.trfc_pb * batch ** self.BATCH_EXPONENT)
-            if commands * trfc <= stretch:
-                break
-            batch *= 2
-        self._commands_per_bank = -(-n // batch)
-        self._trfc_cmd = round(timing.trfc_pb * batch ** self.BATCH_EXPONENT)
+        """Install the :func:`plan_batches` schedule on this instance."""
+        self._commands_per_bank, self._trfc_cmd = plan_batches(
+            self.timing, self.BATCH_EXPONENT
+        )
 
     def _command_time(self, k: int) -> int:
         timing = self.timing

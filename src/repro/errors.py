@@ -33,5 +33,9 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class MonitorError(SimulationError):
+    """An invariant monitor observed a violation in strict mode."""
+
+
 class ProtocolError(SimulationError):
     """A DRAM timing or protocol constraint was violated."""

@@ -1,0 +1,82 @@
+"""CLI for observability tooling: ``python -m repro.obs diff a b``.
+
+Exit codes follow :class:`~repro.obs.diff.DiffResult`: 0 identical,
+1 differences all within tolerance, 2 regression (or usage error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.diff import ToleranceRule, diff_files
+
+
+def _parse_rule(text: str, kind: str) -> ToleranceRule:
+    """``PATTERN=VALUE`` -> ToleranceRule (kind: 'rel' or 'abs')."""
+    pattern, sep, value = text.partition("=")
+    if not sep or not pattern:
+        raise argparse.ArgumentTypeError(
+            f"expected PATTERN=VALUE, got {text!r}"
+        )
+    try:
+        tol = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"tolerance in {text!r} is not a number"
+        ) from None
+    if tol < 0:
+        raise argparse.ArgumentTypeError(f"tolerance must be >= 0: {text!r}")
+    if kind == "rel":
+        return ToleranceRule(pattern, rel_tol=tol)
+    return ToleranceRule(pattern, abs_tol=tol)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling for simulation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two result/metrics JSON files",
+        description=(
+            "Compare two JSON artifacts leaf-by-leaf. Exact by default; "
+            "--tol/--abs-tol loosen matching paths. Exit code: 0 identical, "
+            "1 within tolerance, 2 regression."
+        ),
+    )
+    diff.add_argument("a", help="baseline JSON file")
+    diff.add_argument("b", help="candidate JSON file")
+    diff.add_argument(
+        "--tol",
+        action="append",
+        default=[],
+        metavar="PATTERN=REL",
+        type=lambda s: _parse_rule(s, "rel"),
+        help="relative tolerance for leaf paths matching the glob "
+        "(e.g. --tol 'tasks.*.avg_read_latency_cycles=1e-9')",
+    )
+    diff.add_argument(
+        "--abs-tol",
+        action="append",
+        default=[],
+        metavar="PATTERN=ABS",
+        type=lambda s: _parse_rule(s, "abs"),
+        help="absolute tolerance for leaf paths matching the glob",
+    )
+    diff.add_argument(
+        "--quiet", action="store_true", help="suppress the report, exit code only"
+    )
+
+    args = parser.parse_args(argv)
+    result = diff_files(args.a, args.b, rules=args.tol + args.abs_tol)
+    if not args.quiet:
+        print(result.report())
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

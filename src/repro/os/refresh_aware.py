@@ -49,6 +49,9 @@ class RefreshAwareScheduler(OsScheduler):
         self.best_effort = best_effort
         self.clean_picks = 0
         self.fallback_picks = 0
+        # True while the most recent pick was the eta_thresh fairness
+        # fallback (read by the system's pick observer to tag the event).
+        self.last_pick_fallback = False
 
     def next_refresh_bank(self) -> int:
         """Flat bank index the MC refreshes during the upcoming quantum.
@@ -60,6 +63,7 @@ class RefreshAwareScheduler(OsScheduler):
         return self.refresh_scheduler.stretch_bank_at(probe_time)
 
     def pick_next_task(self, runqueue: CfsRunqueue) -> Optional[Task]:
+        self.last_pick_fallback = False
         refresh_bank = self.next_refresh_bank()
         first_entity: Optional[Task] = None
         best_fraction: Optional[tuple[float, Task]] = None
@@ -87,6 +91,7 @@ class RefreshAwareScheduler(OsScheduler):
         if first_entity is None:
             return None
         self.fallback_picks += 1
+        self.last_pick_fallback = True
         if self.best_effort and best_fraction is not None:
             return best_fraction[1]
         return first_entity

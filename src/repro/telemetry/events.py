@@ -72,6 +72,10 @@ class DramCommandEvent(TraceEvent):
     task_id: int
     latency: int
     refresh_stall: int
+    #: Cycle the column access (CAS) was issued — the start of the bank's
+    #: service interval; ``time`` is the finish.  Defaults to 0 so streams
+    #: written before the field existed still reload.
+    issue: int = 0
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,9 @@ class SchedulerPickEvent(TraceEvent):
     refresh_bank: Optional[int]  # None when the schedule is unpredictable
     conflict: bool  # picked task has data in the refreshed bank
     quantum_cycles: int
+    #: True when the refresh-aware scheduler gave up after ``eta_thresh``
+    #: candidates and fell back to the fairness pick (Algorithm 3).
+    fallback: bool = False
 
 
 @dataclass(frozen=True)

@@ -93,7 +93,17 @@ class RingBufferSink(EventSink):
 
 
 class JsonlSink(EventSink):
-    """Writes one canonical-JSON object per line to *path*."""
+    """Writes one canonical-JSON object per line to *path*.
+
+    Usable as a context manager: ``__exit__`` closes (and therefore
+    flushes) the file even when the managed block raises, so a run
+    aborted mid-stream leaves a file of complete records rather than a
+    truncated last line::
+
+        with JsonlSink("events.jsonl") as sink:
+            telemetry.subscribe(sink)
+            system.run()
+    """
 
     def __init__(self, path):
         self.path = path
@@ -107,9 +117,20 @@ class JsonlSink(EventSink):
         self._file.write("\n")
         self.written += 1
 
+    def flush(self) -> None:
+        """Push buffered records to disk without closing the sink."""
+        if not self._file.closed:
+            self._file.flush()
+
     def close(self) -> None:
         if not self._file.closed:
             self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
 
 def read_jsonl(path) -> list[TraceEvent]:

@@ -1,0 +1,378 @@
+"""Invariant monitors: unit checks against synthetic event streams.
+
+A real codesign :class:`System` is built once (never run) so the
+monitors bind against genuine timing/mapping/scenario state; the event
+streams are then synthesized to hit each check precisely.
+"""
+
+import pytest
+
+from repro.core.simulator import build_system
+from repro.dram.refresh.same_bank import plan_batches
+from repro.errors import MonitorError
+from repro.obs.monitors import (
+    AllocationPartitionMonitor,
+    MonitorSuite,
+    MonitorViolation,
+    RefreshOverlapMonitor,
+    RefreshStretchMonitor,
+    SchedulerConflictMonitor,
+    default_monitors,
+)
+from repro.telemetry.events import (
+    DramCommandEvent,
+    PageAllocEvent,
+    RefreshCommandEvent,
+    RefreshStretchBeginEvent,
+    RefreshStretchEndEvent,
+    SchedulerPickEvent,
+)
+
+
+@pytest.fixture(scope="module")
+def codesign_system():
+    return build_system("WL-6", "codesign", refresh_scale=1024)
+
+
+@pytest.fixture(scope="module")
+def plan(codesign_system):
+    return plan_batches(codesign_system.timing)
+
+
+def read_event(time, bank=0, issue=None, task_id=1):
+    return DramCommandEvent(
+        time=time, op="RD", channel=0, rank=0, bank=bank, row_hit=False,
+        task_id=task_id, latency=30, refresh_stall=0,
+        issue=issue if issue is not None else time - 30,
+    )
+
+
+def pb_refresh(time, bank=0, duration=100):
+    return RefreshCommandEvent(
+        time=time, channel=0, rank=0, bank=bank, duration=duration,
+        all_bank=False,
+    )
+
+
+def feed_stretch(monitor, timing, bank, commands, begin=None):
+    """One complete synthetic stretch on *bank* with *commands* commands."""
+    grid = timing.trefw // timing.total_banks
+    if begin is None:
+        begin = bank * grid
+    monitor.observe(RefreshStretchBeginEvent(time=begin, bank=bank))
+    for k in range(commands):
+        monitor.observe(pb_refresh(begin + 1 + k, bank=bank))
+    monitor.observe(
+        RefreshStretchEndEvent(time=begin + timing.refresh_stretch, bank=bank)
+    )
+
+
+# -- MonitorViolation ---------------------------------------------------------
+
+
+def test_violation_round_trip():
+    violation = MonitorViolation(
+        monitor="refresh_stretch", time=1234, message="boom",
+        context={"bank": 3},
+    )
+    assert MonitorViolation.from_dict(violation.to_dict()) == violation
+    assert "refresh_stretch" in str(violation) and "1234" in str(violation)
+
+
+# -- RefreshStretchMonitor ----------------------------------------------------
+
+
+def test_stretch_clean_cycle(codesign_system, plan):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    assert monitor.active
+    timing = codesign_system.timing
+    commands, _ = plan
+    for bank in range(4):
+        feed_stretch(monitor, timing, bank, commands)
+    assert monitor.violations == []
+    assert monitor.stretches_checked == 4
+
+
+def test_stretch_off_grid_begin_flagged(codesign_system):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(RefreshStretchBeginEvent(time=17, bank=0))
+    assert any("off-grid" in v.message for v in monitor.violations)
+
+
+def test_stretch_wrong_command_count_flagged(codesign_system, plan):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    commands, _ = plan
+    feed_stretch(monitor, codesign_system.timing, 0, commands - 1)
+    assert any("expected" in v.message for v in monitor.violations)
+    assert monitor.violations[0].context["commands"] == commands - 1
+
+
+def test_stretch_bank_order_enforced(codesign_system, plan):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    timing = codesign_system.timing
+    commands, _ = plan
+    feed_stretch(monitor, timing, 0, commands)
+    feed_stretch(monitor, timing, 2, commands)  # skips bank 1
+    assert any("order broken" in v.message for v in monitor.violations)
+
+
+def test_stretch_foreign_bank_command_flagged(codesign_system):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(RefreshStretchBeginEvent(time=0, bank=0))
+    monitor.observe(pb_refresh(10, bank=3))
+    assert any("not contiguous" in v.message for v in monitor.violations)
+
+
+def test_stretch_all_bank_ref_flagged(codesign_system):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(
+        RefreshCommandEvent(
+            time=0, channel=0, rank=0, bank=-1, duration=500, all_bank=True
+        )
+    )
+    assert any("all-bank" in v.message for v in monitor.violations)
+
+
+def test_stretch_overlong_flagged(codesign_system, plan):
+    monitor = RefreshStretchMonitor()
+    monitor.bind(codesign_system)
+    timing = codesign_system.timing
+    commands, _ = plan
+    begin = 0
+    monitor.observe(RefreshStretchBeginEvent(time=begin, bank=0))
+    for k in range(commands):
+        monitor.observe(pb_refresh(begin + 1 + k, bank=0))
+    late = begin + 2 * timing.refresh_stretch
+    monitor.observe(RefreshStretchEndEvent(time=late, bank=0))
+    assert any("beyond" in v.message for v in monitor.violations)
+
+
+def test_stretch_inactive_for_other_schedulers():
+    system = build_system("WL-6", "all_bank", refresh_scale=1024)
+    monitor = RefreshStretchMonitor()
+    monitor.bind(system)
+    assert not monitor.active
+
+
+# -- RefreshOverlapMonitor ----------------------------------------------------
+
+
+def test_overlap_cas_inside_window_flagged(codesign_system):
+    monitor = RefreshOverlapMonitor()
+    monitor.bind(codesign_system)
+    assert monitor.active
+    monitor.observe(pb_refresh(1000, bank=0, duration=100))
+    monitor.observe(read_event(1100, bank=0, issue=1050))
+    (violation,) = monitor.violations
+    assert "inside refresh window" in violation.message
+    assert violation.context["window_start"] == 1000
+
+
+def test_overlap_cas_at_window_end_is_clean(codesign_system):
+    monitor = RefreshOverlapMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(pb_refresh(1000, bank=0, duration=100))
+    monitor.observe(read_event(1130, bank=0, issue=1100))
+    monitor.observe(read_event(990, bank=0, issue=960))  # before the window
+    assert monitor.violations == []
+    assert monitor.commands_checked == 2
+
+
+def test_overlap_other_bank_unaffected(codesign_system):
+    monitor = RefreshOverlapMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(pb_refresh(1000, bank=0, duration=100))
+    monitor.observe(read_event(1080, bank=1, issue=1050))
+    assert monitor.violations == []
+
+
+def test_overlap_all_bank_ref_covers_whole_rank(codesign_system):
+    monitor = RefreshOverlapMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(
+        RefreshCommandEvent(
+            time=1000, channel=0, rank=0, bank=-1, duration=500, all_bank=True
+        )
+    )
+    monitor.observe(read_event(1300, bank=5, issue=1250))
+    (violation,) = monitor.violations
+    assert violation.context["cas"] == 1250
+
+
+def test_overlap_inactive_under_pausing():
+    system = build_system("WL-6", "pausing", refresh_scale=1024)
+    monitor = RefreshOverlapMonitor()
+    monitor.bind(system)
+    assert not monitor.active
+
+
+# -- SchedulerConflictMonitor -------------------------------------------------
+
+
+def pick(time, task_id=1, conflict=False, fallback=False):
+    return SchedulerPickEvent(
+        time=time, core_id=0, task_id=task_id, task_name="mcf",
+        refresh_bank=2, conflict=conflict, quantum_cycles=1000,
+        fallback=fallback,
+    )
+
+
+def test_conflict_without_fallback_flagged(codesign_system):
+    monitor = SchedulerConflictMonitor()
+    monitor.bind(codesign_system)
+    assert monitor.active
+    monitor.observe(pick(100, conflict=True))
+    (violation,) = monitor.violations
+    assert "without an eta_thresh fallback" in violation.message
+
+
+def test_fallback_conflict_counted_not_flagged(codesign_system):
+    monitor = SchedulerConflictMonitor()
+    monitor.bind(codesign_system)
+    monitor.observe(pick(100, conflict=True, fallback=True))
+    monitor.observe(pick(200, conflict=False))
+    monitor.observe(pick(300, task_id=None))  # idle: ignored
+    assert monitor.violations == []
+    assert monitor.fallback_picks == 1
+    assert monitor.picks_checked == 2
+
+
+def test_conflict_monitor_inactive_under_cfs():
+    system = build_system("WL-6", "same_bank_hw_only", refresh_scale=1024)
+    monitor = SchedulerConflictMonitor()
+    monitor.bind(system)
+    assert not monitor.active
+
+
+# -- AllocationPartitionMonitor -----------------------------------------------
+
+
+def restricted_task(system):
+    for task in system.tasks:
+        if task.possible_banks is not None:
+            return task
+    raise AssertionError("codesign WL-6 should have partitioned tasks")
+
+
+def test_alloc_inside_vector_clean(codesign_system):
+    monitor = AllocationPartitionMonitor()
+    monitor.bind(codesign_system)
+    assert monitor.active
+    task = restricted_task(codesign_system)
+    bank = next(iter(task.possible_banks))
+    monitor.observe(
+        PageAllocEvent(
+            time=0, task_id=task.task_id, frame=1, bank=bank, spilled=False
+        )
+    )
+    assert monitor.violations == []
+    assert monitor.allocs_checked == 1
+
+
+def test_alloc_spill_misflag_flagged(codesign_system):
+    monitor = AllocationPartitionMonitor()
+    monitor.bind(codesign_system)
+    task = restricted_task(codesign_system)
+    outside = next(
+        b for b in range(codesign_system.timing.total_banks)
+        if b not in task.possible_banks
+    )
+    monitor.observe(
+        PageAllocEvent(
+            time=0, task_id=task.task_id, frame=1, bank=outside, spilled=False
+        )
+    )
+    assert any("mis-flagged" in v.message for v in monitor.violations)
+
+
+def test_alloc_soft_spill_counted_hard_spill_flagged(codesign_system):
+    monitor = AllocationPartitionMonitor()
+    monitor.bind(codesign_system)
+    task = restricted_task(codesign_system)
+    outside = next(
+        b for b in range(codesign_system.timing.total_banks)
+        if b not in task.possible_banks
+    )
+    spill = PageAllocEvent(
+        time=0, task_id=task.task_id, frame=1, bank=outside, spilled=True
+    )
+    monitor.observe(spill)
+    assert monitor.violations == []  # codesign partitions softly
+    assert monitor.spills == 1
+
+    monitor._hard = True
+    monitor.observe(spill)
+    assert any("hard partition breached" in v.message for v in monitor.violations)
+
+
+def test_alloc_inactive_without_partitioning():
+    system = build_system("WL-6", "all_bank", refresh_scale=1024)
+    monitor = AllocationPartitionMonitor()
+    monitor.bind(system)
+    assert not monitor.active
+
+
+# -- strict mode & suite ------------------------------------------------------
+
+
+def test_strict_mode_raises_at_the_violation(codesign_system):
+    monitor = SchedulerConflictMonitor()
+    monitor.strict = True
+    monitor.bind(codesign_system)
+    with pytest.raises(MonitorError, match="scheduler_conflict"):
+        monitor.observe(pick(100, conflict=True))
+    assert len(monitor.violations) == 1  # recorded before the raise
+
+
+def test_suite_buffers_events_until_bind(codesign_system):
+    suite = MonitorSuite()
+    task = restricted_task(codesign_system)
+    bank = next(iter(task.possible_banks))
+    # Construction-time alloc arrives before the suite knows the system.
+    suite.sink.emit(
+        PageAllocEvent(
+            time=0, task_id=task.task_id, frame=1, bank=bank, spilled=False
+        )
+    )
+    suite.bind(codesign_system)
+    alloc_monitor = next(
+        m for m in suite.monitors if m.name == "allocation_partition"
+    )
+    assert alloc_monitor.allocs_checked == 1
+
+
+def test_suite_dispatches_only_to_active_monitors():
+    system = build_system("WL-6", "all_bank", refresh_scale=1024)
+    suite = MonitorSuite().bind(system)
+    suite.sink.emit(pick(100, conflict=True))
+    assert suite.violations() == []  # conflict monitor inactive under CFS
+
+
+def test_suite_violations_sorted_by_time(codesign_system):
+    suite = MonitorSuite().bind(codesign_system)
+    suite.sink.emit(pick(500, conflict=True))
+    suite.sink.emit(RefreshStretchBeginEvent(time=17, bank=0))  # off-grid
+    times = [v.time for v in suite.violations()]
+    assert times == sorted(times)
+    assert len(times) == 2
+
+
+def test_suite_strict_propagates(codesign_system):
+    suite = MonitorSuite(strict=True).bind(codesign_system)
+    with pytest.raises(MonitorError):
+        suite.sink.emit(pick(100, conflict=True))
+
+
+def test_suite_summary_reports_counters(codesign_system):
+    suite = MonitorSuite().bind(codesign_system)
+    suite.sink.emit(pick(100, conflict=False))
+    summary = suite.summary()
+    assert summary["scheduler_conflict"]["picks_checked"] == 1
+    assert summary["scheduler_conflict"]["violations"] == 0
+    assert set(summary) == {m.name for m in default_monitors()}

@@ -1,0 +1,94 @@
+"""The perf-trajectory aggregator/gate in scripts/bench_trend.py."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "bench_trend.py"
+_spec = importlib.util.spec_from_file_location("bench_trend", SCRIPT)
+bench_trend = importlib.util.module_from_spec(_spec)
+sys.modules["bench_trend"] = bench_trend
+_spec.loader.exec_module(bench_trend)
+
+
+def report(date, ops=5000, events=385525, digest="abc", wall=1.0):
+    return {
+        "schema": 1,
+        "date": date,
+        "git": "deadbee",
+        "python": "3.12.0",
+        "kernels": [
+            {"name": "engine_event_chain", "ops": ops,
+             "wall_seconds": wall, "ops_per_sec": int(ops / wall)},
+        ],
+        "end_to_end": {
+            "name": "wl6_codesign_end_to_end", "wall_seconds": wall * 3,
+            "events_processed": events, "result_sha256": digest,
+            "reads_completed": 1,
+        },
+    }
+
+
+def write_reports(directory, *reports):
+    for entry in reports:
+        path = directory / f"BENCH_{entry['date']}.json"
+        path.write_text(json.dumps(entry))
+
+
+def test_signature_covers_counts_and_digest_not_walls():
+    a = bench_trend.determinism_signature(report("2026-01-01", wall=1.0))
+    b = bench_trend.determinism_signature(report("2026-01-02", wall=99.0))
+    assert a == b
+    c = bench_trend.determinism_signature(report("2026-01-03", events=1))
+    assert a != c
+
+
+def test_reports_load_oldest_first(tmp_path):
+    write_reports(tmp_path, report("2026-02-01"), report("2026-01-01"))
+    dates = [r["date"] for r in bench_trend.load_reports(tmp_path)]
+    assert dates == ["2026-01-01", "2026-02-01"]
+
+
+def test_trajectory_table_has_one_row_per_report(tmp_path):
+    write_reports(tmp_path, report("2026-01-01"), report("2026-02-01"))
+    table = bench_trend.trajectory_table(bench_trend.load_reports(tmp_path))
+    assert "2026-01-01" in table and "2026-02-01" in table
+    assert "engine_event_chain" in table
+
+
+def test_gate_passes_on_matching_signature(tmp_path):
+    checked_in = report("2026-01-01", wall=1.0)
+    fresh = report("2026-01-02", wall=50.0)  # wall drift is fine
+    assert bench_trend.gate(checked_in, fresh) == []
+
+
+def test_gate_fails_on_count_or_digest_drift(tmp_path):
+    checked_in = report("2026-01-01")
+    assert bench_trend.gate(checked_in, report("2026-01-02", ops=5001))
+    assert bench_trend.gate(checked_in, report("2026-01-02", digest="zzz"))
+
+
+def test_cli_gate_exit_codes(tmp_path, capsys):
+    write_reports(tmp_path, report("2026-01-01"))
+    fresh_dir = tmp_path / "fresh"
+    fresh_dir.mkdir()
+    write_reports(fresh_dir, report("2026-01-02"))
+    fresh = str(fresh_dir / "BENCH_2026-01-02.json")
+
+    assert bench_trend.main(["--dir", str(tmp_path)]) == 0
+    assert bench_trend.main(
+        ["--dir", str(tmp_path), "--gate", "--fresh", fresh]
+    ) == 0
+
+    write_reports(fresh_dir, report("2026-01-02", events=42))
+    assert bench_trend.main(
+        ["--dir", str(tmp_path), "--gate", "--fresh", fresh]
+    ) == 1
+    assert "DETERMINISM REGRESSION" in capsys.readouterr().err
+
+
+def test_cli_fails_without_reports(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert bench_trend.main(["--dir", str(empty)]) == 1

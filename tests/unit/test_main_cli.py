@@ -89,3 +89,55 @@ def test_result_to_dict_roundtrips_through_json():
     data = json.loads(json.dumps(result_to_dict(result)))
     assert data["scheduler_clean_picks"] == result.scheduler_clean_picks
     assert data["refresh_stall_fraction"] == result.refresh_stall_fraction
+
+
+def test_monitors_flag_clean_run_exits_zero(tmp_path, capsys):
+    path = tmp_path / "result.json"
+    assert main(
+        ["WL-9", "codesign", "--monitors", "--json", str(path), *FAST]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "monitors" in out
+    assert "VIOLATION" not in out
+    # Monitored --json payloads carry the (empty) violation list.
+    data = json.loads(path.read_text())
+    assert data["monitor_violations"] == []
+
+
+def test_monitors_flag_collect_exits_one_on_violations(capsys, monkeypatch):
+    from repro.os.refresh_aware import RefreshAwareScheduler
+    from repro.os.scheduler import CfsScheduler
+
+    monkeypatch.setattr(
+        RefreshAwareScheduler, "pick_next_task", CfsScheduler.pick_next_task
+    )
+    assert main(["WL-9", "codesign", "--monitors", *FAST]) == 1
+    assert "VIOLATION" in capsys.readouterr().out
+
+
+def test_monitors_strict_exits_two_on_violations(capsys, monkeypatch):
+    from repro.os.refresh_aware import RefreshAwareScheduler
+    from repro.os.scheduler import CfsScheduler
+
+    monkeypatch.setattr(
+        RefreshAwareScheduler, "pick_next_task", CfsScheduler.pick_next_task
+    )
+    assert main(["WL-9", "codesign", "--monitors=strict", *FAST]) == 2
+    assert "monitor violation" in capsys.readouterr().err
+
+
+def test_profile_flag_writes_report(tmp_path, capsys):
+    path = tmp_path / "profile.json"
+    assert main(["WL-9", "per_bank", "--profile", str(path), *FAST]) == 0
+    report = json.loads(path.read_text())
+    assert report["events_total"] > 0
+    assert report["subsystems"]
+    owners = {row["owner"] for row in report["callbacks"]}
+    assert any("MemoryController" in owner for owner in owners)
+    assert "dispatch profile" in capsys.readouterr().out
+
+
+def test_unmonitored_json_has_no_violation_key(tmp_path):
+    path = tmp_path / "result.json"
+    assert main(["WL-9", "per_bank", "--json", str(path), *FAST]) == 0
+    assert "monitor_violations" not in json.loads(path.read_text())

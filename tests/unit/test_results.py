@@ -95,3 +95,41 @@ def test_format_table_alignment():
 def test_format_percent():
     assert format_percent(0.162) == "+16.2%"
     assert format_percent(-0.05) == "-5.0%"
+
+
+def test_monitor_violations_round_trip():
+    from repro.obs.monitors import MonitorViolation
+
+    result = RunResult(
+        scenario="codesign", workload="WL-6", density_gbit=32, trefw_ms=64.0,
+        simulated_cycles=100,
+        monitor_violations=[
+            MonitorViolation(
+                monitor="refresh_stretch", time=5, message="short stretch",
+                context={"bank": 2},
+            )
+        ],
+    )
+    reloaded = RunResult.from_dict(result.to_dict())
+    assert reloaded.monitor_violations == result.monitor_violations
+
+
+def test_unmonitored_result_omits_violation_key():
+    result = RunResult(
+        scenario="codesign", workload="WL-6", density_gbit=32, trefw_ms=64.0,
+        simulated_cycles=100,
+    )
+    data = result.to_dict()
+    assert "monitor_violations" not in data
+    reloaded = RunResult.from_dict(data)
+    assert reloaded.monitor_violations is None
+
+
+def test_monitored_clean_result_keeps_empty_list():
+    result = RunResult(
+        scenario="codesign", workload="WL-6", density_gbit=32, trefw_ms=64.0,
+        simulated_cycles=100, monitor_violations=[],
+    )
+    data = result.to_dict()
+    assert data["monitor_violations"] == []
+    assert RunResult.from_dict(data).monitor_violations == []

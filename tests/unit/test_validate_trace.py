@@ -1,0 +1,88 @@
+"""The trace schema/ordering validator in scripts/validate_trace.py."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "validate_trace.py"
+_spec = importlib.util.spec_from_file_location("validate_trace", SCRIPT)
+validate_trace = importlib.util.module_from_spec(_spec)
+sys.modules["validate_trace"] = validate_trace
+_spec.loader.exec_module(validate_trace)
+
+validate = validate_trace.validate
+
+
+def meta(pid, tid, key, name):
+    entry = {"ph": "M", "pid": pid, "name": key, "args": {"name": name}}
+    if tid is not None:
+        entry["tid"] = tid
+    return entry
+
+
+def stretch(ts, dur, bank):
+    return {
+        "name": f"refresh b{bank}", "cat": "refresh", "ph": "X",
+        "ts": ts, "dur": dur, "pid": 1, "tid": 0, "args": {"bank": bank},
+    }
+
+
+def pick(ts, core=0, name="mcf"):
+    return {
+        "name": name, "cat": "sched", "ph": "X", "ts": ts, "dur": 100,
+        "pid": 2, "tid": core, "args": {},
+    }
+
+
+def trace(events):
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": {},
+        "traceEvents": [
+            meta(1, None, "process_name", "dram"),
+            meta(1, 0, "thread_name", "refresh stretches"),
+            meta(2, None, "process_name", "cpu"),
+            meta(2, 0, "thread_name", "core 0"),
+        ] + events,
+    }
+
+
+def test_well_formed_trace_passes():
+    payload = trace([
+        stretch(0, 50, 0), stretch(100, 50, 1),
+        pick(0), pick(100), pick(200),
+    ])
+    assert validate(payload) == []
+
+
+def test_backwards_timestamp_on_a_track_flagged():
+    payload = trace([pick(200), pick(100), stretch(0, 50, 0)])
+    errors = validate(payload)
+    assert any("goes backwards" in e for e in errors)
+
+
+def test_tracks_are_ordered_independently():
+    # Interleaved tracks: each is monotonic even though the combined
+    # stream is not.
+    payload = trace([
+        stretch(0, 50, 0), pick(10, core=0), stretch(100, 50, 1), pick(5, core=1),
+    ])
+    payload["traceEvents"].append(meta(2, 1, "thread_name", "core 1"))
+    assert validate(payload) == []
+
+
+def test_overlapping_stretches_flagged():
+    payload = trace([stretch(0, 100, 0), stretch(50, 100, 1), pick(0)])
+    errors = validate(payload)
+    assert any("stretches overlap" in e for e in errors)
+
+
+def test_touching_stretches_are_fine():
+    payload = trace([stretch(0, 100, 0), stretch(100, 100, 1), pick(0)])
+    assert validate(payload) == []
+
+
+def test_missing_stretches_flagged():
+    payload = trace([pick(0)])
+    errors = validate(payload)
+    assert any("no refresh-stretch slices" in e for e in errors)
