@@ -130,3 +130,9 @@ def test_full_quantum_simulation_rate(benchmark):
         return result.reads_completed
 
     assert benchmark(one_quantum) >= 0
+
+
+def test_checkpoint_roundtrip_rate(benchmark):
+    """Per-barrier checkpoint cost: snapshot -> JSON -> fresh-system
+    restore at a mid-run barrier of WL-6 codesign."""
+    assert benchmark(kernels.checkpoint_roundtrip) > 0

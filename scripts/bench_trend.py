@@ -84,6 +84,37 @@ def trajectory_table(reports: list) -> str:
     return "\n".join(lines)
 
 
+def trend_summary(reports: list) -> str:
+    """Wall-time drift of the newest report vs its predecessor.
+
+    Wall times are host-dependent and never gated, but the drift between
+    consecutive checked-in points is still the first thing a reader wants
+    from the trajectory.  With fewer than two points there is no trend to
+    compute — say so instead of dividing by a missing predecessor.
+    """
+    if len(reports) < 2:
+        return "no trajectory yet (a trend needs at least two checked-in reports)"
+    prev, last = reports[-2], reports[-1]
+    prev_walls = {k["name"]: k["wall_seconds"] for k in prev["kernels"]}
+    parts = []
+    for kernel in last["kernels"]:
+        before = prev_walls.get(kernel["name"])
+        if before:
+            delta = (kernel["wall_seconds"] - before) / before * 100.0
+            parts.append(f"{kernel['name']} {delta:+.1f}%")
+    before_end, after_end = prev.get("end_to_end"), last.get("end_to_end")
+    if before_end and after_end and before_end["wall_seconds"]:
+        delta = (
+            (after_end["wall_seconds"] - before_end["wall_seconds"])
+            / before_end["wall_seconds"] * 100.0
+        )
+        parts.append(f"end_to_end {delta:+.1f}%")
+    span = f"{prev.get('date', '?')} -> {last.get('date', '?')}"
+    if not parts:
+        return f"trend ({span}): no comparable kernels"
+    return f"trend ({span}): " + ", ".join(parts)
+
+
 def gate(latest: dict, fresh: dict) -> list:
     """Mismatches between the checked-in and fresh determinism signatures."""
     baseline_sig = determinism_signature(latest)
@@ -116,9 +147,19 @@ def main(argv=None) -> int:
 
     reports = load_reports(Path(args.dir))
     if not reports:
+        # An empty trajectory is a usage error when browsing, but the
+        # gate must not fail a fresh checkout that simply has no
+        # checked-in baseline yet.
+        if args.gate:
+            print(
+                f"no trajectory yet: no checked-in BENCH_*.json under "
+                f"{args.dir}; nothing to gate against"
+            )
+            return 0
         print(f"no BENCH_*.json reports under {args.dir}", file=sys.stderr)
         return 1
     print(trajectory_table(reports))
+    print(trend_summary(reports))
 
     if not args.gate:
         return 0

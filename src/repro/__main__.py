@@ -12,6 +12,9 @@ Usage::
     python -m repro WL-6 codesign --monitors            # invariant checks
     python -m repro WL-6 codesign --monitors=strict     # fail fast
     python -m repro WL-6 codesign --profile prof.json   # engine profile
+    python -m repro WL-6 codesign --checkpoint-every 1  # snapshot barriers
+    python -m repro WL-6 codesign --checkpoint-every 1 --checkpoint-halt 1
+    python -m repro --resume ckpt-400000.json           # continue a shard
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
 
@@ -67,41 +70,98 @@ def _suffixed(path: str, name: str, multi: bool) -> str:
     return str(p.with_name(f"{p.stem}.{name}{p.suffix}"))
 
 
-def _run_observed(spec, name: str, args, multi: bool):
-    """Execute one spec live with the requested sinks/monitors attached."""
+def _checkpoint_sink(spec, name: str, args, multi: bool):
+    """A ``system.run`` checkpoint sink writing files under
+    ``--checkpoint-dir``, halting after ``--checkpoint-halt`` writes."""
+    from repro.core.checkpoint import save_checkpoint
+
+    directory = Path(args.checkpoint_dir)
+    written: list[Path] = []
+
+    def sink(cycle: int, state: dict) -> bool:
+        path = directory / _suffixed(
+            f"ckpt-{cycle}.json", name, multi
+        )
+        save_checkpoint(path, spec, cycle, state)
+        written.append(path)
+        print(f"  wrote checkpoint {path}")
+        return args.checkpoint_halt is not None and (
+            len(written) >= args.checkpoint_halt
+        )
+
+    return sink
+
+
+def _run_observed(spec, name: str, args, multi: bool, resume=None):
+    """Execute one spec live with the requested sinks/monitors attached.
+
+    ``resume = (cycle, state)`` continues from a checkpoint; sinks and
+    monitors then attach *after* system construction so the resumed
+    event stream carries no duplicate construction-time events and
+    concatenates cleanly with the pre-checkpoint shard's stream.
+    Returns ``None`` when a ``--checkpoint-halt`` barrier stopped the
+    run before completion.
+    """
     telemetry = Telemetry()
     chrome = jsonl = suite = profiler = None
-    if args.trace:
-        chrome = telemetry.subscribe(ChromeTraceSink())
-    if args.trace_jsonl:
-        jsonl = telemetry.subscribe(
-            JsonlSink(_suffixed(args.trace_jsonl, name, multi))
-        )
-    if args.monitors:
-        from repro.obs.monitors import MonitorSuite
 
+    def attach_sinks():
+        nonlocal chrome, jsonl, suite
+        if args.trace:
+            chrome = telemetry.subscribe(ChromeTraceSink())
+        if args.trace_jsonl:
+            jsonl = telemetry.subscribe(
+                JsonlSink(_suffixed(args.trace_jsonl, name, multi))
+            )
+        if args.monitors:
+            from repro.obs.monitors import MonitorSuite
+
+            suite = MonitorSuite(
+                strict=args.monitors == "strict"
+            ).attach(telemetry)
+
+    if resume is None:
         # Attach before system construction: page allocations are
         # emitted while the System is being built, and the suite
         # buffers them until bind().
-        suite = MonitorSuite(strict=args.monitors == "strict").attach(telemetry)
+        attach_sinks()
     try:
         system = build_system_from_spec(spec, telemetry=telemetry)
+        if resume is not None:
+            attach_sinks()
         if suite is not None:
-            suite.bind(system)
+            suite.bind(
+                system, resume_time=resume[0] if resume is not None else None
+            )
         if args.profile:
             from repro.obs.profiler import EngineProfiler
 
             profiler = EngineProfiler()
             system.engine.set_profiler(profiler)
+        sink = None
+        if args.checkpoint_every is not None:
+            sink = _checkpoint_sink(spec, name, args, multi)
         result = system.run(
             num_windows=spec.num_windows,
             warmup_windows=spec.warmup_windows,
             sample_windows=spec.sample_windows,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_sink=sink,
+            resume_state=resume[1] if resume is not None else None,
         )
     finally:
         # Mid-run exceptions (including strict-mode MonitorError) must
         # still flush file sinks: complete JSONL lines beat a lost file.
         telemetry.close()
+    if result is None:
+        print(f"  halted at checkpoint (cycle {system.engine.now})")
+        if chrome is not None:
+            out = _suffixed(args.trace, name, multi)
+            chrome.write(out)
+            print(f"  wrote trace {out}")
+        if jsonl is not None:
+            print(f"  wrote events {jsonl.path} ({jsonl.written} lines)")
+        return None
     if suite is not None:
         suite.finish(system.engine.now)
         result.monitor_violations = suite.violations()
@@ -138,11 +198,16 @@ def main(argv: list[str] | None = None) -> int:
         description="Simulate one workload mix under one or more refresh "
                     "scenarios (comma-separated).",
     )
-    parser.add_argument("workload", help="Table 2 mix name (WL-1 .. WL-10)")
+    parser.add_argument("workload", nargs="?", default=None,
+                        help="Table 2 mix name (WL-1 .. WL-10); omitted when "
+                             "resuming from a checkpoint")
     parser.add_argument(
         "scenario",
+        nargs="?",
+        default=None,
         help="refresh/OS scenario, or a comma-separated list of them "
-             f"(known: {', '.join(available_scenarios())})",
+             f"(known: {', '.join(available_scenarios())}); omitted when "
+             "resuming from a checkpoint",
     )
     parser.add_argument("--density", type=int, default=32,
                         help="chip density in Gbit (default 32)")
@@ -188,55 +253,98 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", metavar="PATH", default=None,
                         help="profile engine dispatch per subsystem and write "
                              "the report as JSON (bypasses the result cache)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="N",
+                        help="write a checkpoint at every N retention-window "
+                             "barrier (always a live run)")
+    parser.add_argument("--checkpoint-dir", default=".", metavar="PATH",
+                        help="directory for --checkpoint-every files "
+                             "(default: current directory)")
+    parser.add_argument("--checkpoint-halt", type=int, default=None,
+                        metavar="K",
+                        help="stop the run after writing K checkpoints "
+                             "(time-sharded runs; exit 0, no result output)")
+    parser.add_argument("--resume", metavar="CKPT", default=None,
+                        help="resume a run from a checkpoint file; the "
+                             "workload/scenario positionals must be omitted "
+                             "(they are recorded in the checkpoint)")
     args = parser.parse_args(argv)
 
-    if args.workload not in available_workloads():
-        parser.error(
-            f"unknown workload {args.workload!r}; known: {available_workloads()}"
-        )
-    scenarios = [s.strip() for s in args.scenario.split(",") if s.strip()]
-    if not scenarios:
-        parser.error("no scenario given")
-    for name in scenarios:
-        if name not in available_scenarios():
+    resume = None
+    if args.resume is not None:
+        if args.workload is not None or args.scenario is not None:
             parser.error(
-                f"unknown scenario {name!r}; known: {available_scenarios()}"
+                "--resume reads workload/scenario from the checkpoint; "
+                "omit the positional arguments"
             )
+        from repro.core.checkpoint import load_checkpoint
 
-    specs = [
-        make_run_spec(
-            args.workload,
-            name,
-            num_windows=args.windows,
-            warmup_windows=args.warmup,
-            banks_per_task=args.banks_per_task,
-            sample_windows=args.timeseries,
-            density_gbit=args.density,
-            trefw_ps=ms(args.trefw_ms),
-            refresh_scale=args.refresh_scale,
-            seed=args.seed,
-        )
-        for name in scenarios
-    ]
+        from repro.errors import ConfigError
+
+        try:
+            ckpt_spec, cycle, state = load_checkpoint(args.resume)
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        provenance = f"{ckpt_spec.content_hash()}@{cycle}"
+        specs = [ckpt_spec.with_(resume_from=provenance)]
+        scenarios = [ckpt_spec.scenario.name]
+        resume = (cycle, state)
+        print(f"resuming {args.resume} (cycle {cycle}, {provenance})")
+    else:
+        if args.workload is None or args.scenario is None:
+            parser.error("workload and scenario are required (or use --resume)")
+        if args.workload not in available_workloads():
+            parser.error(
+                f"unknown workload {args.workload!r}; "
+                f"known: {available_workloads()}"
+            )
+        scenarios = [s.strip() for s in args.scenario.split(",") if s.strip()]
+        if not scenarios:
+            parser.error("no scenario given")
+        for name in scenarios:
+            if name not in available_scenarios():
+                parser.error(
+                    f"unknown scenario {name!r}; known: {available_scenarios()}"
+                )
+
+        specs = [
+            make_run_spec(
+                args.workload,
+                name,
+                num_windows=args.windows,
+                warmup_windows=args.warmup,
+                banks_per_task=args.banks_per_task,
+                sample_windows=args.timeseries,
+                density_gbit=args.density,
+                trefw_ps=ms(args.trefw_ms),
+                refresh_scale=args.refresh_scale,
+                seed=args.seed,
+            )
+            for name in scenarios
+        ]
 
     observed = (
         args.trace or args.trace_jsonl or args.metrics_out
         or args.monitors or args.profile
+        or args.checkpoint_every is not None or resume is not None
     )
     results = []
     if observed:
-        # Event sinks, monitors and profiles need a live run: execute
-        # each spec in-process instead of resolving through the cache.
+        # Event sinks, monitors, profiles and checkpointing need a live
+        # run: execute each spec in-process instead of through the cache.
         from repro.errors import MonitorError
 
         for spec, name in zip(specs, scenarios):
             try:
-                results.append(
-                    _run_observed(spec, name, args, multi=len(specs) > 1)
+                result = _run_observed(
+                    spec, name, args, multi=len(specs) > 1, resume=resume
                 )
             except MonitorError as exc:
                 print(f"monitor violation ({name}): {exc}", file=sys.stderr)
                 return 2
+            if result is not None:
+                results.append(result)
     else:
         # Resolve through the sweep runner: disk cache + parallel fan-out.
         from repro.experiments.runner import SweepRunner
@@ -252,7 +360,7 @@ def main(argv: list[str] | None = None) -> int:
         print(result.summary())
         if result.energy is not None:
             print(f"  energy             : {result.energy}")
-    if args.json:
+    if args.json and results:
         payload = (
             result_to_dict(results[0])
             if len(results) == 1

@@ -184,6 +184,55 @@ def core_compute_fast_forward(gaps: int = 20_000) -> int:
     return task.stats.instructions
 
 
+# -- checkpoint --------------------------------------------------------------
+
+
+def checkpoint_roundtrip(rounds: int = 10, refresh_scale: int = 512) -> int:
+    """Snapshot -> JSON -> restore-into-fresh-system trips at a mid-run
+    barrier of a WL-6 codesign run.
+
+    Measures the full checkpoint cost a time-sharded or warm-started run
+    pays per barrier: state capture, serialization both ways, system
+    construction and state restore.  Returns descriptors handled
+    (queued-engine entries plus in-flight requests, per round) — a pure
+    function of the arguments, so the determinism gate covers the
+    snapshot encoder too.
+    """
+    from repro.core.simulator import build_system_from_spec, make_run_spec
+
+    spec = make_run_spec(
+        "WL-6",
+        "codesign",
+        num_windows=1.0,
+        warmup_windows=0.25,
+        refresh_scale=refresh_scale,
+    )
+    system = build_system_from_spec(spec)
+    captured: dict = {}
+
+    def sink(cycle, state):
+        captured["state"] = state
+        return True
+
+    out = system.run(
+        num_windows=1.0,
+        warmup_windows=0.25,
+        checkpoint_every=0.5,
+        checkpoint_sink=sink,
+    )
+    assert out is None
+    entries = sum(
+        len(bucket) for _, bucket in captured["state"]["engine"]["_buckets"]
+    ) + len(captured["state"]["requests"])
+    ops = 0
+    for _ in range(rounds):
+        payload = json.dumps(system.snapshot_state())
+        fresh = build_system_from_spec(spec)
+        fresh.restore_state(json.loads(payload))
+        ops += entries
+    return ops
+
+
 # -- end-to-end --------------------------------------------------------------
 
 
@@ -246,6 +295,7 @@ KERNELS: dict[str, Callable[[], int]] = {
     "refresh_all_bank_ticks": refresh_schedule_ticks,
     "refresh_same_bank_ticks": lambda: refresh_schedule_ticks("same_bank"),
     "core_compute_fast_forward": core_compute_fast_forward,
+    "checkpoint_roundtrip": checkpoint_roundtrip,
 }
 
 

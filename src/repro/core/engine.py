@@ -630,6 +630,78 @@ class Engine:
                 self._run_index = index
                 self._run_time = self.now
 
+    # -- checkpoint/restore -------------------------------------------------
+
+    def snapshot_state(self, encode_entry: Callable) -> dict:
+        """Serialize the clock, counters and every live queued entry.
+
+        Callables cannot serialize, so each entry is passed through
+        *encode_entry(fn, arg)* which must return a JSON-able descriptor
+        (the system layer maps bound methods to (owner, method, arg)
+        descriptors).  Bucket order — and therefore the documented
+        same-cycle insertion-order tie-break — is preserved exactly.
+        Cancelled stubs are dropped; cancellable handles returned by
+        :meth:`schedule_event` cannot be captured (the handle's identity
+        would not survive the round trip), so *encode_entry* should
+        reject anything it does not recognise.
+
+        Only legal between run calls (never from inside a callback).
+        """
+        if self._run_list is not None:
+            raise SimulationError("cannot snapshot a partially drained bucket")
+        pairs: list[tuple[int, list[Callable]]] = []
+        if self._head_time is not None:
+            pairs.append((self._head_time, self._head))
+        for time in sorted(self._times):
+            pairs.append((time, self._buckets[time]))
+        pairs.sort(key=lambda item: item[0])
+        buckets = []
+        for time, bucket in pairs:
+            entries = []
+            for entry in bucket:
+                if entry.__class__ is Event:
+                    if entry.fn is None:
+                        continue  # cancelled/fired stub
+                    entries.append(encode_entry(entry.fn, entry.arg))
+                else:
+                    entries.append(encode_entry(entry, None))
+            if entries:
+                buckets.append([time, entries])
+        return {
+            "now": self.now,
+            "_events_processed": self._events_processed,
+            "_buckets": buckets,
+        }
+
+    def restore_state(self, state: dict, decode_entry: Callable) -> None:
+        """Rebuild the queue from a :meth:`snapshot_state` payload.
+
+        *decode_entry(descriptor)* must return ``(fn, arg)`` — or ``None``
+        to drop the entry (used when restoring into a system whose
+        refresh policy differs from the snapshot's).  Entries are
+        re-inserted in snapshot order, so same-cycle ordering is
+        bit-identical to the captured run.
+        """
+        if self._run_list is not None:
+            raise SimulationError("cannot restore over a partially drained bucket")
+        self.clear_pending()
+        self.now = int(state["now"])
+        self._events_processed = int(state["_events_processed"])
+        for time, entries in state["_buckets"]:
+            time = int(time)
+            if time < self.now:
+                raise SimulationError(
+                    f"snapshot bucket at t={time} precedes its clock {self.now}"
+                )
+            for descriptor in entries:
+                decoded = decode_entry(descriptor)
+                if decoded is None:
+                    continue
+                fn, arg = decoded
+                if arg is not None:
+                    fn = Event(fn, arg, self)
+                self._insert(time, fn)
+
     # -- maintenance --------------------------------------------------------
 
     def _compact(self) -> None:

@@ -31,7 +31,7 @@ from repro.workloads.benchmark import BenchmarkSpec
 
 #: Version tag for the serialized spec layout.  Bump on field changes so
 #: stale cache entries are recomputed instead of mis-parsed.
-SPEC_SCHEMA = 3
+SPEC_SCHEMA = 4
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,15 @@ class RunSpec:
     #: (None = no sampling).  Part of the spec — and hence the content
     #: hash — because it changes what the result contains.
     sample_windows: int | None = None
+    #: Warm-start: run the warmup phase under this scenario, checkpoint
+    #: at the measurement boundary, and resume the measured interval
+    #: under ``scenario``.  Sweeps over scenarios that share the same
+    #: ``warmup_scenario`` reuse one cached warmup checkpoint.
+    warmup_scenario: str | None = None
+    #: Provenance of a resumed run (``"<prefix-hash>@<cycle>"``); set by
+    #: the resume pipeline so a continuation never aliases a cold run in
+    #: the result cache.
+    resume_from: str | None = None
 
     def validate(self) -> None:
         if not self.specs:
@@ -64,6 +73,14 @@ class RunSpec:
             raise ConfigError("RunSpec: banks_per_task must be >= 1")
         if self.sample_windows is not None and self.sample_windows < 1:
             raise ConfigError("RunSpec: sample_windows must be >= 1")
+        if self.warmup_scenario is not None:
+            from repro.core.system import SCENARIOS
+
+            if self.warmup_scenario not in SCENARIOS:
+                raise ConfigError(
+                    f"RunSpec: unknown warmup_scenario "
+                    f"{self.warmup_scenario!r}; known: {sorted(SCENARIOS)}"
+                )
 
     def with_(self, **kwargs) -> "RunSpec":
         """Return a copy with the given fields replaced."""
@@ -73,7 +90,10 @@ class RunSpec:
             raise ConfigError(f"invalid RunSpec override: {exc}") from None
 
     def to_dict(self) -> dict:
-        return {
+        # The warm-start fields are emitted only when set, so the content
+        # hash of every pre-existing spec (and its cached result) is
+        # unchanged by their introduction.
+        data = {
             "workload_name": self.workload_name,
             "specs": [s.to_dict() for s in self.specs],
             "scenario": self.scenario.to_dict(),
@@ -83,6 +103,11 @@ class RunSpec:
             "banks_per_task": self.banks_per_task,
             "sample_windows": self.sample_windows,
         }
+        if self.warmup_scenario is not None:
+            data["warmup_scenario"] = self.warmup_scenario
+        if self.resume_from is not None:
+            data["resume_from"] = self.resume_from
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSpec":

@@ -22,6 +22,7 @@ from repro.config.system_configs import SystemConfig, default_system_config
 from repro.core.results import RunResult
 from repro.core.runspec import RunSpec
 from repro.core.system import SCENARIOS, Scenario, System, scenario as get_scenario
+from repro.dram.timing import DramTiming
 from repro.errors import ConfigError
 from repro.telemetry.hub import Telemetry
 from repro.workloads.benchmark import BenchmarkSpec
@@ -118,10 +119,79 @@ def build_system_from_spec(
     )
 
 
-def run_spec(spec: RunSpec, telemetry: Optional[Telemetry] = None) -> RunResult:
+def prefix_spec_of(spec: RunSpec) -> RunSpec:
+    """The warm-up prefix spec of a warm-started run: the same run with
+    ``warmup_scenario`` promoted to the scenario.  Every target scenario
+    sharing a warm-up prefix maps to the same prefix spec — and therefore
+    the same checkpoint-store key."""
+    if spec.warmup_scenario is None:
+        raise ConfigError("spec has no warmup_scenario")
+    return spec.with_(
+        scenario=get_scenario(spec.warmup_scenario),
+        warmup_scenario=None,
+        resume_from=None,
+    )
+
+
+def warm_start_state(spec: RunSpec, store=None) -> tuple[dict, str]:
+    """The measurement-boundary snapshot of *spec*'s warm-up prefix.
+
+    Runs the prefix (warm-up under ``spec.warmup_scenario``), capturing
+    the machine state at the measurement boundary; with a
+    :class:`~repro.core.checkpoint.CheckpointStore` the capture is reused
+    across calls keyed by the prefix spec's content hash.  Returns
+    ``(state, provenance)`` where provenance is ``"<hash>@<cycle>"``.
+
+    The cold (store-miss) path takes the identical snapshot, so a
+    warm-started result is bit-identical whether or not the store hit.
+    """
+    prefix = prefix_spec_of(spec)
+    key = prefix.content_hash()
+    cycle = int(
+        DramTiming.from_config(prefix.config).trefw * prefix.warmup_windows
+    )
+    if store is not None:
+        state = store.get(key, cycle)
+        if state is not None:
+            return state, f"{key}@{cycle}"
+    captured: dict = {}
+
+    def capture(at: int, state: dict) -> bool:
+        captured["cycle"] = at
+        captured["state"] = state
+        return True  # halt: only the prefix is needed
+
+    system = build_system_from_spec(prefix)
+    out = system.run(
+        num_windows=prefix.num_windows,
+        warmup_windows=prefix.warmup_windows,
+        sample_windows=prefix.sample_windows,
+        checkpoint_sink=capture,
+        checkpoint_measure_start=True,
+    )
+    assert out is None and captured["cycle"] == cycle
+    if store is not None:
+        store.put(key, prefix, cycle, captured["state"])
+    return captured["state"], f"{key}@{cycle}"
+
+
+def run_spec(
+    spec: RunSpec,
+    telemetry: Optional[Telemetry] = None,
+    checkpoint_store=None,
+) -> RunResult:
     """Execute one :class:`RunSpec` — a pure, deterministic function of the
     spec's content (the engine seeds every RNG from ``config.seed``).
-    Attached event sinks observe the run but never change its result."""
+    Attached event sinks observe the run but never change its result.
+
+    A spec with ``warmup_scenario`` set is executed in two phases: the
+    warm-up prefix runs (or is fetched from ``checkpoint_store``) under
+    the warm-up scenario, and the measured interval resumes from its
+    measurement-boundary snapshot under the target scenario."""
+    if spec.warmup_scenario is not None:
+        state, _ = warm_start_state(spec, checkpoint_store)
+        system = build_system_from_spec(spec, telemetry=telemetry)
+        return system.run(resume_state=state)
     system = build_system_from_spec(spec, telemetry=telemetry)
     return system.run(
         num_windows=spec.num_windows,

@@ -14,12 +14,13 @@ from dataclasses import dataclass
 from repro.config.system_configs import SystemConfig
 from repro.core.engine import Engine
 from repro.core.results import RunResult, TaskResult
-from repro.cpu.core import Core
+from repro.cpu.core import Core, decode_access, encode_access
 from repro.dram.address import AddressMapping
 from repro.dram.controller import MemoryController
 from repro.dram.refresh import make_scheduler, validate_policy
+from repro.dram.request import MemoryRequest, RequestType
 from repro.dram.timing import DramTiming
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.os.codesign import assign_bank_vectors
 from repro.os.page import PhysicalMemory
 from repro.os.partition import PartitioningAllocator, PartitionPolicy
@@ -221,6 +222,14 @@ class System:
             )
 
         self._started = False
+        # Run progress (set when the measured interval begins, or restored
+        # from a checkpoint) and the live sampler, if any.
+        self._measure_start: int | None = None
+        self._run_end: int | None = None
+        self._sampler = None
+        self._sampler_windows: int | None = None
+        # Scratch request table used while encoding an engine snapshot.
+        self._pending_requests: dict | None = None
 
     # -- construction helpers ---------------------------------------------------
 
@@ -361,35 +370,81 @@ class System:
         num_windows: float = 2.0,
         warmup_windows: float = 0.25,
         sample_windows: int | None = None,
-    ) -> RunResult:
+        checkpoint_every: float | None = None,
+        checkpoint_sink=None,
+        checkpoint_measure_start: bool = False,
+        resume_state: dict | None = None,
+    ) -> RunResult | None:
         """Simulate ``warmup + num_windows`` retention windows; statistics
         cover only the measured portion.  With ``sample_windows = N`` a
         timeseries with N samples per retention window is attached to the
-        result."""
+        result.
+
+        Checkpointing: with ``checkpoint_every = K`` the run pauses at
+        every absolute barrier ``k * K`` retention windows and calls
+        ``checkpoint_sink(cycle, state)`` with a :meth:`snapshot_state`
+        payload; a truthy return halts the run, which then returns
+        ``None``.  ``checkpoint_measure_start = True`` additionally
+        offers a checkpoint at the measurement boundary itself (the
+        warm-start capture point).  ``resume_state`` restores a prior
+        snapshot instead of starting cold and continues to the end
+        recorded in it; ``num_windows``/``warmup_windows`` are only
+        consulted when the snapshot predates the measured interval.
+        """
         if self._started:
             raise ConfigError("a System can only be run once")
         self._started = True
-        self.refresh_scheduler.start()
-        self.scheduler.start()
-        if self.load_balancer is not None:
-            self.load_balancer.start()
+        if resume_state is not None:
+            self.restore_state(resume_state)
+        else:
+            self.refresh_scheduler.start()
+            self.scheduler.start()
+            if self.load_balancer is not None:
+                self.load_balancer.start()
 
-        if warmup_windows > 0:
-            self.engine.run_until(int(self.window_cycles * warmup_windows))
-            self._reset_stats()
-        measure_start = self.engine.now
-        end = measure_start + int(self.window_cycles * num_windows)
-        sampler = None
-        if sample_windows is not None:
-            from repro.telemetry.timeseries import TimeseriesSampler
+        if self._measure_start is None:
+            warmup_end = int(self.window_cycles * warmup_windows)
+            if warmup_end > 0:
+                if self._advance(warmup_end, checkpoint_every, checkpoint_sink):
+                    return None
+                self._reset_stats()
+            self._measure_start = self.engine.now
+            self._run_end = self._measure_start + int(
+                self.window_cycles * num_windows
+            )
+            if sample_windows is not None:
+                from repro.telemetry.timeseries import TimeseriesSampler
 
-            sampler = TimeseriesSampler(self, sample_windows)
-            sampler.start(measure_start, end)
-        self.engine.run_until(end)
-        result = self._collect(measure_start)
-        if sampler is not None:
-            result.timeseries = sampler.result()
+                self._sampler = TimeseriesSampler(self, sample_windows)
+                self._sampler_windows = sample_windows
+                self._sampler.start(self._measure_start, self._run_end)
+            if checkpoint_sink is not None and checkpoint_measure_start:
+                if checkpoint_sink(self.engine.now, self.snapshot_state()):
+                    return None
+        if self._advance(self._run_end, checkpoint_every, checkpoint_sink):
+            return None
+        result = self._collect(self._measure_start)
+        if self._sampler is not None:
+            result.timeseries = self._sampler.result()
         return result
+
+    def _advance(
+        self, target: int, every: float | None, sink
+    ) -> bool:
+        """Run to *target*, pausing at each barrier ``k * every`` retention
+        windows strictly inside ``(now, target)`` to offer *sink* a
+        snapshot.  Returns True when the sink asked to halt."""
+        if every is not None and sink is not None:
+            step = int(self.window_cycles * every)
+            if step > 0:
+                barrier = (self.engine.now // step + 1) * step
+                while barrier < target:
+                    self.engine.run_until(barrier)
+                    if sink(barrier, self.snapshot_state()):
+                        return True
+                    barrier += step
+        self.engine.run_until(target)
+        return False
 
     def _reset_stats(self) -> None:
         from repro.dram.controller import ControllerStats
@@ -473,3 +528,233 @@ class System:
             scheduler_fallback_picks=fallback,
             bus_utilization=self.controller.buses[0].utilization(elapsed),
         )
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Deterministic-barrier snapshot of the full machine.
+
+        Only legal between events (the engine refuses mid-bucket).
+        Telemetry sinks, monitors and profilers are runtime observers,
+        not simulator state, and are deliberately not captured.  The
+        composite is assembled incrementally because encoding the engine
+        queue discovers in-flight ``_complete`` requests that the
+        ``requests`` table must also carry.
+        """
+        now = self.engine.now
+        for core in self.cores:
+            core.sync_accounting(now)
+        self._pending_requests = {
+            r.req_id: r for r in self.controller.queued_requests()
+        }
+        state = {}
+        state["engine"] = self.engine.snapshot_state(self._encode_entry)
+        state["requests"] = [
+            self._encode_request(self._pending_requests[rid])
+            for rid in sorted(self._pending_requests)
+        ]
+        self._pending_requests = None
+        state["controller"] = self.controller.snapshot_state()
+        state["refresh"] = {
+            "policy": self.scenario.refresh_policy,
+            "state": self.refresh_scheduler.snapshot_state(),
+        }
+        state["cores"] = [core.snapshot_state() for core in self.cores]
+        state["tasks"] = [task.snapshot_state() for task in self.tasks]
+        state["memory"] = self.memory.snapshot_state()
+        state["allocator"] = self.allocator.snapshot_state()
+        state["scheduler"] = self.scheduler.snapshot_state()
+        state["load_balancer"] = (
+            None
+            if self.load_balancer is None
+            else self.load_balancer.snapshot_state()
+        )
+        state["run"] = {
+            "measure_start": self._measure_start,
+            "end": self._run_end,
+            "sampler": (
+                None
+                if self._sampler is None
+                else {
+                    "samples_per_window": self._sampler_windows,
+                    "state": self._sampler.snapshot_state(),
+                }
+            ),
+        }
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the machine from a :meth:`snapshot_state` payload taken
+        on an identically configured system.
+
+        Restoring under a *different* refresh policy is supported: the
+        snapshot's refresh events are dropped and the new policy starts
+        mid-run (the contract documented on ``RefreshScheduler.start``).
+        Order matters: tasks and cores restore before the request table
+        (decoded ROB entries need the restored windows); the sampler is
+        recreated before the engine queue (its tick descriptors must
+        decode); the engine restores last.
+        """
+        task_by_id = {}
+        for task, task_state in zip(self.tasks, state["tasks"]):
+            task.restore_state(task_state)
+            task_by_id[task.task_id] = task
+        self.memory.restore_state(state["memory"])
+        self.allocator.restore_state(state["allocator"])
+        for core, core_state in zip(self.cores, state["cores"]):
+            core.restore_state(core_state, task_by_id)
+        requests = {}
+        for req_data in state["requests"]:
+            request = self._decode_request(req_data, task_by_id)
+            requests[request.req_id] = request
+        self.controller.restore_state(state["controller"], requests)
+        self.scheduler.restore_state(state["scheduler"], task_by_id)
+        lb_state = state["load_balancer"]
+        if lb_state is not None and self.load_balancer is not None:
+            self.load_balancer.restore_state(lb_state)
+        same_refresh = (
+            state["refresh"]["policy"] == self.scenario.refresh_policy
+        )
+        if same_refresh:
+            self.refresh_scheduler.restore_state(state["refresh"]["state"])
+        run = state["run"]
+        self._measure_start = run["measure_start"]
+        self._run_end = run["end"]
+        sampler_state = run["sampler"]
+        if sampler_state is not None:
+            from repro.telemetry.timeseries import TimeseriesSampler
+
+            self._sampler_windows = int(sampler_state["samples_per_window"])
+            self._sampler = TimeseriesSampler(self, self._sampler_windows)
+            self._sampler.restore_state(sampler_state["state"])
+        self.engine.restore_state(
+            state["engine"],
+            lambda desc: self._decode_entry(desc, requests, same_refresh),
+        )
+        if not same_refresh:
+            self.refresh_scheduler.start()
+        if lb_state is None and self.load_balancer is not None:
+            self.load_balancer.start()
+
+    # -- engine-entry codecs ---------------------------------------------------
+
+    def _encode_entry(self, fn, arg) -> list:
+        """Map a queued bound-method callback to a JSON-able descriptor."""
+        owner = getattr(fn, "__self__", None)
+        name = getattr(fn, "__name__", repr(fn))
+        if owner is None:
+            raise SimulationError(f"cannot snapshot unbound callback {fn!r}")
+        if owner is self.controller:
+            if name == "_complete":
+                self._pending_requests[arg.req_id] = arg
+                return ["controller", name, arg.req_id]
+            if name == "_pick_many":
+                return ["controller", name, list(arg)]
+            return ["controller", name, arg]
+        if owner is self.refresh_scheduler:
+            return ["refresh", name, list(arg) if isinstance(arg, tuple) else arg]
+        if owner is self.scheduler:
+            return ["sched", name, arg]
+        if self.load_balancer is not None and owner is self.load_balancer:
+            return ["lb", name, arg]
+        if self._sampler is not None and owner is self._sampler:
+            return ["sampler", name, arg]
+        if isinstance(owner, Core):
+            epoch, access = arg
+            return [
+                f"core:{owner.core_id}", name, [epoch, encode_access(access)]
+            ]
+        raise SimulationError(
+            f"cannot snapshot callback {name!r} bound to "
+            f"{type(owner).__name__}"
+        )
+
+    def _decode_entry(self, desc, requests: dict, same_refresh: bool):
+        """Inverse of :meth:`_encode_entry`; ``None`` drops the entry."""
+        owner_key, name, arg = desc
+        if owner_key == "controller":
+            fn = getattr(self.controller, name)
+            if name == "_complete":
+                return fn, requests[int(arg)]
+            if name == "_pick_many":
+                return fn, [int(flat) for flat in arg]
+            return fn, int(arg)
+        if owner_key == "refresh":
+            if not same_refresh:
+                return None  # new policy starts mid-run instead
+            if isinstance(arg, list):
+                arg = tuple(int(v) for v in arg)
+            return getattr(self.refresh_scheduler, name), arg
+        if owner_key == "sched":
+            return getattr(self.scheduler, name), arg
+        if owner_key == "lb":
+            if self.load_balancer is None:
+                return None
+            return getattr(self.load_balancer, name), arg
+        if owner_key == "sampler":
+            if self._sampler is None:
+                return None
+            return getattr(self._sampler, name), arg
+        if owner_key.startswith("core:"):
+            core = self.cores[int(owner_key.split(":", 1)[1])]
+            epoch, access_data = arg
+            return getattr(core, name), (int(epoch), decode_access(access_data))
+        raise SimulationError(f"cannot restore callback descriptor {desc!r}")
+
+    # -- request codec ---------------------------------------------------------
+
+    def _encode_request(self, request: MemoryRequest) -> dict:
+        """Serialize one queued/in-flight request.  The coordinate is
+        recomputed from the address on restore; a ROB entry referenced by
+        a *stale-epoch* ctx is encoded as a dangling index (``None``) —
+        the completion path discards stale-epoch contexts before touching
+        the entry."""
+        core_id = None
+        if request.on_complete is not None:
+            core_id = request.on_complete.__self__.core_id
+        ctx = None
+        if request.ctx is not None:
+            epoch, task, entry = request.ctx
+            core = self.cores[core_id]
+            rob_index = core.rob_index(entry) if epoch == core._epoch else None
+            ctx = [epoch, task.task_id, rob_index]
+        return {
+            "req_id": request.req_id,
+            "rtype": request.rtype.value,
+            "address": request.address,
+            "task_id": request.task_id,
+            "arrive_time": request.arrive_time,
+            "start_time": request.start_time,
+            "refresh_stall": request.refresh_stall,
+            "row_hit": request.row_hit,
+            "core_id": core_id,
+            "ctx": ctx,
+        }
+
+    def _decode_request(self, data: dict, task_by_id: dict) -> MemoryRequest:
+        address = int(data["address"])
+        request = MemoryRequest(
+            RequestType(data["rtype"]),
+            address,
+            self.mapping.address_to_coordinate(address),
+            task_id=int(data["task_id"]),
+            req_id=int(data["req_id"]),
+        )
+        request.arrive_time = int(data["arrive_time"])
+        request.start_time = int(data["start_time"])
+        request.refresh_stall = int(data["refresh_stall"])
+        request.row_hit = bool(data["row_hit"])
+        core_id = data["core_id"]
+        if core_id is not None:
+            core = self.cores[int(core_id)]
+            request.on_complete = core._on_read_complete
+            ctx = data["ctx"]
+            if ctx is not None:
+                epoch, task_id, rob_index = ctx
+                entry = (
+                    core.rob_entry(int(rob_index))
+                    if rob_index is not None
+                    else None
+                )
+                request.ctx = (int(epoch), task_by_id[int(task_id)], entry)
+        return request

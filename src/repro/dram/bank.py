@@ -267,6 +267,35 @@ class Bank:
         self.pre_ready = max(self.pre_ready, end)
         return end
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "open_row": self.open_row,
+            "cas_ready": self.cas_ready,
+            "act_ready": self.act_ready,
+            "pre_ready": self.pre_ready,
+            "refresh_until": self.refresh_until,
+            "refresh_started": self.refresh_started,
+            "sa_refresh_id": self.sa_refresh_id,
+            "sa_refresh_until": self.sa_refresh_until,
+            "sa_refresh_started": self.sa_refresh_started,
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        row = state["open_row"]
+        self.open_row = None if row is None else int(row)
+        self.cas_ready = int(state["cas_ready"])
+        self.act_ready = int(state["act_ready"])
+        self.pre_ready = int(state["pre_ready"])
+        self.refresh_until = int(state["refresh_until"])
+        self.refresh_started = int(state["refresh_started"])
+        self.sa_refresh_id = int(state["sa_refresh_id"])
+        self.sa_refresh_until = int(state["sa_refresh_until"])
+        self.sa_refresh_started = int(state["sa_refresh_started"])
+        self.stats = BankStats.from_dict(state["stats"])
+
     def __repr__(self) -> str:
         return (
             f"Bank(ch{self.channel} rk{self.rank_id} bk{self.bank_id} "
@@ -299,6 +328,14 @@ class Rank:
         self._act_times.append(time)
         if len(self._act_times) > self.FAW_WINDOW:
             del self._act_times[: -self.FAW_WINDOW]
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"_act_times": list(self._act_times)}
+
+    def restore_state(self, state: dict) -> None:
+        self._act_times = [int(t) for t in state["_act_times"]]
 
     def __repr__(self) -> str:
         return f"Rank(ch{self.channel} rk{self.rank_id})"
@@ -341,3 +378,22 @@ class ChannelBus:
     def utilization(self, elapsed: int) -> float:
         """Fraction of elapsed cycles the bus spent transferring data."""
         return self.busy_cycles / elapsed if elapsed > 0 else 0.0
+
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "ready": self.ready,
+            "last_was_read": self.last_was_read,
+            "last_rank_key": (
+                None if self.last_rank_key is None else list(self.last_rank_key)
+            ),
+            "busy_cycles": self.busy_cycles,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.ready = int(state["ready"])
+        self.last_was_read = state["last_was_read"]
+        key = state["last_rank_key"]
+        self.last_rank_key = None if key is None else (int(key[0]), int(key[1]))
+        self.busy_cycles = int(state["busy_cycles"])

@@ -337,6 +337,64 @@ class MemoryController:
         if request.on_complete is not None:
             request.on_complete(request)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def queued_requests(self) -> list[MemoryRequest]:
+        """Every request currently sitting in a bank queue (reads first per
+        bank, flat-index order) — the checkpoint layer serializes these
+        together with the in-flight ones referenced by engine events."""
+        out: list[MemoryRequest] = []
+        for flat in range(self.org.total_banks):
+            out.extend(self._read_q[flat])
+            out.extend(self._write_q[flat])
+        return out
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state.  Queued requests are referenced by
+        ``req_id``; the request objects themselves are serialized once by
+        the system layer (they may also be referenced by in-flight
+        completion events)."""
+        return {
+            "_read_q": [[r.req_id for r in q] for q in self._read_q],
+            "_write_q": [[r.req_id for r in q] for q in self._write_q],
+            "read_count": self.read_count,
+            "write_count": self.write_count,
+            "drain_mode": self.drain_mode,
+            "_pick_pending": list(self._pick_pending),
+            "_next_req_id": self._next_req_id,
+            "banks": [b.snapshot_state() for b in self.banks],
+            "ranks": [
+                [list(key), rank.snapshot_state()]
+                for key, rank in sorted(self.ranks.items())
+            ],
+            "buses": [bus.snapshot_state() for bus in self.buses],
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore_state(
+        self, state: dict, requests: dict[int, MemoryRequest]
+    ) -> None:
+        """Inverse of :meth:`snapshot_state`; *requests* maps req_id to the
+        already-rebuilt request objects."""
+        self._read_q = [
+            [requests[int(rid)] for rid in q] for q in state["_read_q"]
+        ]
+        self._write_q = [
+            [requests[int(rid)] for rid in q] for q in state["_write_q"]
+        ]
+        self.read_count = int(state["read_count"])
+        self.write_count = int(state["write_count"])
+        self.drain_mode = bool(state["drain_mode"])
+        self._pick_pending = [bool(p) for p in state["_pick_pending"]]
+        self._next_req_id = int(state["_next_req_id"])
+        for bank, bank_state in zip(self.banks, state["banks"]):
+            bank.restore_state(bank_state)
+        for key, rank_state in state["ranks"]:
+            self.ranks[(int(key[0]), int(key[1]))].restore_state(rank_state)
+        for bus, bus_state in zip(self.buses, state["buses"]):
+            bus.restore_state(bus_state)
+        self.stats = ControllerStats.from_dict(state["stats"])
+
     def __repr__(self) -> str:
         return (
             f"MemoryController(reads={self.stats.reads_completed}, "

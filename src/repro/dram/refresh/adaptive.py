@@ -72,13 +72,33 @@ class AdaptiveRefresh(RefreshScheduler):
         return max(1, round(self.timing.trfc_ab / self._mode.trfc_divisor))
 
     def _schedule_rank(self, channel: int, rank: int, at: int) -> None:
-        def fire() -> None:
-            mode = self._mode
-            self.controller.refresh_rank(channel, rank, self._trfc())
-            base_flat = self.controller.mapping.flat_bank_index(channel, rank, 0)
-            units = 1.0 / mode.trefi_divisor
-            for bank in range(self.controller.org.banks_per_rank):
-                self.stats.record(base_flat + bank, row_units=units)
-            self._schedule_rank(channel, rank, self._trefi())
+        # Bound method + arg tuple (not a closure) so the queued event can
+        # be captured as a checkpoint descriptor.
+        self.engine.schedule(at, self._fire_rank, (channel, rank))
 
-        self.engine.schedule(at, fire)
+    def _fire_rank(self, key: tuple[int, int]) -> None:
+        channel, rank = key
+        mode = self._mode
+        self.controller.refresh_rank(channel, rank, self._trfc())
+        base_flat = self.controller.mapping.flat_bank_index(channel, rank, 0)
+        units = 1.0 / mode.trefi_divisor
+        for bank in range(self.controller.org.banks_per_rank):
+            self.stats.record(base_flat + bank, row_units=units)
+        self._schedule_rank(channel, rank, self._trefi())
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["_mode"] = self._mode.name
+        state["_last_busy_cycles"] = self._last_busy_cycles
+        state["_last_decision_time"] = self._last_decision_time
+        state["mode_switches"] = self.mode_switches
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._mode = FgrMode[state["_mode"]]
+        self._last_busy_cycles = int(state["_last_busy_cycles"])
+        self._last_decision_time = int(state["_last_decision_time"])
+        self.mode_switches = int(state["mode_switches"])

@@ -65,8 +65,23 @@ class RefreshScheduler:
             self.telemetry = telemetry
 
     def start(self) -> None:
-        """Schedule the first refresh event.  Subclasses override."""
+        """Schedule the first refresh event.  Subclasses override.
+
+        Must be callable with ``engine.now > 0``: a checkpoint restored
+        under a *different* refresh policy drops the snapshot's refresh
+        events and starts the new policy mid-run instead.
+        """
         raise NotImplementedError
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state; subclasses extend the base dict."""
+        return {"stats": self.stats.to_dict()}
+
+    def restore_state(self, state: dict) -> None:
+        """Inverse of :meth:`snapshot_state` (references stay untouched)."""
+        self.stats = RefreshStats.from_dict(state["stats"])
 
     # -- OS-visible schedule (co-design hardware/software interface) ---------
 

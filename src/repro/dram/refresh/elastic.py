@@ -38,34 +38,30 @@ class ElasticRefresh(RefreshScheduler):
                 key = (channel, rank)
                 self._debt[key] = 0
                 offset = rank * trefi // mc.org.ranks_per_channel
-                self.engine.schedule(offset, self._accrue(key))
-                self.engine.schedule(offset, self._poll(key))
+                self.engine.schedule(offset, self._accrue, key)
+                self.engine.schedule(offset, self._poll, key)
 
     # -- debt accrual: one obligation per tREFI -------------------------------
 
-    def _accrue(self, key: tuple[int, int]):
-        def fire() -> None:
-            self._debt[key] += 1
-            if self._debt[key] > self.MAX_POSTPONED:
-                # Budget exhausted: a refresh must go out now.
-                self._issue(key)
-                self.forced_refreshes += 1
-            self.engine.schedule(self.timing.trefi_ab, fire)
-
-        return fire
+    def _accrue(self, key: tuple[int, int]) -> None:
+        # Bound method + key arg (not a closure) so the queued event can be
+        # captured as a checkpoint descriptor.
+        self._debt[key] += 1
+        if self._debt[key] > self.MAX_POSTPONED:
+            # Budget exhausted: a refresh must go out now.
+            self._issue(key)
+            self.forced_refreshes += 1
+        self.engine.schedule(self.timing.trefi_ab, self._accrue, key)
 
     # -- idle detection ---------------------------------------------------------
 
-    def _poll(self, key: tuple[int, int]):
-        def fire() -> None:
-            if self._debt[key] > 0 and self._rank_idle(key):
-                self._issue(key)
-                self.idle_refreshes += 1
-            self.engine.schedule(
-                self.timing.trefi_ab // self.CHECK_DIVISOR, fire
-            )
-
-        return fire
+    def _poll(self, key: tuple[int, int]) -> None:
+        if self._debt[key] > 0 and self._rank_idle(key):
+            self._issue(key)
+            self.idle_refreshes += 1
+        self.engine.schedule(
+            self.timing.trefi_ab // self.CHECK_DIVISOR, self._poll, key
+        )
 
     def _rank_idle(self, key: tuple[int, int]) -> bool:
         channel, rank = key
@@ -84,3 +80,23 @@ class ElasticRefresh(RefreshScheduler):
         for bank in range(mc.org.banks_per_rank):
             self.stats.record(base + bank, row_units=1.0)
         self._debt[key] -= 1
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["_debt"] = [
+            [list(key), debt] for key, debt in sorted(self._debt.items())
+        ]
+        state["forced_refreshes"] = self.forced_refreshes
+        state["idle_refreshes"] = self.idle_refreshes
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._debt = {
+            (int(key[0]), int(key[1])): int(debt)
+            for key, debt in state["_debt"]
+        }
+        self.forced_refreshes = int(state["forced_refreshes"])
+        self.idle_refreshes = int(state["idle_refreshes"])

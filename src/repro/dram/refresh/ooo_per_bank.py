@@ -25,8 +25,24 @@ class OutOfOrderPerBank(RefreshScheduler):
         self._rr_tiebreak = 0
 
     def start(self) -> None:
-        self._begin_window(start=0)
+        # Mid-run starts (cross-policy restore) open the window at `now`.
+        self._begin_window(start=self.engine.now)
         self.engine.schedule(0, self._fire)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["_debt"] = list(self._debt)
+        state["_window_end"] = self._window_end
+        state["_rr_tiebreak"] = self._rr_tiebreak
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._debt = [int(d) for d in state["_debt"]]
+        self._window_end = int(state["_window_end"])
+        self._rr_tiebreak = int(state["_rr_tiebreak"])
 
     def _begin_window(self, start: int) -> None:
         total = self.controller.org.total_banks

@@ -36,22 +36,19 @@ class RefreshPausing(RefreshScheduler):
             for rank in range(mc.org.ranks_per_channel):
                 offset = rank * trefi // mc.org.ranks_per_channel
                 self.engine.schedule(
-                    offset, self._begin_command(channel, rank)
+                    offset, self._begin_command, (channel, rank)
                 )
 
-    def _begin_command(self, channel: int, rank: int):
-        def fire() -> None:
-            deadline = self.engine.now + self.timing.trefi_ab
-            self._run_segments(channel, rank, self.SEGMENTS, deadline)
-            self.engine.schedule(
-                self.timing.trefi_ab, self._begin_command(channel, rank)
-            )
+    def _begin_command(self, key: tuple[int, int]) -> None:
+        # Bound method + arg tuple (not a closure) so the queued event can
+        # be captured as a checkpoint descriptor.
+        channel, rank = key
+        deadline = self.engine.now + self.timing.trefi_ab
+        self._run_segments((channel, rank, self.SEGMENTS, deadline))
+        self.engine.schedule(self.timing.trefi_ab, self._begin_command, key)
 
-        return fire
-
-    def _run_segments(
-        self, channel: int, rank: int, remaining: int, deadline: int
-    ) -> None:
+    def _run_segments(self, ctx: tuple[int, int, int, int]) -> None:
+        channel, rank, remaining, deadline = ctx
         if remaining == 0:
             base = self.controller.mapping.flat_bank_index(channel, rank, 0)
             for bank in range(self.controller.org.banks_per_rank):
@@ -67,20 +64,34 @@ class RefreshPausing(RefreshScheduler):
             self.forced_completions += 1
             for _ in range(remaining):
                 self.controller.refresh_rank(channel, rank, segment)
-            self._run_segments(channel, rank, 0, deadline)
+            self._run_segments((channel, rank, 0, deadline))
             return
         if self._rank_has_demand(channel, rank) and remaining < self.SEGMENTS:
             # Pause: let demand through, re-check shortly.
             self.pauses += 1
             self.engine.schedule(
                 max(1, segment // self.RECHECK_DIVISOR),
-                lambda: self._run_segments(channel, rank, remaining, deadline),
+                self._run_segments,
+                (channel, rank, remaining, deadline),
             )
             return
         end = self.controller.refresh_rank(channel, rank, segment)
         self.engine.schedule_at(
-            end, lambda: self._run_segments(channel, rank, remaining - 1, deadline)
+            end, self._run_segments, (channel, rank, remaining - 1, deadline)
         )
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["pauses"] = self.pauses
+        state["forced_completions"] = self.forced_completions
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self.pauses = int(state["pauses"])
+        self.forced_completions = int(state["forced_completions"])
 
     def _rank_has_demand(self, channel: int, rank: int) -> bool:
         mc = self.controller

@@ -42,3 +42,16 @@ class PerBankRoundRobin(RefreshScheduler):
         self._progress[flat] = (self._progress[flat] + 1) % timing.refreshes_per_bank
         self._next_flat = (flat + 1) % mc.org.total_banks
         self._schedule(timing.trefi_pb)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["_next_flat"] = self._next_flat
+        state["_progress"] = list(self._progress)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        self._next_flat = int(state["_next_flat"])
+        self._progress = [int(p) for p in state["_progress"]]

@@ -88,7 +88,39 @@ class SameBankSequential(RefreshScheduler):
 
     def start(self) -> None:
         self._plan_batches()
-        self.engine.schedule_at(self._command_time(0), self._fire)
+        now = self.engine.now
+        if now > 0:
+            # Mid-run start (cross-policy restore): resume the grid at the
+            # first command slot not yet in the past and point the
+            # Algorithm-1 cursor at that slot's bank/row position.
+            per_window = self.timing.total_banks * self._commands_per_bank
+            k = (now * per_window + self.timing.trefw - 1) // self.timing.trefw
+            while self._command_time(k) < now:
+                k += 1
+            self._cmd_index = k
+            self._next_refresh_flat = (
+                k // self._commands_per_bank
+            ) % self.timing.total_banks
+            self._rows_refreshed = k % self._commands_per_bank
+        self.engine.schedule_at(self._command_time(self._cmd_index), self._fire)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["_next_refresh_flat"] = self._next_refresh_flat
+        state["_rows_refreshed"] = self._rows_refreshed
+        state["_cmd_index"] = self._cmd_index
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        super().restore_state(state)
+        # Batch plan is a pure function of the timing; recompute rather
+        # than trusting the payload.
+        self._plan_batches()
+        self._next_refresh_flat = int(state["_next_refresh_flat"])
+        self._rows_refreshed = int(state["_rows_refreshed"])
+        self._cmd_index = int(state["_cmd_index"])
 
     def _fire(self) -> None:
         mc = self.controller

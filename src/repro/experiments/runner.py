@@ -24,11 +24,13 @@ variable.
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.core.checkpoint import CheckpointStore
 from repro.core.results import RunResult
 from repro.core.runspec import RunSpec
 from repro.core.simulator import make_run_spec, run_spec as execute_run_spec
@@ -101,6 +103,11 @@ class SweepRunner:
         self.profile = profile or active_profile()
         self.jobs = jobs if jobs is not None else default_jobs()
         self.disk_cache = ResultCache(cache_dir) if use_cache else None
+        # Warm-start checkpoints share the cache root; without caching a
+        # warm-started sweep still works, it just re-runs each prefix.
+        self.checkpoint_store = (
+            CheckpointStore(cache_dir) if use_cache else None
+        )
         self._memo: dict[str, RunResult] = {}
         #: Simulations actually executed (memo and disk hits excluded).
         self.runs_executed = 0
@@ -118,16 +125,20 @@ class SweepRunner:
         scenario: str | Scenario,
         banks_per_task: int | None = None,
         sample_windows: int | None = None,
+        warmup_scenario: str | None = None,
         **config_overrides,
     ) -> RunSpec:
         """The :class:`RunSpec` for one data point under the active profile.
 
         ``sample_windows`` attaches a per-window timeseries to the result
         (cache-compatible: it is part of the spec's content hash).
+        ``warmup_scenario`` makes the run warm-started: scenarios sharing
+        one warm-up prefix reuse a single cached measurement-boundary
+        checkpoint (see :func:`repro.core.simulator.warm_start_state`).
         """
         overrides = dict(config_overrides)
         overrides.setdefault("refresh_scale", self.profile.refresh_scale)
-        return make_run_spec(
+        spec = make_run_spec(
             workload,
             scenario,
             num_windows=self.profile.num_windows,
@@ -136,6 +147,10 @@ class SweepRunner:
             sample_windows=sample_windows,
             **overrides,
         )
+        if warmup_scenario is not None:
+            spec = spec.with_(warmup_scenario=warmup_scenario)
+            spec.validate()
+        return spec
 
     # -- execution --------------------------------------------------------------
 
@@ -152,7 +167,7 @@ class SweepRunner:
                 self._memo[key] = result
                 return result
         self.runs_executed += 1
-        result = execute_run_spec(spec)
+        result = execute_run_spec(spec, checkpoint_store=self.checkpoint_store)
         self._memo[key] = result
         if self.disk_cache is not None:
             self.disk_cache.put(key, spec, result)
@@ -216,14 +231,19 @@ class SweepRunner:
             return 0
 
         items = list(pending.items())
+        # CheckpointStore holds only a path, so the partial pickles into
+        # the worker pool; workers then share warm-start prefixes on disk.
+        execute = functools.partial(
+            execute_run_spec, checkpoint_store=self.checkpoint_store
+        )
         if self.jobs > 1 and len(items) > 1:
             workers = min(self.jobs, len(items))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 results = list(
-                    pool.map(execute_run_spec, [s for _, s in items], chunksize=1)
+                    pool.map(execute, [s for _, s in items], chunksize=1)
                 )
         else:
-            results = [execute_run_spec(s) for _, s in items]
+            results = [execute(s) for _, s in items]
 
         for (key, spec), result in zip(items, results):
             self.runs_executed += 1

@@ -1,7 +1,13 @@
-"""CLI for observability tooling: ``python -m repro.obs diff a b``.
+"""CLI for observability tooling.
 
-Exit codes follow :class:`~repro.obs.diff.DiffResult`: 0 identical,
+``python -m repro.obs diff a b`` compares two JSON artifacts; exit
+codes follow :class:`~repro.obs.diff.DiffResult`: 0 identical,
 1 differences all within tolerance, 2 regression (or usage error).
+
+``python -m repro.obs trace events.jsonl -o trace.json`` replays one or
+more JSONL event shards (in argument order) through the Chrome trace
+builder — concatenating a pre-checkpoint shard with its resumed
+continuation reproduces the uninterrupted run's trace byte-for-byte.
 """
 
 from __future__ import annotations
@@ -71,7 +77,42 @@ def main(argv=None) -> int:
         "--quiet", action="store_true", help="suppress the report, exit code only"
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="replay JSONL event shards into a Chrome trace JSON",
+        description=(
+            "Feed one or more JSONL event files (in order) through the "
+            "Chrome trace builder. The output is a pure function of the "
+            "concatenated event stream, so time-sharded runs replay to "
+            "the same bytes as an uninterrupted one."
+        ),
+    )
+    trace.add_argument("shards", nargs="+", metavar="EVENTS_JSONL",
+                       help="JSONL event files, oldest shard first")
+    trace.add_argument("-o", "--out", required=True, metavar="PATH",
+                       help="Chrome trace JSON output path")
+    trace.add_argument("--include-dram-commands", action="store_true",
+                       help="keep high-volume per-command DRAM slices")
+
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        from repro.telemetry.sinks import ChromeTraceSink, read_jsonl
+
+        sink = ChromeTraceSink(
+            include_dram_commands=args.include_dram_commands
+        )
+        total = 0
+        for shard in args.shards:
+            events = read_jsonl(shard)
+            for event in events:
+                sink.emit(event)
+            total += len(events)
+        sink.write(args.out)
+        print(
+            f"replayed {total} events from {len(args.shards)} shard(s) "
+            f"-> {args.out}"
+        )
+        return 0
     result = diff_files(args.a, args.b, rules=args.tol + args.abs_tol)
     if not args.quiet:
         print(result.report())

@@ -113,6 +113,12 @@ class Monitor:
         self.active = True
         self.strict = False
         self.events_observed = 0
+        #: Cycle a resumed run re-entered the simulation at, or None for
+        #: a cold run.  Set by :meth:`MonitorSuite.bind` before
+        #: :meth:`bind` so monitors can tolerate intervals that straddle
+        #: the restore boundary (their opening events live in the
+        #: pre-checkpoint shard's stream).
+        self.resume_time: Optional[int] = None
 
     def bind(self, system: "System") -> None:
         """Learn the invariant's parameters from the built system."""
@@ -160,6 +166,11 @@ class RefreshStretchMonitor(Monitor):
         self._commands_in_stretch = 0
         self._prev_bank: Optional[int] = None
         self.stretches_checked = 0
+        # On a resumed run one stretch may straddle the restore boundary:
+        # its begin (and some commands) happened in the pre-checkpoint
+        # shard, so commands/end without an open stretch are tolerated
+        # until the first begin proves we are back on the grid.
+        self._tolerate_open_stretch = self.resume_time is not None
 
     def observe(self, event: TraceEvent) -> None:
         self.events_observed += 1
@@ -173,6 +184,7 @@ class RefreshStretchMonitor(Monitor):
 
     def _on_begin(self, event) -> None:
         bank, time = event.bank, event.time
+        self._tolerate_open_stretch = False
         if self._open is not None:
             self.record(
                 time,
@@ -213,6 +225,8 @@ class RefreshStretchMonitor(Monitor):
             return
         flat = self._mapping.flat_bank_index(event.channel, event.rank, event.bank)
         if self._open is None:
+            if self._tolerate_open_stretch:
+                return  # tail of the stretch straddling the resume boundary
             self.record(
                 event.time,
                 f"refresh command on bank {flat} outside any stretch",
@@ -231,6 +245,13 @@ class RefreshStretchMonitor(Monitor):
 
     def _on_end(self, event) -> None:
         if self._open is None:
+            if self._tolerate_open_stretch:
+                # Closes the stretch that was open at the checkpoint; its
+                # begin is in the previous shard.  Chain the bank-order
+                # check from here.
+                self._tolerate_open_stretch = False
+                self._prev_bank = event.bank
+                return
             self.record(
                 event.time, f"stretch end on bank {event.bank} without a begin",
                 bank=event.bank,
@@ -478,10 +499,15 @@ class MonitorSuite:
         telemetry.subscribe(self.sink)
         return self
 
-    def bind(self, system: "System") -> "MonitorSuite":
+    def bind(
+        self, system: "System", resume_time: Optional[int] = None
+    ) -> "MonitorSuite":
         """Bind every monitor to the built system and replay buffered
-        construction-time events; returns self."""
+        construction-time events; returns self.  ``resume_time`` marks a
+        run resumed from a checkpoint at that cycle, letting monitors
+        tolerate intervals straddling the restore boundary."""
         for monitor in self.monitors:
+            monitor.resume_time = resume_time
             monitor.bind(system)
             if monitor.active:
                 for kind in monitor.kinds:

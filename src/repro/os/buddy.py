@@ -115,6 +115,28 @@ class BuddyAllocator:
         """Total number of free page frames."""
         return sum(len(lst) << order for order, lst in enumerate(self._free))
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "_free": [list(lst) for lst in self._free],
+            "_allocated_order": [
+                [base, order]
+                for base, order in sorted(self._allocated_order.items())
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._free = [[int(b) for b in lst] for lst in state["_free"]]
+        self._allocated_order = {
+            int(base): int(order) for base, order in state["_allocated_order"]
+        }
+        self._free_set = {
+            (order, base)
+            for order, lst in enumerate(self._free)
+            for base in lst
+        }
+
     def has_free(self) -> bool:
         return any(self._free)
 

@@ -66,5 +66,13 @@ class CfsRunqueue:
     def tasks(self) -> list[Task]:
         return list(self._tasks)
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"_tasks": [t.task_id for t in self._tasks]}
+
+    def restore_state(self, state: dict, task_by_id: dict) -> None:
+        self._tasks = [task_by_id[int(tid)] for tid in state["_tasks"]]
+
     def __repr__(self) -> str:
         return f"CfsRunqueue(cpu{self.cpu_id}, nr={len(self._tasks)})"

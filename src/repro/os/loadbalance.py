@@ -58,6 +58,15 @@ class LoadBalancer:
         self.rebalance()
         self._schedule_next()
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"migrations": self.migrations, "_started": self._started}
+
+    def restore_state(self, state: dict) -> None:
+        self.migrations = int(state["migrations"])
+        self._started = bool(state["_started"])
+
     # -- balancing ------------------------------------------------------------------
 
     def rebalance(self) -> int:

@@ -54,6 +54,14 @@ class PhysicalMemory:
     def used_frames(self) -> int:
         return sum(1 for o in self._owner if o != -1)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"_owner": list(self._owner)}
+
+    def restore_state(self, state: dict) -> None:
+        self._owner = [int(o) for o in state["_owner"]]
+
     def __repr__(self) -> str:
         return (
             f"PhysicalMemory({self.total_frames} frames, "

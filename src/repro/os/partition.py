@@ -129,6 +129,28 @@ class PartitioningAllocator:
     def cached_frames_in_bank(self, flat_bank: int) -> int:
         return len(self._bank_cache[flat_bank])
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state (the shared :class:`PhysicalMemory`
+        is captured separately by the system layer)."""
+        return {
+            "buddy": self.buddy.snapshot_state(),
+            "_bank_cache": [list(cache) for cache in self._bank_cache],
+            "cache_hits": self.cache_hits,
+            "cache_fills": self.cache_fills,
+            "spills": self.spills,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.buddy.restore_state(state["buddy"])
+        self._bank_cache = [
+            [int(f) for f in cache] for cache in state["_bank_cache"]
+        ]
+        self.cache_hits = int(state["cache_hits"])
+        self.cache_fills = int(state["cache_fills"])
+        self.spills = int(state["spills"])
+
     # -- Algorithm 2 core -----------------------------------------------------------
 
     def _alloc_any(self, task: Task) -> int:

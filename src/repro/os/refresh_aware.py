@@ -53,6 +53,23 @@ class RefreshAwareScheduler(OsScheduler):
         # fallback (read by the system's pick observer to tag the event).
         self.last_pick_fallback = False
 
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        state = super().snapshot_state()
+        state["clean_picks"] = self.clean_picks
+        state["fallback_picks"] = self.fallback_picks
+        state["last_pick_fallback"] = self.last_pick_fallback
+        return state
+
+    def restore_state(self, state: dict, task_by_id: dict) -> None:
+        super().restore_state(state, task_by_id)
+        # .get defaults keep cross-scheduler restores working: a checkpoint
+        # captured under plain CFS has no refresh-aware counters.
+        self.clean_picks = int(state.get("clean_picks", 0))
+        self.fallback_picks = int(state.get("fallback_picks", 0))
+        self.last_pick_fallback = bool(state.get("last_pick_fallback", False))
+
     def next_refresh_bank(self) -> int:
         """Flat bank index the MC refreshes during the upcoming quantum.
 

@@ -106,6 +106,24 @@ class OsScheduler:
                 observer(self.engine.now, core.core_id, chosen)
         self.engine.schedule(self.quantum_cycles, self._tick)
 
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state (observers are runtime wiring and
+        are not captured; the queued ``_tick`` event is captured by the
+        engine snapshot)."""
+        return {
+            "context_switches": self.context_switches,
+            "runqueues": [rq.snapshot_state() for rq in self.runqueues],
+            "_started": self._started,
+        }
+
+    def restore_state(self, state: dict, task_by_id: dict) -> None:
+        self.context_switches = int(state["context_switches"])
+        for rq, rq_state in zip(self.runqueues, state["runqueues"]):
+            rq.restore_state(rq_state, task_by_id)
+        self._started = bool(state["_started"])
+
     # -- policy ---------------------------------------------------------------------------
 
     def pick_next_task(self, runqueue: CfsRunqueue) -> Optional[Task]:

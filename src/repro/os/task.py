@@ -122,5 +122,61 @@ class Task:
         self._scheduled_at = None
         self.current_core = None
 
+    # -- checkpoint/restore -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Serializable mutable state, including the task's RNG, workload
+        cursor and (when demand-paged) page table.  ``possible_banks`` is
+        construction-derived from the spec and deliberately not captured."""
+        rng_state = None
+        if self.rng is not None:
+            version, internal, gauss_next = self.rng.getstate()
+            rng_state = [version, list(internal), gauss_next]
+        return {
+            "vruntime": self.vruntime,
+            "last_alloced_bank": self.last_alloced_bank,
+            "frames": list(self.frames),
+            "pages_per_bank": [
+                [bank, pages] for bank, pages in sorted(self.pages_per_bank.items())
+            ],
+            "stats": self.stats.to_dict(),
+            "runnable": self.runnable,
+            "_scheduled_at": self._scheduled_at,
+            "current_core": self.current_core,
+            "rng": rng_state,
+            "workload": (
+                self.workload.snapshot_state()
+                if hasattr(self.workload, "snapshot_state")
+                else None
+            ),
+            "vm": None if self.vm is None else self.vm.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.vruntime = float(state["vruntime"])
+        self.last_alloced_bank = int(state["last_alloced_bank"])
+        self.frames = [int(f) for f in state["frames"]]
+        self.pages_per_bank = {
+            int(bank): int(pages) for bank, pages in state["pages_per_bank"]
+        }
+        self.stats = TaskStats.from_dict(state["stats"])
+        self.runnable = bool(state["runnable"])
+        scheduled_at = state["_scheduled_at"]
+        self._scheduled_at = None if scheduled_at is None else int(scheduled_at)
+        core = state["current_core"]
+        self.current_core = None if core is None else int(core)
+        rng_state = state["rng"]
+        if rng_state is not None and self.rng is not None:
+            version, internal, gauss_next = rng_state
+            self.rng.setstate(
+                (version, tuple(int(v) for v in internal), gauss_next)
+            )
+        workload_state = state["workload"]
+        if workload_state is not None and hasattr(self.workload, "restore_state"):
+            self.workload.restore_state(workload_state)
+        vm_state = state["vm"]
+        if vm_state is not None and self.vm is not None:
+            self.vm.restore_state(vm_state)
+
     def __repr__(self) -> str:
         return f"Task(#{self.task_id} {self.name!r}, vruntime={self.vruntime:.0f})"

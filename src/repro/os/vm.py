@@ -148,6 +148,21 @@ class VirtualMemory:
         self.stats = VmStats()
         return mapped
 
+    # -- checkpoint/restore -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Page table in LRU order (front = eviction candidate) + stats."""
+        return {
+            "_table": [[vpn, frame] for vpn, frame in self._table.items()],
+            "stats": self.stats.to_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._table = OrderedDict(
+            (int(vpn), int(frame)) for vpn, frame in state["_table"]
+        )
+        self.stats = VmStats.from_dict(state["stats"])
+
     def release_all(self) -> None:
         """Drop every resident page (process exit)."""
         for frame in list(self._table.values()):

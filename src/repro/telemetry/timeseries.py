@@ -165,3 +165,25 @@ class TimeseriesSampler:
 
     def result(self) -> Timeseries:
         return self.timeseries
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Accumulated samples and the delta baselines; the pending tick is
+        an engine-owned event captured by the engine snapshot."""
+        return {
+            "timeseries": self.timeseries.to_dict(),
+            "_end": self._end,
+            "_last_t": self._last_t,
+            "_last_instructions": self._last_instructions,
+            "_last_reads": self._last_reads,
+            "_last_stalled": self._last_stalled,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.timeseries = Timeseries.from_dict(state["timeseries"])
+        self._end = int(state["_end"])
+        self._last_t = int(state["_last_t"])
+        self._last_instructions = int(state["_last_instructions"])
+        self._last_reads = int(state["_last_reads"])
+        self._last_stalled = int(state["_last_stalled"])

@@ -253,3 +253,24 @@ class StatisticalWorkload:
         self._recent_pages.append(page_idx)
         if len(self._recent_pages) > 8:
             del self._recent_pages[0]
+
+    # -- checkpoint/restore -----------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Stream cursor state; the spec-derived constants are rebuilt at
+        construction and not captured."""
+        return {
+            "_seq_cursor": self._seq_cursor,
+            "_last_page_idx": self._last_page_idx,
+            "_recent_pages": list(self._recent_pages),
+            "_fault_penalty": self._fault_penalty,
+            "_burst_left": self._burst_left,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._seq_cursor = int(state["_seq_cursor"])
+        last = state["_last_page_idx"]
+        self._last_page_idx = None if last is None else int(last)
+        self._recent_pages = [int(p) for p in state["_recent_pages"]]
+        self._fault_penalty = int(state["_fault_penalty"])
+        self._burst_left = int(state["_burst_left"])

@@ -92,3 +92,31 @@ def test_cli_fails_without_reports(tmp_path):
     empty = tmp_path / "empty"
     empty.mkdir()
     assert bench_trend.main(["--dir", str(empty)]) == 1
+
+
+def test_gate_is_graceful_without_any_baseline(tmp_path, capsys):
+    """--gate on an empty trajectory must not fail a fresh checkout."""
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    fresh_dir = tmp_path / "fresh"
+    fresh_dir.mkdir()
+    write_reports(fresh_dir, report("2026-01-02"))
+    fresh = str(fresh_dir / "BENCH_2026-01-02.json")
+    assert bench_trend.main(
+        ["--dir", str(empty), "--gate", "--fresh", fresh]
+    ) == 0
+    assert "no trajectory yet" in capsys.readouterr().out
+
+
+def test_trend_summary_single_point_says_no_trajectory(tmp_path, capsys):
+    write_reports(tmp_path, report("2026-01-01"))
+    assert bench_trend.main(["--dir", str(tmp_path)]) == 0
+    assert "no trajectory yet" in capsys.readouterr().out
+
+
+def test_trend_summary_two_points_reports_drift():
+    reports = [report("2026-01-01", wall=1.0), report("2026-02-01", wall=1.5)]
+    summary = bench_trend.trend_summary(reports)
+    assert "2026-01-01 -> 2026-02-01" in summary
+    assert "engine_event_chain +50.0%" in summary
+    assert "end_to_end +50.0%" in summary

@@ -295,3 +295,64 @@ def test_pending_events_reports_live_and_compacts_stubs():
     eng.run()
     assert eng.events_processed == 10
     assert keep[0].cancel() is None  # stale handle cancel stays safe
+
+
+# -- checkpoint/restore ---------------------------------------------------
+
+
+def _tagged_engine(record):
+    """An engine plus a tag->callable registry appending to *record*."""
+    eng = Engine()
+    fns = {}
+    for tag in ("a", "b", "c", "d", "e"):
+        def fn(arg=None, tag=tag):
+            record.append((tag, arg))
+        fns[tag] = fn
+    return eng, fns
+
+
+def test_snapshot_restore_preserves_same_cycle_insertion_order():
+    """The documented ChannelBus arbitration invariant: entries queued at
+    one cycle fire in insertion order, and a snapshot/restore round trip
+    (through JSON, as a checkpoint file would) must not reorder them."""
+    import json
+
+    rec1, rec2 = [], []
+    eng1, fns1 = _tagged_engine(rec1)
+    # Interleave bare callables and arg-carrying Event entries in one
+    # bucket so the round trip has to preserve order across entry kinds.
+    eng1.schedule(7, fns1["a"])
+    eng1.schedule(7, fns1["b"], 1)
+    eng1.schedule(7, fns1["c"])
+    eng1.schedule(7, fns1["d"], 2)
+    eng1.schedule(12, fns1["e"])
+    eng1.run_until(3)
+
+    def encode(fn, arg):
+        tag = next(t for t, f in fns1.items() if f is fn)
+        return [tag, arg]
+
+    state = json.loads(json.dumps(eng1.snapshot_state(encode)))
+
+    eng2, fns2 = _tagged_engine(rec2)
+    eng2.restore_state(state, lambda desc: (fns2[desc[0]], desc[1]))
+    assert eng2.now == 3
+    eng1.run_until(20)
+    eng2.run_until(20)
+    expected = [("a", None), ("b", 1), ("c", None), ("d", 2), ("e", None)]
+    assert rec1 == expected
+    assert rec2 == expected
+    assert eng2.events_processed == eng1.events_processed == 5
+
+
+def test_snapshot_drops_cancelled_stubs():
+    rec = []
+    eng, fns = _tagged_engine(rec)
+    eng.schedule(7, fns["a"])
+    handle = eng.schedule_event(7, fns["b"])
+    handle.cancel()
+    state = eng.snapshot_state(
+        lambda fn, arg: [next(t for t, f in fns.items() if f is fn), arg]
+    )
+    # The cancelled stub never reaches the encoder.
+    assert state["_buckets"] == [[7, [["a", None]]]]
