@@ -63,8 +63,13 @@ def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
     return len(fingerprints)
 
 
-def load_baseline(path: Path) -> set[str]:
-    """Load the fingerprint set from *path* (must exist and parse)."""
+def load_baseline_entries(path: Path) -> dict[str, dict]:
+    """Load fingerprint -> recorded entry info (must exist and parse).
+
+    The entry info (code/path/message captured at --write-baseline time)
+    lets the RPR015 audit describe *what* a dead fingerprint used to
+    grandfather.
+    """
     try:
         payload = json.loads(path.read_text())
     except OSError as exc:
@@ -79,7 +84,15 @@ def load_baseline(path: Path) -> set[str]:
     fingerprints = payload.get("fingerprints", {})
     if not isinstance(fingerprints, dict):
         raise ConfigError(f"baseline {path}: 'fingerprints' must be an object")
-    return set(fingerprints)
+    return {
+        fp: (info if isinstance(info, dict) else {})
+        for fp, info in fingerprints.items()
+    }
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Load the fingerprint set from *path* (must exist and parse)."""
+    return set(load_baseline_entries(path))
 
 
 def filter_baselined(

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro.analysis [paths] ...``.
 
 Exit codes: ``0`` clean, ``1`` findings reported, ``2`` usage or
-environment error (unreadable baseline, unknown rule code).
+environment error (unreadable baseline, unknown rule code, git failure
+under ``--changed-only``).
 """
 
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -14,11 +16,16 @@ from typing import Optional, Sequence
 from repro.analysis.baseline import (
     DEFAULT_BASELINE,
     filter_baselined,
-    load_baseline,
+    load_baseline_entries,
     write_baseline,
 )
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.engine import analyze_paths
+from repro.analysis.engine import analyze_project
+from repro.analysis.model.cache import (
+    DEFAULT_CACHE,
+    AnalysisCache,
+    analysis_signature,
+)
 from repro.analysis.registry import all_rules
 from repro.errors import ConfigError
 
@@ -40,7 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -70,11 +77,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to run (e.g. RPR001,RPR004)",
     )
     parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=str(DEFAULT_CACHE),
+        default=None,
+        metavar="PATH",
+        help=(
+            "reuse per-file summaries and findings keyed by content hash "
+            f"(default path when given bare: {DEFAULT_CACHE})"
+        ),
+    )
+    parser.add_argument(
+        "--changed-only",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "treat files changed vs. REF (git diff + untracked; default "
+            "HEAD) as dirty; with --cache, only their reverse import "
+            "closure is re-analyzed — the report still covers everything"
+        ),
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a run-summary line (rules, files, cache hits) to stderr",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list registered rules and exit",
     )
     return parser
+
+
+def _git_changed_files(ref: str) -> list[str]:
+    """Changed-vs-*ref* plus untracked paths; raises ConfigError on git failure."""
+    out: list[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                cmd, capture_output=True, text=True, check=True
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            detail = getattr(exc, "stderr", "") or str(exc)
+            raise ConfigError(
+                f"--changed-only needs a working git ({' '.join(cmd)}): "
+                f"{detail.strip()}"
+            ) from None
+        out.extend(line for line in proc.stdout.splitlines() if line.strip())
+    return out
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -98,7 +154,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return EXIT_ERROR
     config = AnalysisConfig(select=select)
 
-    findings = analyze_paths([Path(p) for p in args.paths], config)
+    baseline_entries = None
+    if args.baseline is not None:
+        try:
+            baseline_entries = load_baseline_entries(Path(args.baseline))
+        except ConfigError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return EXIT_ERROR
+
+    changed_paths = None
+    if args.changed_only is not None:
+        try:
+            changed_paths = _git_changed_files(args.changed_only)
+        except ConfigError as exc:
+            sys.stderr.write(f"error: {exc}\n")
+            return EXIT_ERROR
+
+    cache = None
+    if args.cache is not None:
+        signature = analysis_signature(config, [r.code for r in rules])
+        cache = AnalysisCache.load(Path(args.cache), signature)
+
+    report = analyze_project(
+        [Path(p) for p in args.paths],
+        config,
+        rules=rules,
+        cache=cache,
+        changed_paths=changed_paths,
+        baseline_entries=baseline_entries,
+        baseline_path=args.baseline,
+    )
+    findings = report.findings
+    if args.stats:
+        sys.stderr.write(report.stats.render() + "\n")
 
     if args.write_baseline is not None:
         count = write_baseline(Path(args.write_baseline), findings)
@@ -109,17 +197,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_CLEAN
 
     suppressed = 0
-    if args.baseline is not None:
-        try:
-            baseline = load_baseline(Path(args.baseline))
-        except ConfigError as exc:
-            sys.stderr.write(f"error: {exc}\n")
-            return EXIT_ERROR
-        findings, suppressed = filter_baselined(findings, baseline)
+    if baseline_entries is not None:
+        findings, suppressed = filter_baselined(findings, set(baseline_entries))
 
     if args.format == "json":
-        from repro.analysis.reporters import render_json as render
+        from repro.analysis.reporters import render_json
+
+        rendered = render_json(findings, suppressed)
+    elif args.format == "sarif":
+        from repro.analysis.reporters import render_sarif
+
+        rendered = render_sarif(findings, rules=rules, suppressed_count=suppressed)
     else:
-        from repro.analysis.reporters import render_text as render
-    out.write(render(findings, suppressed) + "\n")
+        from repro.analysis.reporters import render_text
+
+        rendered = render_text(findings, suppressed)
+    out.write(rendered + "\n")
     return EXIT_FINDINGS if findings else EXIT_CLEAN

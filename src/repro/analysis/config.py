@@ -62,6 +62,44 @@ class AnalysisConfig:
         "repro.experiments.report",
     )
 
+    #: Packages whose ``engine.schedule*`` wiring feeds simulation event
+    #: order — RPR011 (snapshot coverage) and RPR012 (event wiring) bind
+    #: here.  Driver/bench code outside these packages may schedule
+    #: freely.
+    event_packages: tuple[str, ...] = (
+        "repro.core",
+        "repro.dram",
+        "repro.os",
+        "repro.cpu",
+        "repro.telemetry",
+    )
+
+    #: Modules documented to rely on the same-cycle bucket-insertion-
+    #: order invariant (PR 4: same-cycle engine bucket insertion order
+    #: *is* ChannelBus arbitration order).  Same-cycle scheduling —
+    #: ``schedule(0, ...)`` / ``schedule_at(now, ...)`` — anywhere else
+    #: is flagged by RPR012: a new module silently joining the
+    #: arbitration order is exactly how ordering bugs ship.
+    order_exempt_modules: tuple[str, ...] = (
+        "repro.core.engine",
+        "repro.core.system",
+        "repro.core.simulator",
+        "repro.dram.controller",
+        "repro.dram.refresh",
+    )
+
+    #: Methods whose ``self.X`` assignments do not count as runtime
+    #: mutation for RPR011 snapshot coverage: construction, the restore
+    #: half of the protocol, and deserialization re-create state rather
+    #: than mutating it mid-run.
+    snapshot_exempt_methods: tuple[str, ...] = (
+        "__init__",
+        "__post_init__",
+        "__setstate__",
+        "restore_state",
+        "from_dict",
+    )
+
     #: Restrict the run to these codes (``None`` = every registered rule).
     select: frozenset[str] | None = None
 

@@ -13,10 +13,11 @@ import ast
 import re
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Iterable, Iterator, Optional
 
-#: Suppression comment: ``# repro: noqa`` (all codes) or
-#: ``# repro: noqa[RPR001]`` / ``# repro: noqa[RPR001,RPR004]``.
+#: Suppression comment: hash + ``repro: noqa``, bare (all codes) or
+#: with a code list like ``[RPR001]`` / ``[RPR001,RPR004]``.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
 )
@@ -78,6 +79,56 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
         )
+
+
+class ProjectRule(Rule):
+    """Base class for whole-program rules (RPR011+).
+
+    Project rules run once over the assembled
+    :class:`~repro.analysis.model.project.ProjectModel` instead of once
+    per file.  ``audit = True`` marks rules that must run after every
+    other rule because they inspect the raw finding set itself (RPR015
+    stale-suppression audit).
+    """
+
+    audit: bool = False
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, pctx: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            code=self.code, path=path, line=line, col=col, message=message
+        )
+
+
+class ProjectContext:
+    """Everything a project rule needs: the model plus run-level state."""
+
+    def __init__(
+        self,
+        model,
+        config,
+        raw_findings: Optional[list[Finding]] = None,
+        baseline_entries: Optional[dict] = None,
+        baseline_path: Optional[str] = None,
+        known_codes: frozenset[str] = frozenset(),
+    ):
+        self.model = model
+        self.config = config
+        #: Raw (pre-noqa, pre-baseline) findings of every non-audit rule;
+        #: only populated for audit rules.
+        self.raw_findings = raw_findings if raw_findings is not None else []
+        #: Baseline fingerprint -> recorded entry info, when a baseline
+        #: is in play (RPR015 dead-entry audit); None otherwise.
+        self.baseline_entries = baseline_entries
+        self.baseline_path = baseline_path
+        self.known_codes = known_codes
 
 
 def _derive_module_name(path: Path) -> str:
@@ -186,21 +237,48 @@ class FileContext:
 # -- drivers ---------------------------------------------------------------------
 
 
-def analyze_file(
-    path: Path,
-    config,
-    rules: Optional[Iterable[Rule]] = None,
-    display_path: Optional[str] = None,
-) -> list[Finding]:
-    """Run every enabled rule over one file; returns sorted findings."""
-    from repro.analysis.registry import all_rules
+@dataclass
+class AnalysisStats:
+    """Run-level accounting for the ``--stats`` line and tests."""
 
-    display = display_path or str(path)
+    files_total: int = 0
+    files_parsed: int = 0
+    files_reanalyzed: int = 0
+    cache_hits: int = 0
+    rules_run: int = 0
+    wall_time_s: float = 0.0
+    cache_enabled: bool = False
+
+    def render(self) -> str:
+        cached = (
+            f", {self.cache_hits} from cache" if self.cache_enabled else ""
+        )
+        return (
+            f"stats: {self.rules_run} rule(s) over {self.files_total} "
+            f"file(s) ({self.files_parsed} parsed{cached}, "
+            f"{self.files_reanalyzed} re-analyzed) in "
+            f"{self.wall_time_s:.2f}s"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Findings plus the incremental-run metadata behind them."""
+
+    findings: list[Finding]
+    stats: AnalysisStats
+    #: Display paths in the dirty set's reverse import closure — the
+    #: files whose findings could have changed this run.
+    analyzed_paths: list[str]
+
+
+def _parse(path: Path, display: str):
+    """(source, tree) or a one-element RPR000 finding list."""
     try:
         source = path.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
     except (OSError, SyntaxError, ValueError) as exc:
-        return [
+        return None, [
             Finding(
                 code=PARSE_ERROR_CODE,
                 path=display,
@@ -209,15 +287,71 @@ def analyze_file(
                 message=f"could not analyze file: {exc}",
             )
         ]
+    return (source, tree), []
 
+
+def _split_rules(rules: Optional[Iterable[Rule]]):
+    from repro.analysis.registry import all_rules
+
+    rules_list = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in rules_list if not isinstance(r, ProjectRule)]
+    project_rules = [
+        r for r in rules_list if isinstance(r, ProjectRule) and not r.audit
+    ]
+    audit_rules = [
+        r for r in rules_list if isinstance(r, ProjectRule) and r.audit
+    ]
+    return rules_list, file_rules, project_rules, audit_rules
+
+
+def analyze_file(
+    path: Path,
+    config,
+    rules: Optional[Iterable[Rule]] = None,
+    display_path: Optional[str] = None,
+) -> list[Finding]:
+    """Run every enabled rule over one file; returns sorted findings.
+
+    Project rules run against a single-file model, so class-local
+    interprocedural rules (snapshot coverage, event wiring) work here
+    too; cross-file edges obviously need :func:`analyze_project`.
+    """
+    display = display_path or str(path)
+    parsed, errors = _parse(path, display)
+    if parsed is None:
+        return errors
+    source, tree = parsed
     ctx = FileContext(path, source, tree, config, display_path=display)
-    findings: list[Finding] = []
-    for rule in rules if rules is not None else all_rules():
-        if not config.rule_enabled(rule.code):
-            continue
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding):
-                findings.append(finding)
+    rules_list, file_rules, project_rules, audit_rules = _split_rules(rules)
+    known_codes = frozenset(r.code for r in rules_list)
+
+    raw: list[Finding] = []
+    for rule in file_rules:
+        if config.rule_enabled(rule.code):
+            raw.extend(rule.check(ctx))
+    if project_rules or audit_rules:
+        from repro.analysis.model.project import ProjectModel
+        from repro.analysis.model.summary import extract_summary
+
+        model = ProjectModel([extract_summary(ctx)])
+        pctx = ProjectContext(model, config, known_codes=known_codes)
+        for rule in project_rules:
+            if config.rule_enabled(rule.code):
+                raw.extend(rule.check_project(pctx))
+        audit_ctx = ProjectContext(
+            model,
+            config,
+            raw_findings=sorted(raw, key=Finding.sort_key),
+            known_codes=known_codes,
+        )
+        for rule in audit_rules:
+            if config.rule_enabled(rule.code):
+                raw.extend(rule.check_project(audit_ctx))
+    findings = [
+        f
+        for f in raw
+        if f.code == "RPR015" or not ctx.suppressed(f)
+    ]
     return sorted(findings, key=Finding.sort_key)
 
 
@@ -242,14 +376,170 @@ def discover_files(paths: Iterable[Path], config) -> list[Path]:
     return sorted(out)
 
 
+def analyze_project(
+    paths: Iterable[Path],
+    config,
+    rules: Optional[Iterable[Rule]] = None,
+    cache=None,
+    changed_paths: Optional[Iterable[str]] = None,
+    baseline_entries: Optional[dict] = None,
+    baseline_path: Optional[str] = None,
+) -> AnalysisReport:
+    """Whole-program analysis with optional incremental cache.
+
+    Per-file rules run (and re-run) only for files whose content hash
+    missed *cache*; unchanged files contribute their cached summary and
+    raw findings.  Project rules then run once over the assembled
+    model — their inputs are summaries, so no re-parse is needed — and
+    the report's ``analyzed_paths`` records the dirty set's reverse
+    import closure: the only files whose findings can differ from the
+    previous run.  *changed_paths* (the ``--changed-only`` git set)
+    widens the dirty set so a cache carried across commits still
+    re-analyzes everything the diff touches.
+
+    Findings are identical to a cold full run by construction: caching
+    changes what is recomputed, never what is reported.
+    """
+    t0 = perf_counter()
+    rules_list, file_rules, project_rules, audit_rules = _split_rules(rules)
+    known_codes = frozenset(r.code for r in rules_list)
+    enabled = [r for r in rules_list if config.rule_enabled(r.code)]
+
+    from repro.analysis.model.project import ProjectModel
+    from repro.analysis.model.summary import ModuleSummary, extract_summary
+
+    files = discover_files(paths, config)
+    summaries: dict[str, "ModuleSummary"] = {}
+    raw_by_file: dict[str, list[Finding]] = {}
+    resolved_of: dict[str, str] = {}
+    parsed: set[str] = set()
+
+    for path in files:
+        display = str(path)
+        resolved_of[display] = str(path.resolve())
+        digest = None
+        if cache is not None:
+            try:
+                digest = _hash_bytes(path.read_bytes())
+            except OSError:
+                digest = None
+            if digest is not None:
+                hit = cache.lookup(display, digest)
+                if hit is not None:
+                    summaries[display], raw_by_file[display] = hit
+                    continue
+        parsed_file, errors = _parse(path, display)
+        parsed.add(display)
+        if parsed_file is None:
+            summaries[display] = ModuleSummary.empty(
+                _derive_module_name(path), display
+            )
+            raw_by_file[display] = errors
+        else:
+            source, tree = parsed_file
+            ctx = FileContext(path, source, tree, config, display_path=display)
+            raw: list[Finding] = []
+            for rule in file_rules:
+                if config.rule_enabled(rule.code):
+                    raw.extend(rule.check(ctx))
+            raw.sort(key=Finding.sort_key)
+            summaries[display] = extract_summary(ctx)
+            raw_by_file[display] = raw
+        if cache is not None and digest is not None:
+            cache.store(
+                display, digest, summaries[display], raw_by_file[display]
+            )
+
+    model = ProjectModel(summaries.values())
+
+    # Dirty set: everything re-parsed this run plus everything the VCS
+    # diff names; its reverse import closure is the re-analysis scope.
+    dirty_displays = set(parsed)
+    if changed_paths is not None:
+        changed_resolved = {str(Path(p).resolve()) for p in changed_paths}
+        for display in sorted(summaries):
+            if resolved_of.get(display) in changed_resolved:
+                dirty_displays.add(display)
+    dirty_modules = {summaries[d].module for d in dirty_displays}
+    closure = model.reverse_closure(sorted(dirty_modules))
+    analyzed_paths = sorted(
+        display
+        for display, summary in summaries.items()
+        if summary.module in closure
+    )
+
+    pctx = ProjectContext(model, config, known_codes=known_codes)
+    project_raw: list[Finding] = []
+    for rule in sorted(project_rules, key=lambda r: r.code):
+        if config.rule_enabled(rule.code):
+            project_raw.extend(rule.check_project(pctx))
+
+    all_raw = sorted(
+        [f for raws in raw_by_file.values() for f in raws] + project_raw,
+        key=Finding.sort_key,
+    )
+    audit_ctx = ProjectContext(
+        model,
+        config,
+        raw_findings=all_raw,
+        baseline_entries=baseline_entries,
+        baseline_path=baseline_path,
+        known_codes=known_codes,
+    )
+    audit_raw: list[Finding] = []
+    for rule in sorted(audit_rules, key=lambda r: r.code):
+        if config.rule_enabled(rule.code):
+            audit_raw.extend(rule.check_project(audit_ctx))
+
+    noqa_by_path: dict[str, dict[int, Optional[frozenset[str]]]] = {}
+    for display in sorted(summaries):
+        noqa_by_path[display] = {
+            line: None if codes is None else frozenset(codes)
+            for line, codes in summaries[display].noqa
+        }
+
+    def _suppressed(finding: Finding) -> bool:
+        if finding.code == "RPR015":
+            return False  # a suppression cannot vouch for itself
+        table = noqa_by_path.get(finding.path)
+        if table is None or finding.line not in table:
+            return False
+        codes = table[finding.line]
+        return codes is None or finding.code.upper() in codes
+
+    findings = sorted(
+        (f for f in all_raw + audit_raw if not _suppressed(f)),
+        key=Finding.sort_key,
+    )
+
+    if cache is not None:
+        cache.prune(set(summaries))
+        cache.save()
+
+    stats = AnalysisStats(
+        files_total=len(files),
+        files_parsed=len(parsed),
+        files_reanalyzed=len(analyzed_paths),
+        cache_hits=getattr(cache, "hits", 0) if cache is not None else 0,
+        rules_run=len(enabled),
+        wall_time_s=perf_counter() - t0,
+        cache_enabled=cache is not None,
+    )
+    return AnalysisReport(
+        findings=findings, stats=stats, analyzed_paths=analyzed_paths
+    )
+
+
+def _hash_bytes(data: bytes) -> str:
+    import hashlib
+
+    return hashlib.sha256(data).hexdigest()
+
+
 def analyze_paths(
     paths: Iterable[Path],
     config,
     rules: Optional[Iterable[Rule]] = None,
 ) -> list[Finding]:
     """Analyze every ``.py`` file under *paths*; returns sorted findings."""
-    rules = list(rules) if rules is not None else None
-    findings: list[Finding] = []
-    for path in discover_files(paths, config):
-        findings.extend(analyze_file(path, config, rules=rules))
-    return sorted(findings, key=Finding.sort_key)
+    return analyze_project(paths, config, rules=rules).findings

@@ -1,0 +1,36 @@
+"""Whole-program project model for interprocedural lint rules.
+
+The per-file rules (RPR001–RPR010) see one AST at a time.  The
+invariants added since — every mutated field round-trips through
+``snapshot_state`` (PR 6), same-cycle bucket insertion order *is*
+ChannelBus arbitration order (PR 4), pure packages stay transitively
+deterministic (PR 1/2) — span modules, so enforcing them needs a model
+of the whole program:
+
+* :class:`~repro.analysis.model.summary.ModuleSummary` — everything one
+  file contributes to the model (classes with their attribute
+  assignment sites and snapshot/serialization key sets, functions with
+  their resolved outgoing calls, ``engine.schedule*`` call sites, noqa
+  comments), fully JSON-serializable so the incremental cache can
+  reuse it without re-parsing.
+* :class:`~repro.analysis.model.project.ProjectModel` — the summaries
+  assembled into a module import graph, a class inventory with base
+  resolution, and a name-resolved call graph, built in one pass and
+  shared by every project rule.
+* :class:`~repro.analysis.model.cache.AnalysisCache` — per-file
+  content-hash keyed storage of summaries + raw per-file findings, so
+  a warm run re-parses only changed files and re-analyzes only their
+  reverse import closure.
+"""
+
+from repro.analysis.model.cache import AnalysisCache, DEFAULT_CACHE
+from repro.analysis.model.project import ProjectModel
+from repro.analysis.model.summary import ModuleSummary, extract_summary
+
+__all__ = [
+    "AnalysisCache",
+    "DEFAULT_CACHE",
+    "ModuleSummary",
+    "ProjectModel",
+    "extract_summary",
+]

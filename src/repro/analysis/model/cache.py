@@ -1,0 +1,139 @@
+"""Incremental analysis cache keyed by per-file content hashes.
+
+One JSON document stores, per analyzed file: the content hash, the
+serialized :class:`ModuleSummary`, and the file's *raw* (pre-noqa,
+pre-baseline) per-file-rule findings.  A warm run re-parses only files
+whose hash changed; summaries of unchanged files rebuild the project
+model without touching their source, and their cached findings are
+merged into the report unchanged.
+
+The cache is invalidated wholesale when the *analysis signature*
+changes — the rule set, the configuration, or the cache schema — so a
+``--select`` subset can never leak partial findings into a full run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.analysis.engine import Finding
+from repro.analysis.model.summary import SUMMARY_VERSION, ModuleSummary
+
+CACHE_VERSION = 1
+
+#: Default cache location (repo root, never checked in).
+DEFAULT_CACHE = Path(".analysis-cache.json")
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def analysis_signature(config, rule_codes) -> str:
+    """Fingerprint of everything besides file content that shapes findings."""
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "rules": sorted(rule_codes),
+        "config": {
+            "pure_packages": list(config.pure_packages),
+            "heap_packages": list(config.heap_packages),
+            "engine_driver_modules": list(config.engine_driver_modules),
+            "print_exempt": list(config.print_exempt),
+            "event_packages": list(config.event_packages),
+            "order_exempt_modules": list(config.order_exempt_modules),
+            "snapshot_exempt_methods": list(config.snapshot_exempt_methods),
+            "select": (
+                None if config.select is None else sorted(config.select)
+            ),
+            "exclude": list(config.exclude),
+        },
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+class AnalysisCache:
+    """Load/store per-file summaries and raw findings atomically."""
+
+    def __init__(self, path: Path, signature: str):
+        self.path = path
+        self.signature = signature
+        self._files: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: Path, signature: str) -> "AnalysisCache":
+        """Read *path*; a missing, corrupt, or stale-signature cache is
+        treated as empty (never an error — the cache is an accelerator)."""
+        cache = cls(path, signature)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, ValueError):
+            return cache
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != CACHE_VERSION
+            or payload.get("signature") != signature
+            or not isinstance(payload.get("files"), dict)
+        ):
+            return cache
+        cache._files = payload["files"]
+        return cache
+
+    def lookup(
+        self, display_path: str, file_hash: str
+    ) -> Optional[tuple[ModuleSummary, list[Finding]]]:
+        """Cached (summary, raw findings) when the content hash matches."""
+        entry = self._files.get(display_path)
+        if not isinstance(entry, dict) or entry.get("hash") != file_hash:
+            self.misses += 1
+            return None
+        try:
+            summary = ModuleSummary.from_dict(entry["summary"])
+            findings = [Finding.from_dict(f) for f in entry["findings"]]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary, findings
+
+    def store(
+        self,
+        display_path: str,
+        file_hash: str,
+        summary: ModuleSummary,
+        findings: list[Finding],
+    ) -> None:
+        self._files[display_path] = {
+            "hash": file_hash,
+            "summary": summary.to_dict(),
+            "findings": [f.to_dict() for f in findings],
+        }
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer in the analyzed set."""
+        for path in sorted(self._files):
+            if path not in live_paths:
+                del self._files[path]
+
+    def save(self) -> None:
+        """Atomic write (tmp + rename) of the full cache document."""
+        payload = {
+            "version": CACHE_VERSION,
+            "signature": self.signature,
+            "files": {
+                path: self._files[path] for path in sorted(self._files)
+            },
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self.path)

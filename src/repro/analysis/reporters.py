@@ -1,16 +1,17 @@
-"""Finding reporters: human text and machine JSON.
+"""Finding reporters: human text, machine JSON, and SARIF.
 
 Reporters render to strings; only the CLI writes to a stream.  The JSON
-document is stable (sorted findings, fixed keys) so CI annotations and
-tooling can consume it.
+and SARIF documents are stable (sorted findings, fixed keys, no
+timestamps) so CI annotations and tooling can consume them and so two
+runs over the same tree are byte-identical.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable
+from typing import Iterable, Optional
 
-from repro.analysis.engine import Finding
+from repro.analysis.engine import Finding, Rule
 
 
 def render_text(findings: Iterable[Finding], suppressed_count: int = 0) -> str:
@@ -42,3 +43,85 @@ def render_json(findings: Iterable[Finding], suppressed_count: int = 0) -> str:
         indent=2,
         sort_keys=True,
     )
+
+
+#: SARIF spec pin — GitHub code scanning requires exactly this pair.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    rules: Optional[Iterable[Rule]] = None,
+    suppressed_count: int = 0,
+) -> str:
+    """SARIF 2.1.0 log for code-scanning upload.
+
+    Deliberately deterministic: no invocation timestamps or absolute
+    URIs, rules sorted by code, results sorted by location — CI diffs
+    two runs byte-for-byte to prove analyzer determinism.
+    """
+    findings = sorted(findings, key=Finding.sort_key)
+    rule_meta = sorted(
+        (r for r in (rules or []) if r.code), key=lambda r: r.code
+    )
+    descriptors = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in rule_meta
+    ]
+    results = [
+        {
+            "ruleId": f.code,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _posix(f.path),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    document = {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": (
+                            "https://github.com/local/repro#static-analysis"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+                "columnKind": "unicodeCodePoints",
+                "results": results,
+                "properties": {"baselinedFindings": suppressed_count},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

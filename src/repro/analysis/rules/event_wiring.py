@@ -1,0 +1,76 @@
+"""RPR012: same-cycle event wiring is a documented, closed club.
+
+PR 4's engine rewrite made a load-bearing promise: events scheduled
+into the *same* cycle bucket fire in insertion order, and the DRAM
+controller's bus arbitration is exactly that order (dead picks must
+keep their slot).  Any module that schedules same-cycle work —
+``engine.schedule(0, ...)``, ``engine.schedule_at(now, ...)`` —
+silently inserts itself into that arbitration sequence.  The modules
+that legitimately do so are enumerated in
+``AnalysisConfig.order_exempt_modules``; a new refresh policy or OS
+component joining the club must either be added there (a reviewable
+config diff) or carry a line-level suppression.
+
+Within the club, discipline still applies: a same-cycle re-entry that
+schedules a callback on the *same object* (``self._pick``,
+``self._fire``) is the pattern where insertion order is the entire
+correctness argument, so the call site must say so — an ``# order:``
+(or any comment containing the word "order") on or just above the call
+documents why the slot sequence is safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.config import module_in
+from repro.analysis.engine import Finding, ProjectContext, ProjectRule
+from repro.analysis.registry import register
+
+
+@register
+class EventWiringRule(ProjectRule):
+    code = "RPR012"
+    name = "event-wiring-order"
+    description = (
+        "same-cycle engine scheduling (delay 0 / schedule_at(now)) only "
+        "from order-exempt modules, and same-cycle self-reschedules must "
+        "carry an order comment"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Finding]:
+        model, config = pctx.model, pctx.config
+        for module in sorted(model.modules):
+            if not module_in(module, config.event_packages):
+                continue
+            summary = model.modules[module]
+            exempt = module_in(module, config.order_exempt_modules)
+            for site in summary.schedule_sites:
+                if not site.same_cycle:
+                    continue
+                if not exempt:
+                    yield self.finding_at(
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"same-cycle {site.method}() in {module}.{site.owner} "
+                        "inserts this module into the engine's same-cycle "
+                        "bucket — which IS ChannelBus arbitration order — "
+                        "but the module is outside order_exempt_modules; "
+                        "schedule with a positive delay, or add the module "
+                        "to the documented order-exempt set",
+                    )
+                elif (
+                    site.callback_self_method is not None
+                    and not site.has_order_comment
+                ):
+                    yield self.finding_at(
+                        summary.path,
+                        site.line,
+                        site.col,
+                        f"same-cycle re-entry {module}.{site.owner} -> "
+                        f"self.{site.callback_self_method} relies on bucket "
+                        "insertion order but carries no order comment; "
+                        "document the slot sequence ('# order: ...') at the "
+                        "call site",
+                    )

@@ -1,0 +1,86 @@
+"""RPR013: determinism impurity propagates through the call graph.
+
+RPR001 catches a pure-package function that calls ``time.time()``
+directly.  It cannot catch the same poison arriving through a helper —
+a pure function calling a utility that calls a reporter that reads the
+wall clock is just as fatal to ``RunSpec -> RunResult`` purity, and
+two hops is exactly where review stops looking.
+
+This rule seeds taint at every function containing a directly banned
+call (the RPR001 tables), propagates it backwards over the project
+call graph (callee to caller, BFS, deterministic order), and flags
+every *pure-package* function whose taint is transitive (distance two
+or more — the distance-one functions are RPR001's findings, reported
+once, not twice).  The message spells out the shortest call chain down
+to the banned primitive so the fix site is obvious.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.analysis.config import module_in
+from repro.analysis.engine import Finding, ProjectContext, ProjectRule
+from repro.analysis.registry import register
+
+
+@register
+class TransitiveTaintRule(ProjectRule):
+    code = "RPR013"
+    name = "transitive-determinism-taint"
+    description = (
+        "pure-package functions must not reach wall-clock/entropy calls "
+        "through any chain of project calls, not just directly"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Finding]:
+        model, config = pctx.model, pctx.config
+        edges = model.call_edges()
+        callers_of: dict[str, list[str]] = {}
+        for caller in sorted(edges):
+            for callee in edges[caller]:
+                callers_of.setdefault(callee, []).append(caller)
+
+        # BFS from directly tainted functions, callee -> caller.  The
+        # first (shortest, lexicographically earliest) chain wins; seeds
+        # and adjacency are sorted so the result is deterministic.
+        distance: dict[str, int] = {}
+        via: dict[str, str] = {}
+        source: dict[str, str] = {}
+        queue: deque[str] = deque()
+        for key in sorted(model.functions):
+            banned = model.functions[key].banned_calls
+            if banned:
+                distance[key] = 1
+                source[key] = sorted(banned)[0]
+                queue.append(key)
+        while queue:
+            func = queue.popleft()
+            for caller in callers_of.get(func, ()):
+                if caller not in distance:
+                    distance[caller] = distance[func] + 1
+                    via[caller] = func
+                    source[caller] = source[func]
+                    queue.append(caller)
+
+        for key in sorted(distance):
+            if distance[key] < 2:
+                continue  # direct use: RPR001 already reports it
+            module = model.function_module(key)
+            if module is None or not module_in(module, config.pure_packages):
+                continue
+            chain = [key]
+            cursor = key
+            while cursor in via:
+                cursor = via[cursor]
+                chain.append(cursor)
+            rendered = " -> ".join(chain) + f" -> {source[key]}()"
+            yield self.finding_at(
+                model.path_of[module],
+                model.functions[key].line,
+                1,
+                f"{key} is transitively nondeterministic: {rendered}; "
+                "every value must derive from the RunSpec or a seeded "
+                "random.Random, through every call",
+            )

@@ -1,0 +1,78 @@
+"""RPR014: unit discipline across function boundaries.
+
+RPR006 stops ``window_ck + trfc_ns`` inside one expression; it is blind
+the moment the mixed units are separated by a call: a ``*_ns`` value
+passed into a ``*_ck`` parameter compiles, runs, and silently scales
+every downstream timing decision by the clock ratio.  With the project
+model the signature is known, so the same suffix check extends to call
+sites: for every call resolving to a project function, each argument
+whose expression carries exactly one unit suffix is matched against the
+parameter name it binds to (positionally or by keyword), and a suffix
+mismatch is flagged at the call site — the place the conversion
+belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ProjectContext, ProjectRule
+from repro.analysis.registry import register
+from repro.analysis.rules.units import _suffix_of
+
+
+@register
+class UnitFlowRule(ProjectRule):
+    code = "RPR014"
+    name = "cross-boundary-unit-flow"
+    description = (
+        "arguments with a unit suffix must match the unit suffix of the "
+        "parameter they bind to at every resolvable call site"
+    )
+
+    def check_project(self, pctx: ProjectContext) -> Iterator[Finding]:
+        model = pctx.model
+        for caller_key in sorted(model.functions):
+            fn = model.functions[caller_key]
+            module = model.function_module(caller_key)
+            if module is None:
+                continue
+            path = model.path_of[module]
+            for site in fn.calls:
+                if not site.args:
+                    continue
+                target_key = model.resolve_call(caller_key, site)
+                if target_key is None:
+                    continue
+                target = model.functions[target_key]
+                for arg in site.args:
+                    param = None
+                    if arg.keyword is not None:
+                        if (
+                            arg.keyword in target.params
+                            or arg.keyword in target.kwonly
+                        ):
+                            param = arg.keyword
+                    elif (
+                        arg.position is not None
+                        and not target.has_varargs
+                        and arg.position < len(target.params)
+                    ):
+                        param = target.params[arg.position]
+                    if param is None:
+                        continue
+                    param_suffix = _suffix_of(param)
+                    if (
+                        param_suffix is not None
+                        and arg.unit_suffix is not None
+                        and param_suffix != arg.unit_suffix
+                    ):
+                        yield self.finding_at(
+                            path,
+                            site.line,
+                            site.col,
+                            f"argument '{arg.display}' ({arg.unit_suffix}) "
+                            f"binds to parameter '{param}' ({param_suffix}) "
+                            f"of {target_key}; convert via repro.units at "
+                            "the call boundary",
+                        )

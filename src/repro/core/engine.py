@@ -238,7 +238,7 @@ class Engine:
         if head_time is None:
             times = self._times
             if not times or time < times[0]:
-                self._head_time = time
+                self._head_time = time  # repro: noqa[RPR011] head cache; snapshot folds it into _buckets
                 self._head.append(fn)
             else:
                 bucket = self._buckets.get(time)
@@ -260,7 +260,7 @@ class Engine:
             # New earliest time: demote the head bucket into the calendar.
             self._buckets[head_time] = self._head
             heappush(self._times, head_time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
-            self._head = [fn]
+            self._head = [fn]  # repro: noqa[RPR011] head cache; snapshot folds it into _buckets
             self._head_time = time
 
     def schedule_event(self, delay: int, fn: Callable, arg: Any = None) -> Event:
@@ -336,8 +336,8 @@ class Engine:
                 self._head = []
             else:
                 self._head = spare
-                self._spare = None
-            self._run_time = head_time
+                self._spare = None  # repro: noqa[RPR011] recycled list allocation, carries no events
+            self._run_time = head_time  # repro: noqa[RPR011] mid-drain scratch; snapshot refuses while a bucket is draining
             return bucket
         if self._times:
             time = heappop(self._times)
@@ -355,14 +355,14 @@ class Engine:
         for entry in run_list:
             if entry.__class__ is Event and entry.cancelled:
                 entry.cancelled = False
-                self._cancelled -= 1
+                self._cancelled -= 1  # repro: noqa[RPR011] stub bookkeeping; snapshot drops stubs, restore resets to 0
                 if entry.recyclable and len(pool) < _POOL_MAX:
                     pool.append(entry)
         run_list.clear()
         if self._spare is None:
             self._spare = run_list
-        self._run_list = None
-        self._run_index = 0
+        self._run_list = None  # repro: noqa[RPR011] mid-drain scratch; snapshot refuses while a bucket is draining
+        self._run_index = 0  # repro: noqa[RPR011] mid-drain scratch; snapshot refuses while a bucket is draining
 
     def _drop_dead_bucket(self, bucket: list[Callable]) -> None:
         """Reclaim a bucket that contains only cancelled stubs."""
@@ -458,7 +458,7 @@ class Engine:
         :meth:`run` and :meth:`run_until` divert to an instrumented
         drain loop; event order, times and counts are identical.
         """
-        self._profiler = profiler
+        self._profiler = profiler  # repro: noqa[RPR011] runtime observer, not simulator state; reattached by the host
 
     def _run_profiled(self, end_time: Optional[int]) -> None:
         """Instrumented drain loop used while a profiler is installed.

@@ -393,7 +393,7 @@ class System:
         """
         if self._started:
             raise ConfigError("a System can only be run once")
-        self._started = True
+        self._started = True  # repro: noqa[RPR011] run-once latch; a resumed run sets it again on entry
         if resume_state is not None:
             self.restore_state(resume_state)
         else:
@@ -408,15 +408,15 @@ class System:
                 if self._advance(warmup_end, checkpoint_every, checkpoint_sink):
                     return None
                 self._reset_stats()
-            self._measure_start = self.engine.now
-            self._run_end = self._measure_start + int(
+            self._measure_start = self.engine.now  # repro: noqa[RPR011] captured as run.measure_start in the snapshot composite
+            self._run_end = self._measure_start + int(  # repro: noqa[RPR011] captured as run.end in the snapshot composite
                 self.window_cycles * num_windows
             )
             if sample_windows is not None:
                 from repro.telemetry.timeseries import TimeseriesSampler
 
-                self._sampler = TimeseriesSampler(self, sample_windows)
-                self._sampler_windows = sample_windows
+                self._sampler = TimeseriesSampler(self, sample_windows)  # repro: noqa[RPR011] captured as run.sampler in the snapshot composite
+                self._sampler_windows = sample_windows  # repro: noqa[RPR011] captured as run.sampler.samples_per_window in the snapshot composite
                 self._sampler.start(self._measure_start, self._run_end)
             if checkpoint_sink is not None and checkpoint_measure_start:
                 if checkpoint_sink(self.engine.now, self.snapshot_state()):
@@ -544,7 +544,7 @@ class System:
         now = self.engine.now
         for core in self.cores:
             core.sync_accounting(now)
-        self._pending_requests = {
+        self._pending_requests = {  # repro: noqa[RPR011] encode-phase scratch, reset to None before this method returns
             r.req_id: r for r in self.controller.queued_requests()
         }
         state = {}

@@ -237,6 +237,9 @@ class MemoryController:
             batch.append(flat)
         if batch is not None:
             now = self.engine.now
+            # order: one batched wake; _pick_many issues picks in flat-index
+            # order, the same same-cycle slot sequence the per-bank pick
+            # events would have occupied in the bucket.
             self.engine.schedule_at(
                 end if end > now else now, self._pick_many, batch
             )

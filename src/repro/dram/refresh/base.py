@@ -58,11 +58,11 @@ class RefreshScheduler:
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         """Wire the scheduler to its controller/engine; call before start."""
-        self.controller = controller
-        self.engine = engine
-        self.timing = timing
+        self.controller = controller  # repro: noqa[RPR011] wiring reference; System re-attaches before any restore
+        self.engine = engine  # repro: noqa[RPR011] wiring reference; System re-attaches before any restore
+        self.timing = timing  # repro: noqa[RPR011] wiring reference; System re-attaches before any restore
         if telemetry is not None:
-            self.telemetry = telemetry
+            self.telemetry = telemetry  # repro: noqa[RPR011] wiring reference; System re-attaches before any restore
 
     def start(self) -> None:
         """Schedule the first refresh event.  Subclasses override.

@@ -27,6 +27,8 @@ class OutOfOrderPerBank(RefreshScheduler):
     def start(self) -> None:
         # Mid-run starts (cross-policy restore) open the window at `now`.
         self._begin_window(start=self.engine.now)
+        # order: appended after anything already queued this cycle, so the
+        # first refresh decision follows the controller picks in the bucket.
         self.engine.schedule(0, self._fire)
 
     # -- checkpoint/restore ---------------------------------------------------

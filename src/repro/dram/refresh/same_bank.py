@@ -77,7 +77,7 @@ class SameBankSequential(RefreshScheduler):
 
     def _plan_batches(self) -> None:
         """Install the :func:`plan_batches` schedule on this instance."""
-        self._commands_per_bank, self._trfc_cmd = plan_batches(
+        self._commands_per_bank, self._trfc_cmd = plan_batches(  # repro: noqa[RPR011] pure function of timing; restore_state recomputes it
             self.timing, self.BATCH_EXPONENT
         )
 

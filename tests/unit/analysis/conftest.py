@@ -3,13 +3,18 @@
 ``lint`` writes a source snippet into a temp tree shaped like the real
 package (``<tmp>/repro/core/fixture.py``) so package-scoped rules bind,
 then runs the analyzer over just that file and returns the findings.
+
+``lint_project`` writes several files into one tree and runs the
+whole-program driver, returning the full :class:`AnalysisReport` so
+tests can assert on findings, stats, and the incremental-analysis
+scope alike.
 """
 
 import textwrap
 
 import pytest
 
-from repro.analysis import AnalysisConfig, analyze_file
+from repro.analysis import AnalysisConfig, analyze_file, analyze_project
 
 
 @pytest.fixture
@@ -22,6 +27,21 @@ def lint(tmp_path):
             select=frozenset(select) if select is not None else None
         )
         return analyze_file(path, config)
+
+    return run
+
+
+@pytest.fixture
+def lint_project(tmp_path):
+    def run(files, select=None, **kwargs):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        config = AnalysisConfig(
+            select=frozenset(select) if select is not None else None
+        )
+        return analyze_project([tmp_path], config, **kwargs)
 
     return run
 

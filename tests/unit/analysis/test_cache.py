@@ -1,0 +1,117 @@
+"""Incremental cache: warm runs skip parsing, never change findings."""
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_project
+from repro.analysis.model import AnalysisCache
+from repro.analysis.model.cache import analysis_signature
+
+TREE = {
+    "repro/core/util.py": """
+        def twice(x):
+            return 2 * x
+    """,
+    "repro/core/mid.py": """
+        from repro.core.util import twice
+
+        def quad(x):
+            return twice(twice(x))
+    """,
+    "repro/core/top.py": """
+        import itertools
+
+        from repro.core.mid import quad
+
+        _ids = itertools.count()
+    """,
+    "repro/core/island.py": """
+        ISLAND = True
+    """,
+}
+
+
+def _write(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+
+
+def _cache(tmp_path, config):
+    signature = analysis_signature(config, [])
+    return AnalysisCache.load(tmp_path / "cache.json", signature)
+
+
+def test_warm_run_skips_parsing_and_matches_cold(tmp_path):
+    _write(tmp_path, TREE)
+    config = AnalysisConfig()
+    cold = analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+    assert cold.stats.files_parsed == 4
+    warm = analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+    assert warm.stats.files_parsed == 0
+    assert warm.stats.cache_hits == 4
+    assert warm.findings == cold.findings
+    # RPR002 on the module-level itertools.count() proves findings are
+    # cached, not just absent.
+    assert any(f.code == "RPR002" for f in warm.findings)
+
+
+def test_one_file_edit_reanalyzes_only_reverse_closure(tmp_path):
+    _write(tmp_path, TREE)
+    config = AnalysisConfig()
+    analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+
+    util = tmp_path / "repro/core/util.py"
+    util.write_text(util.read_text() + "\nTHRICE = 3\n")
+    warm = analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+    assert warm.stats.files_parsed == 1
+    reanalyzed = {p.rsplit("/", 1)[-1] for p in warm.analyzed_paths}
+    # util itself plus its importers, transitively — but not the island.
+    assert reanalyzed == {"util.py", "mid.py", "top.py"}
+
+    cold = analyze_project([tmp_path], config)
+    assert warm.findings == cold.findings
+
+
+def test_edit_introducing_violation_is_caught_warm(tmp_path):
+    _write(tmp_path, TREE)
+    config = AnalysisConfig()
+    analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+
+    island = tmp_path / "repro/core/island.py"
+    island.write_text("import time\n\ndef stamp():\n    return time.time()\n")
+    warm = analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+    assert any(
+        f.code == "RPR001" and f.path.endswith("island.py")
+        for f in warm.findings
+    )
+
+
+def test_signature_change_invalidates_cache(tmp_path):
+    _write(tmp_path, TREE)
+    config = AnalysisConfig()
+    analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+
+    narrowed = AnalysisConfig(select=frozenset({"RPR001"}))
+    cache = AnalysisCache.load(
+        tmp_path / "cache.json", analysis_signature(narrowed, ["RPR001"])
+    )
+    report = analyze_project([tmp_path], narrowed, cache=cache)
+    assert report.stats.files_parsed == 4
+    assert report.stats.cache_hits == 0
+
+
+def test_changed_paths_widen_dirty_set_on_warm_cache(tmp_path):
+    _write(tmp_path, TREE)
+    config = AnalysisConfig()
+    analyze_project([tmp_path], config, cache=_cache(tmp_path, config))
+
+    warm = analyze_project(
+        [tmp_path],
+        config,
+        cache=_cache(tmp_path, config),
+        changed_paths=[str(tmp_path / "repro/core/util.py")],
+    )
+    assert warm.stats.files_parsed == 0
+    reanalyzed = {p.rsplit("/", 1)[-1] for p in warm.analyzed_paths}
+    assert reanalyzed == {"util.py", "mid.py", "top.py"}

@@ -73,11 +73,48 @@ def test_select_restricts_rules(tmp_path):
     assert main([str(path), "--select", "RPR007"]) == EXIT_CLEAN
 
 
-def test_list_rules_names_all_eight(tmp_path, capsys):
+def test_list_rules_names_full_catalog(tmp_path, capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
-    for code in [f"RPR00{i}" for i in range(1, 9)]:
+    for code in [f"RPR{i:03d}" for i in range(1, 16)]:
         assert code in out
+
+
+def test_stats_line_goes_to_stderr(tmp_path, capsys):
+    path = write_fixture(tmp_path, CLEAN)
+    assert main([str(path), "--stats"]) == EXIT_CLEAN
+    captured = capsys.readouterr()
+    assert "stats:" in captured.err
+    assert "rule(s)" in captured.err and "file(s)" in captured.err
+    assert "stats:" not in captured.out
+
+
+def test_sarif_format_round_trips(tmp_path, capsys):
+    path = write_fixture(tmp_path, DIRTY)
+    assert main([str(path), "--format", "sarif"]) == EXIT_FINDINGS
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    (result,) = doc["runs"][0]["results"]
+    assert result["ruleId"] == "RPR002"
+
+
+def test_cache_flag_caches_across_invocations(tmp_path, capsys):
+    path = write_fixture(tmp_path, CLEAN)
+    cache = tmp_path / "cache.json"
+    assert main([str(path), "--cache", str(cache), "--stats"]) == EXIT_CLEAN
+    assert "1 parsed" in capsys.readouterr().err
+    assert cache.exists()
+    assert main([str(path), "--cache", str(cache), "--stats"]) == EXIT_CLEAN
+    err = capsys.readouterr().err
+    assert "0 parsed" in err and "1 from cache" in err
+
+
+def test_changed_only_without_git_repo_is_usage_error(tmp_path, capsys, monkeypatch):
+    path = write_fixture(tmp_path, CLEAN)
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_DIR", str(tmp_path / "definitely-not-a-repo"))
+    assert main([str(path), "--changed-only"]) == EXIT_ERROR
+    assert "changed-only" in capsys.readouterr().err
 
 
 def test_directory_discovery_and_blanket_noqa(tmp_path, capsys):

@@ -1,0 +1,135 @@
+"""Project model: import graph, reverse closure, state keys, call edges."""
+
+import textwrap
+
+import ast
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.engine import FileContext
+from repro.analysis.model import ModuleSummary, ProjectModel, extract_summary
+
+
+def _summary(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = textwrap.dedent(source)
+    path.write_text(text)
+    ctx = FileContext(path, text, ast.parse(text), AnalysisConfig())
+    return extract_summary(ctx)
+
+
+def _model(tmp_path, files):
+    return ProjectModel(
+        _summary(tmp_path, rel, source) for rel, source in files.items()
+    )
+
+
+def test_import_graph_and_reverse_closure(tmp_path):
+    model = _model(
+        tmp_path,
+        {
+            "repro/core/a.py": "X = 1\n",
+            "repro/core/b.py": "from repro.core.a import X\n",
+            "repro/core/c.py": "import repro.core.b\n",
+            "repro/core/d.py": "Y = 2\n",
+        },
+    )
+    assert model.importers_of("repro.core.a") == ("repro.core.b",)
+    # Editing a must re-analyze b (direct importer) and c (transitive).
+    closure = model.reverse_closure(["repro.core.a"])
+    assert closure == {"repro.core.a", "repro.core.b", "repro.core.c"}
+    assert "repro.core.d" not in closure
+
+
+def test_effective_state_keys_union_along_mro(tmp_path):
+    model = _model(
+        tmp_path,
+        {
+            "repro/core/base.py": """
+                class Base:
+                    def snapshot_state(self):
+                        return {"a": self.a}
+            """,
+            "repro/core/child.py": """
+                from repro.core.base import Base
+
+                class Child(Base):
+                    def snapshot_state(self):
+                        state = super().snapshot_state()
+                        state["b"] = self.b
+                        return state
+            """,
+        },
+    )
+    keys, analyzable = model.effective_state_keys(
+        "repro.core.child", model.classes["repro.core.child.Child"][1]
+    )
+    assert analyzable
+    assert {"a", "b"} <= set(keys)
+
+
+def test_dynamic_snapshot_is_unanalyzable(tmp_path):
+    model = _model(
+        tmp_path,
+        {
+            "repro/core/dyn.py": """
+                class Dyn:
+                    def snapshot_state(self):
+                        return self._build_state()
+            """,
+        },
+    )
+    keys, analyzable = model.effective_state_keys(
+        "repro.core.dyn", model.classes["repro.core.dyn.Dyn"][1]
+    )
+    assert not analyzable
+
+
+def test_resolve_self_call_through_base(tmp_path):
+    model = _model(
+        tmp_path,
+        {
+            "repro/core/base.py": """
+                class Base:
+                    def helper(self):
+                        pass
+            """,
+            "repro/core/child.py": """
+                from repro.core.base import Base
+
+                class Child(Base):
+                    def go(self):
+                        self.helper()
+            """,
+        },
+    )
+    fn = model.functions["repro.core.child.Child.go"]
+    (site,) = [s for s in fn.calls if s.is_self_call]
+    resolved = model.resolve_call("repro.core.child.Child.go", site)
+    assert resolved == "repro.core.base.Base.helper"
+
+
+def test_summary_round_trips_through_json(tmp_path):
+    summary = _summary(
+        tmp_path,
+        "repro/core/rt.py",
+        """
+        import repro.dram.controller
+
+        class Thing:
+            def __init__(self):
+                self._x = 0
+
+            def bump(self, delta_ns):
+                self._x += delta_ns
+                self.engine.schedule(0, self._fire)
+
+            def snapshot_state(self):
+                return {"_x": self._x}
+
+            def _fire(self):
+                pass
+        """,
+    )
+    clone = ModuleSummary.from_dict(summary.to_dict())
+    assert clone == summary

@@ -1,0 +1,109 @@
+"""RPR012: same-cycle scheduling stays inside the documented order set."""
+
+from .conftest import codes
+
+OUTSIDE = """
+class Prefetcher:
+    def start(self):
+        self.engine.schedule(0, self._fire)
+
+    def _fire(self):
+        pass
+"""
+
+DELAYED = """
+class Prefetcher:
+    def start(self):
+        self.engine.schedule(5, self._fire)
+
+    def _fire(self):
+        pass
+"""
+
+EXEMPT_NO_COMMENT = """
+class Controller:
+    def kick(self):
+        self.engine.schedule_at(self.engine.now, self._pick)
+
+    def _pick(self):
+        pass
+"""
+
+EXEMPT_WITH_COMMENT = """
+class Controller:
+    def kick(self):
+        # order: pick runs after the request that queued it this cycle.
+        self.engine.schedule_at(self.engine.now, self._pick)
+
+    def _pick(self):
+        pass
+"""
+
+EXEMPT_BLOCK_COMMENT = """
+class Controller:
+    def kick(self):
+        # order: pick runs after the request enqueue; documenting the
+        # same-cycle slot sequence across several comment lines.
+        self.engine.schedule_at(self.engine.now, self._pick)
+
+    def _pick(self):
+        pass
+"""
+
+
+def test_same_cycle_outside_exempt_set_fires(lint):
+    findings = lint(
+        OUTSIDE, module="repro/cpu/prefetch.py", select=["RPR012"]
+    )
+    assert codes(findings) == ["RPR012"]
+
+
+def test_future_cycle_scheduling_is_clean(lint):
+    assert (
+        codes(lint(DELAYED, module="repro/cpu/prefetch.py", select=["RPR012"]))
+        == []
+    )
+
+
+def test_outside_event_packages_is_clean(lint):
+    # Bench/driver code may schedule freely.
+    assert (
+        codes(lint(OUTSIDE, module="repro/bench/driver.py", select=["RPR012"]))
+        == []
+    )
+
+
+def test_exempt_module_same_owner_reentry_needs_order_comment(lint):
+    findings = lint(
+        EXEMPT_NO_COMMENT,
+        module="repro/dram/controller.py",
+        select=["RPR012"],
+    )
+    assert codes(findings) == ["RPR012"]
+    assert "order" in findings[0].message
+
+
+def test_order_comment_satisfies_exempt_reentry(lint):
+    assert (
+        codes(
+            lint(
+                EXEMPT_WITH_COMMENT,
+                module="repro/dram/controller.py",
+                select=["RPR012"],
+            )
+        )
+        == []
+    )
+
+
+def test_multiline_order_comment_block_counts(lint):
+    assert (
+        codes(
+            lint(
+                EXEMPT_BLOCK_COMMENT,
+                module="repro/dram/controller.py",
+                select=["RPR012"],
+            )
+        )
+        == []
+    )

@@ -1,0 +1,154 @@
+"""RPR011: runtime-mutated attributes must be in the snapshot key set."""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_project
+
+from .conftest import codes
+
+REPO_SRC = Path(__file__).resolve().parents[3] / "src"
+
+COVERED = """
+class Counter:
+    def __init__(self):
+        self._count = 0
+
+    def tick(self):
+        self._count += 1
+
+    def snapshot_state(self):
+        return {"_count": self._count}
+
+    def restore_state(self, state):
+        self._count = state["_count"]
+"""
+
+DRIFTING = """
+class Counter:
+    def __init__(self):
+        self._count = 0
+        self._peak = 0
+
+    def tick(self):
+        self._count += 1
+        self._peak = max(self._peak, self._count)
+
+    def snapshot_state(self):
+        return {"_count": self._count}
+
+    def restore_state(self, state):
+        self._count = state["_count"]
+"""
+
+
+def test_covered_attribute_is_clean(lint):
+    assert codes(lint(COVERED, select=["RPR011"])) == []
+
+
+def test_uncaptured_runtime_attribute_fires(lint):
+    findings = lint(DRIFTING, select=["RPR011"])
+    assert codes(findings) == ["RPR011"]
+    assert "_peak" in findings[0].message
+
+
+def test_restore_and_init_assignments_are_exempt(lint):
+    # Only __init__/restore_state write _count; no runtime mutation at all.
+    assert codes(lint(COVERED, select=["RPR011"])) == []
+
+
+def test_incremental_super_snapshot_covers_subclass_keys(lint_project):
+    report = lint_project(
+        {
+            "repro/core/base.py": """
+                class Base:
+                    def __init__(self):
+                        self._a = 0
+
+                    def snapshot_state(self):
+                        return {"_a": self._a}
+            """,
+            "repro/core/child.py": """
+                from repro.core.base import Base
+
+                class Child(Base):
+                    def __init__(self):
+                        super().__init__()
+                        self._b = 0
+
+                    def poke(self):
+                        self._a += 1
+                        self._b += 1
+
+                    def snapshot_state(self):
+                        state = super().snapshot_state()
+                        state["_b"] = self._b
+                        return state
+            """,
+        },
+        select=["RPR011"],
+    )
+    assert report.findings == []
+
+
+def test_dynamic_snapshot_class_is_skipped(lint):
+    # Key set not statically knowable -> stand down, like RPR010.
+    source = """
+    class Dyn:
+        def poke(self):
+            self._x = 1
+
+        def snapshot_state(self):
+            return self._collect()
+    """
+    assert codes(lint(source, select=["RPR011"])) == []
+
+
+def test_class_without_state_protocol_is_skipped(lint):
+    source = """
+    class Plain:
+        def poke(self):
+            self._x = 1
+    """
+    assert codes(lint(source, select=["RPR011"])) == []
+
+
+def test_noqa_with_justification_suppresses(lint):
+    source = """
+    class Counter:
+        def __init__(self):
+            self._count = 0
+            self._cache = None
+
+        def tick(self):
+            self._count += 1
+            self._cache = self._count * 2  # repro: noqa[RPR011] derived; recomputed on restore
+
+        def snapshot_state(self):
+            return {"_count": self._count}
+    """
+    assert codes(lint(source, select=["RPR011"])) == []
+
+
+def test_mutation_dropping_real_snapshot_field_is_caught(tmp_path):
+    """Deleting one field from cpu.core.Core.snapshot_state must fire.
+
+    This is the acceptance check for the whole rule: the real class,
+    really mutated the way a careless refactor would, caught statically
+    instead of by checkpoint-fuzz luck.
+    """
+    source = (REPO_SRC / "repro/cpu/core.py").read_text()
+    assert '"_stalled": self._stalled,' in source
+    target = tmp_path / "repro/cpu/core.py"
+    target.parent.mkdir(parents=True)
+
+    # Unmutated copy: clean.
+    target.write_text(source)
+    config = AnalysisConfig(select=frozenset({"RPR011"}))
+    assert analyze_project([tmp_path], config).findings == []
+
+    # Drop the field from the snapshot dict: RPR011 must name it.
+    target.write_text(source.replace('"_stalled": self._stalled,\n', ""))
+    findings = analyze_project([tmp_path], config).findings
+    assert any(
+        f.code == "RPR011" and "_stalled" in f.message for f in findings
+    )

@@ -1,0 +1,130 @@
+"""RPR015: stale noqa comments and dead baseline entries are reported."""
+
+import textwrap
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_project
+from repro.analysis.baseline import load_baseline_entries, write_baseline
+
+
+def _codes(report):
+    return [f.code for f in report.findings]
+
+
+LIVE_NOQA = """
+import itertools
+
+_ids = itertools.count()  # repro: noqa[RPR002] single shared id spring
+"""
+
+STALE_NOQA = """
+IDS = (1, 2, 3)  # repro: noqa[RPR002] nothing mutable here any more
+"""
+
+UNKNOWN_CODE = """
+IDS = (1, 2, 3)  # repro: noqa[RPR999] typo'd code
+"""
+
+STALE_BLANKET = """
+IDS = (1, 2, 3)  # repro: noqa
+"""
+
+QUOTED_IN_DOCSTRING = '''
+def helper():
+    """Suppress with '# repro: noqa[RPR002]' when justified."""
+    return 1
+'''
+
+
+def test_live_noqa_is_not_flagged(lint_project):
+    report = lint_project({"repro/core/a.py": LIVE_NOQA})
+    assert _codes(report) == []
+
+
+def test_stale_noqa_code_is_flagged(lint_project):
+    report = lint_project({"repro/core/a.py": STALE_NOQA})
+    assert _codes(report) == ["RPR015"]
+    assert "RPR002" in report.findings[0].message
+
+
+def test_unknown_noqa_code_is_flagged(lint_project):
+    report = lint_project({"repro/core/a.py": UNKNOWN_CODE})
+    assert _codes(report) == ["RPR015"]
+    assert "RPR999" in report.findings[0].message
+
+
+def test_stale_blanket_noqa_is_flagged_on_full_runs(lint_project):
+    report = lint_project({"repro/core/a.py": STALE_BLANKET})
+    assert _codes(report) == ["RPR015"]
+
+
+def test_blanket_noqa_not_audited_under_select(lint_project):
+    # A --select run can't know whether the blanket suppression matches
+    # one of the rules that didn't run.
+    report = lint_project(
+        {"repro/core/a.py": STALE_BLANKET}, select=["RPR001", "RPR015"]
+    )
+    assert _codes(report) == []
+
+
+def test_noqa_syntax_quoted_in_docstring_is_ignored(lint_project):
+    report = lint_project({"repro/core/a.py": QUOTED_IN_DOCSTRING})
+    assert _codes(report) == []
+
+
+def test_rpr015_cannot_be_suppressed_by_noqa(lint_project):
+    source = """
+    IDS = (1, 2, 3)  # repro: noqa[RPR002,RPR015] trying to self-vouch
+    """
+    report = lint_project({"repro/core/a.py": source})
+    assert _codes(report) == ["RPR015"]
+
+
+def test_dead_baseline_entry_is_flagged(tmp_path):
+    dirty = tmp_path / "repro/core/a.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text(
+        textwrap.dedent(
+            """
+            import itertools
+
+            _ids = itertools.count()
+            """
+        )
+    )
+    baseline = tmp_path / "baseline.json"
+    config = AnalysisConfig()
+    report = analyze_project([tmp_path], config)
+    write_baseline(baseline, report.findings)
+
+    # Fix the violation; the grandfather record is now dead.
+    dirty.write_text("IDS = (1, 2, 3)\n")
+    entries = load_baseline_entries(baseline)
+    report = analyze_project(
+        [tmp_path],
+        config,
+        baseline_entries=entries,
+        baseline_path=str(baseline),
+    )
+    dead = [f for f in report.findings if f.code == "RPR015"]
+    assert len(dead) == 1
+    assert dead[0].path == str(baseline)
+    assert "RPR002" in dead[0].message
+
+
+def test_live_baseline_entry_is_not_flagged(tmp_path):
+    dirty = tmp_path / "repro/core/a.py"
+    dirty.parent.mkdir(parents=True)
+    dirty.write_text("import itertools\n\n_ids = itertools.count()\n")
+    baseline = tmp_path / "baseline.json"
+    config = AnalysisConfig()
+    write_baseline(baseline, analyze_project([tmp_path], config).findings)
+
+    report = analyze_project(
+        [tmp_path],
+        config,
+        baseline_entries=load_baseline_entries(baseline),
+        baseline_path=str(baseline),
+    )
+    assert [f.code for f in report.findings if f.code == "RPR015"] == []

@@ -1,0 +1,119 @@
+"""RPR013: impurity propagates through the call graph, not just one hop."""
+
+
+def _codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_transitive_wall_clock_taint_fires(lint_project):
+    report = lint_project(
+        {
+            "repro/core/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "repro/core/mid.py": """
+                from repro.core.clock import stamp
+
+                def elapsed():
+                    return stamp()
+            """,
+            "repro/core/user.py": """
+                from repro.core.mid import elapsed
+
+                def decide():
+                    return elapsed() > 0
+            """,
+        },
+        select=["RPR013"],
+    )
+    # Distance 1 (stamp itself) is RPR001's job; RPR013 reports the
+    # transitive callers.
+    taint = [f for f in report.findings if f.code == "RPR013"]
+    assert taint, report.findings
+    assert any("time.time" in f.message for f in taint)
+    assert any(f.path.endswith("user.py") for f in taint)
+
+
+def test_direct_callers_left_to_rpr001(lint_project):
+    report = lint_project(
+        {
+            "repro/core/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+        },
+        select=["RPR013"],
+    )
+    assert _codes(report) == []
+
+
+def test_pure_chain_is_clean(lint_project):
+    report = lint_project(
+        {
+            "repro/core/a.py": """
+                def one():
+                    return 1
+            """,
+            "repro/core/b.py": """
+                from repro.core.a import one
+
+                def two():
+                    return one() + one()
+            """,
+        },
+        select=["RPR013"],
+    )
+    assert _codes(report) == []
+
+
+def test_taint_outside_pure_packages_is_clean(lint_project):
+    report = lint_project(
+        {
+            "repro/bench/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+            """,
+            "repro/bench/run.py": """
+                from repro.bench.clock import stamp
+
+                def wrap():
+                    return stamp()
+
+                def outer():
+                    return wrap()
+            """,
+        },
+        select=["RPR013"],
+    )
+    assert _codes(report) == []
+
+
+def test_chain_is_reported_in_message(lint_project):
+    report = lint_project(
+        {
+            "repro/core/deep.py": """
+                import time
+
+                def leaf():
+                    return time.time()
+
+                def mid():
+                    return leaf()
+
+                def top():
+                    return mid()
+            """,
+        },
+        select=["RPR013"],
+    )
+    taint = [f for f in report.findings if f.code == "RPR013"]
+    assert taint
+    # The finding shows the path from the caller down to the banned call.
+    assert any("->" in f.message for f in taint)

@@ -1,0 +1,120 @@
+"""RPR014: unit suffixes must agree across call boundaries."""
+
+
+def _codes(report):
+    return [f.code for f in report.findings]
+
+
+def test_ns_argument_into_ck_parameter_fires(lint_project):
+    report = lint_project(
+        {
+            "repro/core/timing.py": """
+                def wait(delay_ck):
+                    return delay_ck
+            """,
+            "repro/core/caller.py": """
+                from repro.core.timing import wait
+
+                def go(trfc_ns):
+                    return wait(trfc_ns)
+            """,
+        },
+        select=["RPR014"],
+    )
+    flows = [f for f in report.findings if f.code == "RPR014"]
+    assert len(flows) == 1
+    assert flows[0].path.endswith("caller.py")
+    assert "trfc_ns" in flows[0].message and "delay_ck" in flows[0].message
+
+
+def test_keyword_argument_mismatch_fires(lint_project):
+    report = lint_project(
+        {
+            "repro/core/timing.py": """
+                def wait(delay_ck=0):
+                    return delay_ck
+            """,
+            "repro/core/caller.py": """
+                from repro.core.timing import wait
+
+                def go(trfc_ns):
+                    return wait(delay_ck=trfc_ns)
+            """,
+        },
+        select=["RPR014"],
+    )
+    assert _codes(report) == ["RPR014"]
+
+
+def test_matching_suffixes_are_clean(lint_project):
+    report = lint_project(
+        {
+            "repro/core/timing.py": """
+                def wait(delay_ck):
+                    return delay_ck
+            """,
+            "repro/core/caller.py": """
+                from repro.core.timing import wait
+
+                def go(window_ck):
+                    return wait(window_ck)
+            """,
+        },
+        select=["RPR014"],
+    )
+    assert _codes(report) == []
+
+
+def test_unsuffixed_values_are_not_guessed(lint_project):
+    report = lint_project(
+        {
+            "repro/core/timing.py": """
+                def wait(delay_ck):
+                    return delay_ck
+            """,
+            "repro/core/caller.py": """
+                from repro.core.timing import wait
+
+                def go(n):
+                    return wait(n)
+            """,
+        },
+        select=["RPR014"],
+    )
+    assert _codes(report) == []
+
+
+def test_varargs_positions_are_not_matched(lint_project):
+    report = lint_project(
+        {
+            "repro/core/timing.py": """
+                def log(*values_ck):
+                    return values_ck
+            """,
+            "repro/core/caller.py": """
+                from repro.core.timing import log
+
+                def go(trfc_ns):
+                    return log(trfc_ns)
+            """,
+        },
+        select=["RPR014"],
+    )
+    assert _codes(report) == []
+
+
+def test_self_method_call_resolves_and_fires(lint_project):
+    report = lint_project(
+        {
+            "repro/core/ctrl.py": """
+                class Ctrl:
+                    def _issue(self, at_ck):
+                        return at_ck
+
+                    def go(self, start_ns):
+                        return self._issue(start_ns)
+            """,
+        },
+        select=["RPR014"],
+    )
+    assert _codes(report) == ["RPR014"]

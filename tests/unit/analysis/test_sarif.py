@@ -1,0 +1,46 @@
+"""SARIF reporter: valid 2.1.0 shape, deterministic output."""
+
+import json
+
+from repro.analysis import Finding, all_rules
+from repro.analysis.reporters import render_sarif
+
+FINDINGS = [
+    Finding("RPR002", "src/repro/core/a.py", 4, 1, "module-level mutable"),
+    Finding("RPR001", "src/repro/core/b.py", 9, 5, "wall clock read"),
+]
+
+
+def test_sarif_document_shape():
+    doc = json.loads(render_sarif(FINDINGS, rules=all_rules()))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-analysis"
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert "RPR011" in rule_ids and "RPR015" in rule_ids
+
+
+def test_sarif_results_carry_locations():
+    doc = json.loads(render_sarif(FINDINGS, rules=all_rules()))
+    results = doc["runs"][0]["results"]
+    assert len(results) == 2
+    # Sorted by finding sort key: path first.
+    assert results[0]["ruleId"] == "RPR002"
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"] == "src/repro/core/a.py"
+    assert loc["region"]["startLine"] == 4
+    assert loc["region"]["startColumn"] == 1
+
+
+def test_sarif_is_deterministic():
+    a = render_sarif(FINDINGS, rules=all_rules())
+    b = render_sarif(list(reversed(FINDINGS)), rules=all_rules())
+    assert a == b
+    assert "Date" not in a and "timestamp" not in a
+
+
+def test_sarif_empty_run_is_valid():
+    doc = json.loads(render_sarif([], rules=all_rules()))
+    assert doc["runs"][0]["results"] == []
