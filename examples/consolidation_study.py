@@ -8,7 +8,7 @@ Higher consolidation leaves fewer banks per task (Section 6.6), trading
 bank-level parallelism for refresh immunity.
 """
 
-from repro import run_simulation
+from repro import api
 from repro.experiments.report import format_percent, format_table
 from repro.workloads.mixes import scaled_mix
 
@@ -19,7 +19,7 @@ def main() -> None:
         num_tasks = 2 * ratio
         specs = scaled_mix("WL-6", num_tasks)
         results = {
-            name: run_simulation(specs, name, num_windows=1.0)
+            name: api.run(specs, name, num_windows=1.0)
             for name in ("all_bank", "per_bank", "codesign")
         }
         all_bank = results["all_bank"].hmean_ipc

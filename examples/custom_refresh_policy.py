@@ -11,7 +11,7 @@ framework (they skip refreshes for strong rows — here approximated by a
 uniform rate cut).
 """
 
-from repro import run_simulation
+from repro import api
 from repro.core.system import SCENARIOS, Scenario
 from repro.dram.refresh import SCHEDULERS
 from repro.dram.refresh.base import RefreshScheduler
@@ -49,7 +49,7 @@ def main() -> None:
     rows = []
     baseline = None
     for name in ("all_bank", "per_bank", "lazy_half", "codesign"):
-        result = run_simulation("WL-8", name, num_windows=1.0)
+        result = api.run("WL-8", name, num_windows=1.0)
         if baseline is None or name == "all_bank":
             baseline = result.hmean_ipc
         rows.append(

@@ -10,7 +10,7 @@ Usage:  python examples/quickstart.py [WL-name]
 
 import sys
 
-from repro import compare_scenarios
+from repro import api
 from repro.experiments.report import format_percent, format_table
 
 SCENARIOS = ["no_refresh", "all_bank", "per_bank", "codesign"]
@@ -19,7 +19,10 @@ SCENARIOS = ["no_refresh", "all_bank", "per_bank", "codesign"]
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "WL-6"
     print(f"Simulating {workload} under {', '.join(SCENARIOS)} (32Gb, 64ms)...")
-    results = compare_scenarios(workload, SCENARIOS, num_windows=1.0)
+    results = {
+        r.scenario: r
+        for r in api.sweep([workload], SCENARIOS, num_windows=1.0).values()
+    }
 
     baseline = results["all_bank"].hmean_ipc
     rows = []

@@ -4,21 +4,22 @@ Refresh Overheads: A Case for Refresh-Aware Process Scheduling"
 
 Public API
 ----------
-:func:`run_simulation`
-    Simulate one workload mix under one scenario; returns a
-    :class:`~repro.core.results.RunResult`.
-:func:`compare_scenarios`
-    Run the same workload under several refresh/OS scenarios.
-:func:`default_system_config`
-    The paper's Table 1 configuration with simulation scaling applied.
-:func:`make_run_spec` / :func:`run_spec`
-    The serializable run pipeline: resolve a workload/scenario/config
-    into a pure-data :class:`~repro.core.runspec.RunSpec`, then execute
-    it deterministically (the experiment layer caches and parallelizes
-    on top of this).
+:mod:`repro.api` is the single supported public surface::
+
+    from repro import api
+
+    result = api.run(workload="WL-6", scenario="codesign")
+    results = api.sweep(["WL-6", "WL-8"], api.available_scenarios())
+
+It covers one-shot runs, local cached sweeps, submission to a running
+sweep service (``python -m repro serve`` — see ``docs/SERVICE.md``),
+warm-starting, and result diffing.  The names below remain importable
+from ``repro`` for compatibility; ``run_simulation`` is a deprecated
+shim for :func:`repro.api.run`.
+
 :class:`~repro.telemetry.Telemetry` / :func:`build_system_from_spec`
     The observability layer: attach event sinks (ring buffer, JSONL,
-    Chrome trace) and snapshot metrics — see ``docs/OBSERVABILITY.md``.
+    Chrome trace, wire) and snapshot metrics — ``docs/OBSERVABILITY.md``.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure.
@@ -41,10 +42,12 @@ from repro.telemetry import MetricsRegistry, Telemetry
 from repro.core.system import SCENARIOS, Scenario, System
 from repro.workloads.benchmark import BenchmarkSpec
 from repro.workloads.mixes import WORKLOAD_MIXES, workload_mix
+from repro import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "run_simulation",
     "run_spec",
     "make_run_spec",

@@ -1,32 +1,42 @@
-"""Command-line simulation runner.
+"""Command-line entry point: ``run``, ``sweep``, ``serve``, ``submit``.
 
 Usage::
 
-    python -m repro WL-6 codesign
-    python -m repro WL-1 all_bank --density 24 --trefw-ms 32 --windows 2
-    python -m repro WL-8 codesign --json result.json
-    python -m repro WL-6 all_bank,per_bank,codesign --jobs 4   # compare
-    python -m repro WL-6 codesign --trace trace.json           # Perfetto
-    python -m repro WL-6 codesign --metrics-out metrics.json
-    python -m repro WL-6 codesign --timeseries 32 --json r.json
-    python -m repro WL-6 codesign --monitors            # invariant checks
-    python -m repro WL-6 codesign --monitors=strict     # fail fast
-    python -m repro WL-6 codesign --profile prof.json   # engine profile
-    python -m repro WL-6 codesign --checkpoint-every 1  # snapshot barriers
-    python -m repro WL-6 codesign --checkpoint-every 1 --checkpoint-halt 1
-    python -m repro --resume ckpt-400000.json           # continue a shard
+    python -m repro run WL-6 codesign
+    python -m repro run WL-1 all_bank --density 24 --trefw-ms 32
+    python -m repro run WL-6 all_bank,per_bank,codesign --jobs 4  # compare
+    python -m repro run WL-6 codesign --trace trace.json          # Perfetto
+    python -m repro run WL-6 codesign --monitors         # invariant checks
+    python -m repro run WL-6 codesign --checkpoint-every 1
+    python -m repro run --resume ckpt-400000.json        # continue a shard
+
+    python -m repro sweep --workloads WL-6,WL-8 --scenarios all_bank,codesign \
+        --out results/           # hash-keyed spec+result entries
+
+    python -m repro serve --backend thread --port 7341   # sweep service
+    python -m repro submit WL-6 codesign                 # ... and use it
+    python -m repro submit --workloads WL-6 --scenarios all_bank,codesign \
+        --stream events.jsonl --out results/
+    python -m repro submit --ping
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
 
-Runs resolve through the same serializable RunSpec pipeline as the
-experiment harness: results persist in the content-addressed disk cache
-(``--cache-dir``, ``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable
-with ``--no-cache``), and a comma-separated scenario list fans out over
-``--jobs`` worker processes.  ``--trace``/``--trace-jsonl`` and
-``--metrics-out`` — and the ``repro.obs`` consumers ``--monitors`` and
-``--profile`` — need the events of a *live* run, so they bypass the
-result cache; with several scenarios each output file gets a
-``.<scenario>`` suffix before its extension.
+All subcommands resolve through the same serializable RunSpec pipeline:
+results persist in the content-addressed disk cache (``--cache-dir``,
+``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with ``--no-cache``).
+``run`` with a comma-separated scenario list fans out over ``--jobs``
+worker processes.  ``--trace``/``--trace-jsonl`` and ``--metrics-out`` —
+and the ``repro.obs`` consumers ``--monitors`` and ``--profile`` — need
+the events of a *live* run, so they bypass the result cache; with
+several scenarios each output file gets a ``.<scenario>`` suffix before
+its extension.
+
+``sweep`` ``--out DIR`` and ``submit`` ``--out DIR`` write one
+``<spec-hash>.json`` entry per cell — the directory format
+``python -m repro.obs diff DIR_A DIR_B`` compares.
+
+The original flag-only invocation (``python -m repro WL-6 codesign``)
+keeps working as a deprecated alias for the ``run`` subcommand.
 
 Exit codes with ``--monitors``: 0 clean, 1 violations collected,
 2 strict-mode fail-fast.
@@ -36,14 +46,19 @@ from __future__ import annotations
 
 import json
 import sys
+import warnings
 from pathlib import Path
 
 import argparse
 
 from repro import available_scenarios, available_workloads
-from repro.core.simulator import build_system_from_spec, make_run_spec
+from repro.core.simulator import build_system_from_spec, make_run_spec, sweep_specs
 from repro.telemetry import ChromeTraceSink, JsonlSink, Telemetry
 from repro.units import ms
+
+#: First-positional names that select a subcommand; anything else is the
+#: deprecated flag-only alias for ``run``.
+SUBCOMMANDS = ("run", "sweep", "serve", "submit")
 
 
 def result_to_dict(result) -> dict:
@@ -192,16 +207,100 @@ def _run_observed(spec, name: str, args, multi: bool, resume=None):
     return result
 
 
-def main(argv: list[str] | None = None) -> int:
+# -- argument plumbing ---------------------------------------------------------
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Execution flags shared by every subcommand that runs or serves."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker parallelism "
+                             "(default: REPRO_JOBS or the CPU count)")
+    parent.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="persistent result-cache directory "
+                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    parent.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
+    return parent
+
+
+def _spec_parent() -> argparse.ArgumentParser:
+    """RunSpec-shaping flags shared by run/sweep/submit."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--density", type=int, default=32,
+                        help="chip density in Gbit (default 32)")
+    parent.add_argument("--trefw-ms", type=float, default=64.0,
+                        help="retention window in ms (default 64)")
+    parent.add_argument("--windows", type=float, default=2.0,
+                        help="measured retention windows (default 2)")
+    parent.add_argument("--warmup", type=float, default=0.25,
+                        help="warm-up windows (default 0.25)")
+    parent.add_argument("--refresh-scale", type=int, default=256,
+                        help="simulation scaling factor (default 256)")
+    parent.add_argument("--seed", type=int, default=1)
+    parent.add_argument("--banks-per-task", type=int, default=None,
+                        help="partition width override (co-design scenarios)")
+    parent.add_argument("--timeseries", type=int, default=None, metavar="N",
+                        help="attach a timeseries with N samples per "
+                             "retention window to the result")
+    return parent
+
+
+def _observe_parent() -> argparse.ArgumentParser:
+    """Live-run observation flags (run subcommand only)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(load in Perfetto; bypasses the result cache)")
+    parent.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="write the raw event stream as JSON lines "
+                             "(bypasses the result cache)")
+    parent.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write the flattened metrics snapshot as JSON "
+                             "(bypasses the result cache)")
+    parent.add_argument("--monitors", nargs="?", const="collect",
+                        choices=["collect", "strict"], default=None,
+                        help="run invariant monitors over the event stream "
+                             "(collect: report violations and exit 1 if any; "
+                             "strict: fail fast with exit 2; "
+                             "bypasses the result cache)")
+    parent.add_argument("--profile", metavar="PATH", default=None,
+                        help="profile engine dispatch per subsystem and write "
+                             "the report as JSON (bypasses the result cache)")
+    parent.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="N",
+                        help="write a checkpoint at every N retention-window "
+                             "barrier (always a live run)")
+    parent.add_argument("--checkpoint-dir", default=".", metavar="PATH",
+                        help="directory for --checkpoint-every files "
+                             "(default: current directory)")
+    parent.add_argument("--checkpoint-halt", type=int, default=None,
+                        metavar="K",
+                        help="stop the run after writing K checkpoints "
+                             "(time-sharded runs; exit 0, no result output)")
+    return parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common, spec, observe = _common_parent(), _spec_parent(), _observe_parent()
     parser = argparse.ArgumentParser(
         prog="python -m repro",
+        description="DRAM refresh co-design simulator: run one spec, sweep "
+                    "a matrix, serve a sweep service, or submit to one.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run",
+        parents=[common, spec, observe],
+        help="simulate one workload under one or more scenarios",
         description="Simulate one workload mix under one or more refresh "
                     "scenarios (comma-separated).",
     )
-    parser.add_argument("workload", nargs="?", default=None,
-                        help="Table 2 mix name (WL-1 .. WL-10); omitted when "
-                             "resuming from a checkpoint")
-    parser.add_argument(
+    run_p.add_argument("workload", nargs="?", default=None,
+                       help="Table 2 mix name (WL-1 .. WL-10); omitted when "
+                            "resuming from a checkpoint")
+    run_p.add_argument(
         "scenario",
         nargs="?",
         default=None,
@@ -209,67 +308,144 @@ def main(argv: list[str] | None = None) -> int:
              f"(known: {', '.join(available_scenarios())}); omitted when "
              "resuming from a checkpoint",
     )
-    parser.add_argument("--density", type=int, default=32,
-                        help="chip density in Gbit (default 32)")
-    parser.add_argument("--trefw-ms", type=float, default=64.0,
-                        help="retention window in ms (default 64)")
-    parser.add_argument("--windows", type=float, default=2.0,
-                        help="measured retention windows (default 2)")
-    parser.add_argument("--warmup", type=float, default=0.25,
-                        help="warm-up windows (default 0.25)")
-    parser.add_argument("--refresh-scale", type=int, default=256,
-                        help="simulation scaling factor (default 256)")
-    parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--banks-per-task", type=int, default=None,
-                        help="partition width override (co-design scenarios)")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes when running several scenarios "
-                             "(default: REPRO_JOBS or the CPU count)")
-    parser.add_argument("--cache-dir", default=None, metavar="PATH",
-                        help="persistent result-cache directory "
-                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="disable the persistent result cache")
-    parser.add_argument("--json", metavar="PATH", default=None,
-                        help="also write the full result(s) as JSON")
-    parser.add_argument("--trace", metavar="PATH", default=None,
-                        help="write a Chrome trace-event JSON of the run "
-                             "(load in Perfetto; bypasses the result cache)")
-    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
-                        help="write the raw event stream as JSON lines "
-                             "(bypasses the result cache)")
-    parser.add_argument("--metrics-out", metavar="PATH", default=None,
-                        help="write the flattened metrics snapshot as JSON "
-                             "(bypasses the result cache)")
-    parser.add_argument("--timeseries", type=int, default=None, metavar="N",
-                        help="attach a timeseries with N samples per "
-                             "retention window to the result")
-    parser.add_argument("--monitors", nargs="?", const="collect",
-                        choices=["collect", "strict"], default=None,
-                        help="run invariant monitors over the event stream "
-                             "(collect: report violations and exit 1 if any; "
-                             "strict: fail fast with exit 2; "
-                             "bypasses the result cache)")
-    parser.add_argument("--profile", metavar="PATH", default=None,
-                        help="profile engine dispatch per subsystem and write "
-                             "the report as JSON (bypasses the result cache)")
-    parser.add_argument("--checkpoint-every", type=float, default=None,
-                        metavar="N",
-                        help="write a checkpoint at every N retention-window "
-                             "barrier (always a live run)")
-    parser.add_argument("--checkpoint-dir", default=".", metavar="PATH",
-                        help="directory for --checkpoint-every files "
-                             "(default: current directory)")
-    parser.add_argument("--checkpoint-halt", type=int, default=None,
-                        metavar="K",
-                        help="stop the run after writing K checkpoints "
-                             "(time-sharded runs; exit 0, no result output)")
-    parser.add_argument("--resume", metavar="CKPT", default=None,
-                        help="resume a run from a checkpoint file; the "
-                             "workload/scenario positionals must be omitted "
-                             "(they are recorded in the checkpoint)")
-    args = parser.parse_args(argv)
+    run_p.add_argument("--json", metavar="PATH", default=None,
+                       help="also write the full result(s) as JSON")
+    run_p.add_argument("--resume", metavar="CKPT", default=None,
+                       help="resume a run from a checkpoint file; the "
+                            "workload/scenario positionals must be omitted "
+                            "(they are recorded in the checkpoint)")
+    run_p.set_defaults(func=_cmd_run, parser=run_p)
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        parents=[common, spec],
+        help="run a workload x scenario matrix locally",
+        description="Run every cell of a workload x scenario matrix through "
+                    "the cache + process-pool sweep runner; --out writes one "
+                    "<spec-hash>.json entry per cell (the directory format "
+                    "`python -m repro.obs diff` compares).",
+    )
+    sweep_p.add_argument("--workloads", required=True, metavar="A,B,...",
+                         help="comma-separated Table 2 mix names")
+    sweep_p.add_argument("--scenarios", required=True, metavar="A,B,...",
+                         help="comma-separated scenario names "
+                              f"(known: {', '.join(available_scenarios())})")
+    sweep_p.add_argument("--warmup-scenario", default=None, metavar="NAME",
+                         help="warm-start every cell from this scenario's "
+                              "warm-up prefix (checkpointed once per prefix)")
+    sweep_p.add_argument("--out", default=None, metavar="DIR",
+                         help="write one <spec-hash>.json spec+result entry "
+                              "per cell into DIR")
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also write all results as one JSON list")
+    sweep_p.set_defaults(func=_cmd_sweep, parser=sweep_p)
+
+    serve_p = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="serve the sweep service over TCP",
+        description="Start the sweep service: clients submit specs/sweeps "
+                    "over a line-oriented JSON protocol; identical concurrent "
+                    "submissions collapse onto one simulation "
+                    "(see docs/SERVICE.md).",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="TCP port (default 7341; 0 picks a free port)")
+    serve_p.add_argument("--backend", default="thread",
+                         choices=["inline", "thread", "process"],
+                         help="where simulations execute (default: thread)")
+    serve_p.set_defaults(func=_cmd_serve, parser=serve_p)
+
+    submit_p = sub.add_parser(
+        "submit",
+        parents=[spec],
+        help="submit work to a running sweep service",
+        description="Submit one spec or a sweep matrix to a running "
+                    "`python -m repro serve` instance and print the results.",
+    )
+    submit_p.add_argument("workload", nargs="?", default=None,
+                          help="Table 2 mix name (or use --workloads)")
+    submit_p.add_argument("scenario", nargs="?", default=None,
+                          help="scenario name or comma-separated list "
+                               "(or use --scenarios)")
+    submit_p.add_argument("--workloads", default=None, metavar="A,B,...",
+                          help="comma-separated mix names (sweep matrix)")
+    submit_p.add_argument("--scenarios", default=None, metavar="A,B,...",
+                          help="comma-separated scenario names (sweep matrix)")
+    submit_p.add_argument("--warmup-scenario", default=None, metavar="NAME",
+                          help="warm-start every cell from this scenario's "
+                               "warm-up prefix")
+    submit_p.add_argument("--host", default="127.0.0.1",
+                          help="service address (default 127.0.0.1)")
+    submit_p.add_argument("--port", type=int, default=None,
+                          help="service port (default 7341)")
+    submit_p.add_argument("--connect-retries", type=int, default=0, metavar="N",
+                          help="retry the initial connection N times "
+                               "(0.2s apart) before giving up")
+    submit_p.add_argument("--stream", metavar="PATH", default=None,
+                          help="stream live telemetry and write it as "
+                               "canonical JSON lines to PATH")
+    submit_p.add_argument("--monitors", nargs="?", const="collect",
+                          choices=["collect", "strict"], default=None,
+                          help="run invariant monitors server-side "
+                               "(collect: exit 1 on violations; "
+                               "strict: exit 2)")
+    submit_p.add_argument("--out", default=None, metavar="DIR",
+                          help="write one <spec-hash>.json spec+result entry "
+                               "per job into DIR")
+    submit_p.add_argument("--json", metavar="PATH", default=None,
+                          help="also write the result(s) as JSON")
+    submit_p.add_argument("--ping", action="store_true",
+                          help="print the server hello (schema versions, "
+                               "backend) and exit")
+    submit_p.add_argument("--status", action="store_true",
+                          help="print the server counter snapshot and exit")
+    submit_p.add_argument("--shutdown", action="store_true",
+                          help="ask the server to stop serving and exit")
+    submit_p.set_defaults(func=_cmd_submit, parser=submit_p)
+
+    return parser
+
+
+def _split_names(parser, value: str, kind: str, known) -> list[str]:
+    names = [item.strip() for item in value.split(",") if item.strip()]
+    if not names:
+        parser.error(f"no {kind} given")
+    for name in names:
+        if name not in known:
+            parser.error(f"unknown {kind} {name!r}; known: {list(known)}")
+    return names
+
+
+def _matrix_specs(args, parser, workloads: list[str], scenarios: list[str]):
+    """workload x scenario RunSpecs from the shared spec flags."""
+    from repro.errors import ConfigError
+
+    try:
+        return sweep_specs(
+            workloads,
+            scenarios,
+            num_windows=args.windows,
+            warmup_windows=args.warmup,
+            banks_per_task=args.banks_per_task,
+            sample_windows=args.timeseries,
+            warmup_scenario=args.warmup_scenario,
+            density_gbit=args.density,
+            trefw_ps=ms(args.trefw_ms),
+            refresh_scale=args.refresh_scale,
+            seed=args.seed,
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+
+# -- subcommands ---------------------------------------------------------------
+
+
+def _cmd_run(args) -> int:
+    parser = args.parser
     resume = None
     if args.resume is not None:
         if args.workload is not None or args.scenario is not None:
@@ -299,14 +475,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown workload {args.workload!r}; "
                 f"known: {available_workloads()}"
             )
-        scenarios = [s.strip() for s in args.scenario.split(",") if s.strip()]
-        if not scenarios:
-            parser.error("no scenario given")
-        for name in scenarios:
-            if name not in available_scenarios():
-                parser.error(
-                    f"unknown scenario {name!r}; known: {available_scenarios()}"
-                )
+        scenarios = _split_names(
+            parser, args.scenario, "scenario", available_scenarios()
+        )
 
         specs = [
             make_run_spec(
@@ -372,6 +543,202 @@ def main(argv: list[str] | None = None) -> int:
     if args.monitors and any(r.monitor_violations for r in results):
         return 1
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    parser = args.parser
+    workloads = _split_names(
+        parser, args.workloads, "workload", available_workloads()
+    )
+    scenarios = _split_names(
+        parser, args.scenarios, "scenario", available_scenarios()
+    )
+    specs = _matrix_specs(args, parser, workloads, scenarios)
+
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    runner.prefetch(specs)
+    results = [runner.run_spec(spec) for spec in specs]
+    for result in results:
+        print(result.summary())
+    if args.out:
+        from repro.experiments.cache import write_result_entry
+
+        for spec, result in zip(specs, results):
+            write_result_entry(args.out, spec, result)
+        print(f"  wrote {len(specs)} entries to {args.out}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump([result_to_dict(r) for r in results], f, indent=2)
+        print(f"  wrote {args.json}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import SweepService, make_backend
+    from repro.service.server import DEFAULT_PORT, serve_forever
+
+    backend = make_backend(args.backend, jobs=args.jobs)
+    service = SweepService(
+        backend=backend, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+
+    def ready(server) -> None:
+        print(
+            f"repro service listening on {server.host}:{server.port} "
+            f"(backend={backend.name}, "
+            f"caching={'on' if service.cache is not None else 'off'})",
+            flush=True,
+        )
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    try:
+        serve_forever(service, args.host, port, on_ready=ready)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        backend.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    parser = args.parser
+    from repro.errors import ReproError, ServiceError
+    from repro.service.client import ServiceClient
+    from repro.service.server import DEFAULT_PORT
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    utility = args.ping or args.status or args.shutdown
+    if not utility:
+        if args.workload is not None and args.scenario is not None:
+            workloads = [args.workload]
+            scenarios = _split_names(
+                parser, args.scenario, "scenario", available_scenarios()
+            )
+            if args.workload not in available_workloads():
+                parser.error(
+                    f"unknown workload {args.workload!r}; "
+                    f"known: {available_workloads()}"
+                )
+        elif args.workloads is not None and args.scenarios is not None:
+            workloads = _split_names(
+                parser, args.workloads, "workload", available_workloads()
+            )
+            scenarios = _split_names(
+                parser, args.scenarios, "scenario", available_scenarios()
+            )
+        else:
+            parser.error(
+                "give WORKLOAD SCENARIO positionals or --workloads/--scenarios "
+                "(or one of --ping/--status/--shutdown)"
+            )
+        specs = _matrix_specs(args, parser, workloads, scenarios)
+
+    try:
+        client = ServiceClient(
+            args.host, port, connect_retries=args.connect_retries
+        )
+    except (OSError, ServiceError) as exc:
+        print(
+            f"cannot reach repro service at {args.host}:{port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+
+    with client:
+        if args.ping:
+            print(json.dumps(client.ping(), indent=2, sort_keys=True))
+            return 0
+        if args.status:
+            print(json.dumps(client.status(), indent=2, sort_keys=True))
+            return 0
+        if args.shutdown:
+            client.shutdown()
+            print("server shutting down")
+            return 0
+
+        stream_file = None
+        on_event = None
+        if args.stream is not None:
+            stream_file = open(args.stream, "w", encoding="utf-8")
+
+            def on_event(event: dict, job) -> None:
+                # Canonical encoding: byte-identical to a local JsonlSink.
+                json.dump(
+                    event, stream_file, sort_keys=True, separators=(",", ":")
+                )
+                stream_file.write("\n")
+
+        def on_result(job: str, result, source: str) -> None:
+            print(f"[{source}] {result.summary()}")
+
+        try:
+            outcome = client.sweep(
+                specs=specs,
+                stream=args.stream is not None,
+                monitors=args.monitors,
+                on_event=on_event,
+                on_result=on_result,
+            )
+        except (ServiceError, ReproError) as exc:
+            print(f"service error: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if stream_file is not None:
+                stream_file.close()
+                print(f"  wrote events {args.stream}")
+
+    by_hash = {spec.content_hash(): spec for spec in specs}
+    if args.out:
+        from repro.experiments.cache import write_result_entry
+
+        for job, result in outcome.results.items():
+            write_result_entry(args.out, by_hash[job], result)
+        print(f"  wrote {len(outcome.results)} entries to {args.out}")
+    if args.json and outcome.results:
+        ordered = outcome.in_order()
+        payload = (
+            result_to_dict(ordered[0])
+            if len(ordered) == 1
+            else [result_to_dict(r) for r in ordered]
+        )
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+        print(f"  wrote {args.json}")
+    for job, message in outcome.errors.items():
+        label = outcome.sources.get(job, "error")
+        print(f"job {job[:12]} failed ({label}): {message}", file=sys.stderr)
+    if outcome.errors:
+        return 2 if any(
+            source == "monitor_error" for source in outcome.sources.values()
+        ) else 1
+    if args.monitors and any(
+        r.monitor_violations for r in outcome.results.values()
+    ):
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        # Deprecated alias: `python -m repro WL-6 codesign ...` predates
+        # the subcommands and keeps working as an implicit `run`.
+        warnings.warn(
+            "flag-only `python -m repro WORKLOAD SCENARIO` is deprecated; "
+            "use `python -m repro run WORKLOAD SCENARIO`",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        argv = ["run", *argv]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ experiment layer builds specs in bulk and fans them out across processes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
 from repro.config.system_configs import SystemConfig, default_system_config
@@ -200,7 +201,7 @@ def run_spec(
     )
 
 
-def run_simulation(
+def _run_simulation(
     workload: str | Sequence[BenchmarkSpec] = "WL-6",
     scenario: str | Scenario = "codesign",
     config: Optional[SystemConfig] = None,
@@ -243,6 +244,71 @@ def run_simulation(
     )
 
 
+def run_simulation(*args, **kwargs) -> RunResult:
+    """Deprecated alias of the one-call entry point.
+
+    .. deprecated::
+        Import :func:`repro.api.run` instead — :mod:`repro.api` is the
+        single supported public surface.  This shim forwards unchanged
+        and will be removed after a deprecation cycle.
+    """
+    warnings.warn(
+        "repro.core.simulator.run_simulation() is deprecated; "
+        "use repro.api.run() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_simulation(*args, **kwargs)
+
+
+def sweep_specs(
+    workloads: Sequence[str | Sequence[BenchmarkSpec]],
+    scenarios: Sequence[str | Scenario],
+    config: Optional[SystemConfig] = None,
+    num_windows: float = 2.0,
+    warmup_windows: float = 0.25,
+    banks_per_task: int | None = None,
+    sample_windows: int | None = None,
+    warmup_scenario: str | None = None,
+    **config_overrides,
+) -> list[RunSpec]:
+    """Decompose a sweep into its per-run jobs: one :class:`RunSpec` per
+    ``workload x scenario`` cell, in row-major submission order.
+
+    This is the job-decomposition step shared by the local sweep CLI,
+    :func:`repro.api.sweep` and the sweep service: a sweep *is* its spec
+    list, and every downstream layer (cache, dedup table, worker
+    backends) keys on the individual specs' content hashes.  Duplicate
+    cells (same content hash) are collapsed, keeping first position.
+    """
+    if not workloads:
+        raise ConfigError("sweep_specs: workloads must not be empty")
+    if not scenarios:
+        raise ConfigError("sweep_specs: scenarios must not be empty")
+    specs: list[RunSpec] = []
+    seen: set[str] = set()
+    for workload in workloads:
+        for scenario in scenarios:
+            spec = make_run_spec(
+                workload,
+                scenario,
+                config,
+                num_windows=num_windows,
+                warmup_windows=warmup_windows,
+                banks_per_task=banks_per_task,
+                sample_windows=sample_windows,
+                **config_overrides,
+            )
+            if warmup_scenario is not None:
+                spec = spec.with_(warmup_scenario=warmup_scenario)
+                spec.validate()
+            key = spec.content_hash()
+            if key not in seen:
+                seen.add(key)
+                specs.append(spec)
+    return specs
+
+
 def compare_scenarios(
     workload: str | Sequence[BenchmarkSpec],
     scenarios: Sequence[str],
@@ -253,7 +319,7 @@ def compare_scenarios(
 ) -> dict[str, RunResult]:
     """Run the same workload under several scenarios (same seed/config)."""
     return {
-        name: run_simulation(
+        name: _run_simulation(
             workload,
             name,
             config,

@@ -39,3 +39,11 @@ class MonitorError(SimulationError):
 
 class ProtocolError(SimulationError):
     """A DRAM timing or protocol constraint was violated."""
+
+
+class WireError(ReproError):
+    """A malformed or incompatible frame on the service wire protocol."""
+
+
+class ServiceError(ReproError):
+    """The sweep service rejected a request or failed to execute a job."""

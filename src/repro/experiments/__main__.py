@@ -21,10 +21,20 @@ import argparse
 import sys
 import time
 
-from repro.experiments import ablations
-from repro.experiments import figure3, figure4, figure5, figure9
-from repro.experiments import figure10, figure11, figure12, figure13
-from repro.experiments import figure14, figure15
+# Direct submodule imports: the deprecated attribute shim in
+# repro.experiments.__init__ only intercepts `from repro.experiments
+# import figureN` style access.
+import repro.experiments.ablations as ablations
+import repro.experiments.figure3 as figure3
+import repro.experiments.figure4 as figure4
+import repro.experiments.figure5 as figure5
+import repro.experiments.figure9 as figure9
+import repro.experiments.figure10 as figure10
+import repro.experiments.figure11 as figure11
+import repro.experiments.figure12 as figure12
+import repro.experiments.figure13 as figure13
+import repro.experiments.figure14 as figure14
+import repro.experiments.figure15 as figure15
 from repro.experiments.report import format_run_stats
 from repro.experiments.runner import FULL_PROFILE, QUICK_PROFILE, SweepRunner
 

@@ -45,6 +45,45 @@ def default_cache_dir() -> pathlib.Path:
     return pathlib.Path.home() / ".cache" / "repro"
 
 
+def result_entry_payload(spec: RunSpec, result: RunResult) -> dict:
+    """The canonical spec+result entry: the cache file layout, reused by
+    sweep output directories so ``repro.obs diff DIR_A DIR_B`` can match
+    entries from either origin by spec content hash."""
+    return {
+        "schema": CACHE_SCHEMA,
+        "spec": spec.to_dict(),
+        "result": result.to_dict(),
+    }
+
+
+def write_result_entry(
+    directory: str | os.PathLike, spec: RunSpec, result: RunResult
+) -> pathlib.Path:
+    """Write one ``<content-hash>.json`` entry under *directory*."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{spec.content_hash()}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result_entry_payload(spec, result), fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def read_result_entry(path: str | os.PathLike) -> tuple[dict, dict]:
+    """Read one entry back as ``(spec_dict, result_dict)``.
+
+    Raises ``ValueError`` on anything that is not a spec+result entry
+    (callers scanning a directory treat that as "skip this file").
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "spec" not in data or "result" not in data:
+        raise ValueError(f"{path}: not a spec+result entry")
+    if not isinstance(data["spec"], dict) or not isinstance(data["result"], dict):
+        raise ValueError(f"{path}: malformed spec/result payload")
+    return data["spec"], data["result"]
+
+
 class ResultCache:
     """Content-addressed ``RunSpec -> RunResult`` store on disk."""
 

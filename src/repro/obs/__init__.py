@@ -18,6 +18,9 @@ that turns those streams into answers:
 :mod:`repro.obs.diff`
     Cross-run comparison of result/metrics/timeseries JSON with per-path
     tolerance rules (CLI: ``python -m repro.obs diff a.json b.json``).
+:mod:`repro.obs.sweepdiff`
+    Sweep-level comparison of two result directories, entries matched by
+    spec content hash (CLI: ``python -m repro.obs diff DIR_A DIR_B``).
 
 Unlike the simulator packages, ``repro.obs`` is *not* a pure package:
 the profiler reads the wall clock (that is its job).  Nothing in here
@@ -37,6 +40,7 @@ from repro.obs.monitors import (
     run_spec_with_monitors,
 )
 from repro.obs.profiler import EngineProfiler
+from repro.obs.sweepdiff import SweepDiffResult, SweepEntry, diff_sweep_dirs
 
 __all__ = [
     "AllocationPartitionMonitor",
@@ -49,9 +53,12 @@ __all__ = [
     "RefreshOverlapMonitor",
     "RefreshStretchMonitor",
     "SchedulerConflictMonitor",
+    "SweepDiffResult",
+    "SweepEntry",
     "ToleranceRule",
     "default_monitors",
     "diff_files",
     "diff_payloads",
+    "diff_sweep_dirs",
     "run_spec_with_monitors",
 ]

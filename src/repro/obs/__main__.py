@@ -3,6 +3,10 @@
 ``python -m repro.obs diff a b`` compares two JSON artifacts; exit
 codes follow :class:`~repro.obs.diff.DiffResult`: 0 identical,
 1 differences all within tolerance, 2 regression (or usage error).
+Given two *directories* instead of files, the diff runs sweep-level:
+entries are matched by spec content hash, each matched pair diffs
+leaf-by-leaf under the same tolerance rules, and specs present on only
+one side count as regressions (:mod:`repro.obs.sweepdiff`).
 
 ``python -m repro.obs trace events.jsonl -o trace.json`` replays one or
 more JSONL event shards (in argument order) through the Chrome trace
@@ -13,6 +17,7 @@ continuation reproduces the uninterrupted run's trace byte-for-byte.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.obs.diff import ToleranceRule, diff_files
@@ -47,15 +52,17 @@ def main(argv=None) -> int:
 
     diff = sub.add_parser(
         "diff",
-        help="compare two result/metrics JSON files",
+        help="compare two result JSON files, or two sweep directories",
         description=(
-            "Compare two JSON artifacts leaf-by-leaf. Exact by default; "
+            "Compare two JSON artifacts leaf-by-leaf, or two sweep "
+            "directories spec-by-spec (entries matched by spec content "
+            "hash; unmatched specs are regressions). Exact by default; "
             "--tol/--abs-tol loosen matching paths. Exit code: 0 identical, "
             "1 within tolerance, 2 regression."
         ),
     )
-    diff.add_argument("a", help="baseline JSON file")
-    diff.add_argument("b", help="candidate JSON file")
+    diff.add_argument("a", help="baseline JSON file or sweep directory")
+    diff.add_argument("b", help="candidate JSON file or sweep directory")
     diff.add_argument(
         "--tol",
         action="append",
@@ -113,7 +120,18 @@ def main(argv=None) -> int:
             f"-> {args.out}"
         )
         return 0
-    result = diff_files(args.a, args.b, rules=args.tol + args.abs_tol)
+    rules = args.tol + args.abs_tol
+    a_is_dir, b_is_dir = os.path.isdir(args.a), os.path.isdir(args.b)
+    if a_is_dir != b_is_dir:
+        parser.error(
+            "diff needs two files or two directories, not one of each"
+        )
+    if a_is_dir:
+        from repro.obs.sweepdiff import diff_sweep_dirs
+
+        result = diff_sweep_dirs(args.a, args.b, rules=rules)
+    else:
+        result = diff_files(args.a, args.b, rules=rules)
     if not args.quiet:
         print(result.report())
     return result.exit_code

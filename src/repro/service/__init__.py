@@ -1,0 +1,51 @@
+"""Sweep-as-a-service: a cache-backed simulation server and its client.
+
+The content-hashed :class:`~repro.core.runspec.RunSpec` (PR 1) is a
+perfect dedup key — this package puts an async job API in front of
+:func:`repro.core.simulator.run_spec` so that *one* simulation runs per
+unique spec no matter how many clients ask:
+
+:mod:`repro.service.backends`
+    The :class:`WorkerBackend` execution seam — inline (tests), thread
+    pool, process pool (generalizing the
+    :class:`~repro.experiments.runner.SweepRunner` fan-out), and a
+    remote stub for multi-host dispatch later.
+:mod:`repro.service.server`
+    :class:`SweepService` (job table, future-per-hash in-flight dedup,
+    memo + disk-cache tiers, warm-start via the PR 6
+    :class:`~repro.core.checkpoint.CheckpointStore`) and the asyncio
+    socket front-end :class:`ServiceServer` speaking the line-oriented
+    frame protocol of :mod:`repro.telemetry.wire`.
+:mod:`repro.service.client`
+    :class:`ServiceClient`, the blocking client used by
+    ``python -m repro submit`` and :func:`repro.api.submit`.
+
+See ``docs/SERVICE.md`` for the protocol and dedup semantics.
+"""
+
+from repro.service.backends import (
+    BACKENDS,
+    InlineBackend,
+    ProcessPoolBackend,
+    RemoteBackend,
+    ThreadBackend,
+    WorkerBackend,
+    make_backend,
+)
+from repro.service.client import ServiceClient, SweepOutcome
+from repro.service.server import ServiceServer, SweepService, serve_in_thread
+
+__all__ = [
+    "BACKENDS",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "RemoteBackend",
+    "ServiceClient",
+    "ServiceServer",
+    "SweepOutcome",
+    "SweepService",
+    "ThreadBackend",
+    "WorkerBackend",
+    "make_backend",
+    "serve_in_thread",
+]

@@ -1,0 +1,266 @@
+"""Blocking client for the sweep service.
+
+One :class:`ServiceClient` wraps one TCP connection speaking the frame
+protocol of :mod:`repro.telemetry.wire`.  The client is synchronous and
+single-request (it does not pipeline): each call sends one request frame
+and reads response frames until the matching terminal frame arrives.
+Concurrency across clients is the server's job — open one client per
+thread/process and let the future-per-hash table collapse duplicate
+work.
+
+>>> from repro.service import ServiceClient
+>>> with ServiceClient(port=7341) as client:          # doctest: +SKIP
+...     result, source = client.submit(spec)
+...     outcome = client.sweep(workloads=["WL-6"],
+...                            scenarios=["all_bank", "codesign"])
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.results import RunResult
+from repro.core.runspec import RunSpec
+from repro.errors import MonitorError, ServiceError, WireError
+from repro.telemetry.wire import decode_frame, encode_frame
+
+from repro.service.server import DEFAULT_PORT
+
+#: ``on_event`` callback signature: (event payload dict, job hash).
+EventCallback = Callable[[dict, Optional[str]], None]
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a sweep submission returned.
+
+    ``results`` is keyed by spec content hash; ``jobs`` preserves the
+    server's submission order; ``sources`` records how each job was
+    answered (``executed``/``live``/``cache``/``memo``/``dedup``);
+    ``errors`` maps failed jobs to their error messages.
+    """
+
+    jobs: list[str] = field(default_factory=list)
+    results: dict[str, RunResult] = field(default_factory=dict)
+    specs: dict[str, dict] = field(default_factory=dict)
+    sources: dict[str, str] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def in_order(self) -> list[RunResult]:
+        """Results in submission order (failed jobs omitted)."""
+        return [
+            self.results[job] for job in self.jobs if job in self.results
+        ]
+
+
+class ServiceClient:
+    """Line-frame client over one blocking TCP connection."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_delay: float = 0.2,
+    ):
+        self.host = host
+        self.port = port
+        last_error: Optional[Exception] = None
+        for attempt in range(connect_retries + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+                break
+            except OSError as exc:
+                last_error = exc
+                if attempt < connect_retries:
+                    import time
+
+                    time.sleep(retry_delay)
+        else:
+            raise ServiceError(
+                f"cannot connect to repro service at {host}:{port}: "
+                f"{last_error}"
+            )
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- transport -------------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _send(self, frame: dict) -> int:
+        self._next_id += 1
+        frame = {"id": self._next_id, **frame}
+        self._sock.sendall(encode_frame(frame))
+        return self._next_id
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(
+                f"connection to {self.host}:{self.port} closed by server"
+            )
+        return decode_frame(line)
+
+    def _recv_for(self, rid: int) -> dict:
+        """Next frame addressed to request *rid* (others are dropped —
+        this client never pipelines, so there should be none)."""
+        while True:
+            frame = self._recv()
+            if frame.get("id") in (rid, None):
+                return frame
+
+    # -- small ops -------------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Server hello: wire/spec/result schema versions and backend."""
+        rid = self._send({"op": "ping"})
+        frame = self._recv_for(rid)
+        if frame.get("type") != "pong":
+            raise WireError(f"expected pong, got {frame.get('type')!r}")
+        return frame
+
+    def status(self) -> dict:
+        """The service counter snapshot (dedup/memo/disk/executed)."""
+        rid = self._send({"op": "status"})
+        frame = self._recv_for(rid)
+        if frame.get("type") != "status":
+            raise WireError(f"expected status, got {frame.get('type')!r}")
+        return frame["counters"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop serving (acknowledged, then closed)."""
+        rid = self._send({"op": "shutdown"})
+        self._recv_for(rid)
+
+    # -- submissions -----------------------------------------------------------
+
+    def submit(
+        self,
+        spec: RunSpec,
+        stream: bool = False,
+        monitors: Optional[str] = None,
+        on_event: Optional[EventCallback] = None,
+    ) -> tuple[RunResult, str]:
+        """Submit one spec; blocks until its result frame arrives.
+
+        Returns ``(result, source)``.  With ``stream=True`` each
+        telemetry frame's event payload is passed to ``on_event`` as it
+        arrives.  A strict-monitored violation raises
+        :class:`~repro.errors.MonitorError`; other server-side failures
+        raise :class:`~repro.errors.ServiceError`.
+        """
+        outcome = self._submit_frames(
+            {
+                "op": "submit",
+                "spec": spec.to_dict(),
+                "stream": bool(stream or on_event),
+                "monitors": monitors,
+            },
+            on_event=on_event,
+        )
+        if outcome.errors:
+            job, message = next(iter(outcome.errors.items()))
+            if outcome.sources.get(job) == "monitor_error":
+                raise MonitorError(message)
+            raise ServiceError(message)
+        job = outcome.jobs[0]
+        return outcome.results[job], outcome.sources[job]
+
+    def sweep(
+        self,
+        specs: Optional[list[RunSpec]] = None,
+        workloads: Optional[list[str]] = None,
+        scenarios: Optional[list[str]] = None,
+        options: Optional[dict] = None,
+        stream: bool = False,
+        monitors: Optional[str] = None,
+        on_event: Optional[EventCallback] = None,
+        on_result: Optional[Callable[[str, RunResult, str], None]] = None,
+    ) -> SweepOutcome:
+        """Submit a whole sweep; blocks until the ``done`` frame.
+
+        Either pass explicit ``specs`` or let the server decompose a
+        ``workloads`` x ``scenarios`` matrix (``options`` forwards
+        keyword arguments to
+        :func:`repro.core.simulator.sweep_specs`).  ``on_result`` fires
+        per shard in completion order.
+        """
+        frame: dict = {"op": "sweep", "stream": bool(stream or on_event)}
+        if monitors is not None:
+            frame["monitors"] = monitors
+        if specs is not None:
+            frame["specs"] = [spec.to_dict() for spec in specs]
+        else:
+            frame["workloads"] = list(workloads or [])
+            frame["scenarios"] = list(scenarios or [])
+            if options:
+                frame["options"] = options
+        return self._submit_frames(
+            frame, on_event=on_event, on_result=on_result
+        )
+
+    def _submit_frames(
+        self,
+        request: dict,
+        on_event: Optional[EventCallback] = None,
+        on_result=None,
+    ) -> SweepOutcome:
+        rid = self._send(request)
+        outcome = SweepOutcome()
+        while True:
+            frame = self._recv_for(rid)
+            kind = frame.get("type")
+            if kind == "ack":
+                outcome.jobs = list(frame.get("jobs", []))
+            elif kind == "telemetry":
+                if on_event is not None:
+                    on_event(frame["event"], frame.get("job"))
+            elif kind == "result":
+                job = frame["job"]
+                result = RunResult.from_dict(frame["result"])
+                outcome.results[job] = result
+                outcome.specs[job] = frame.get("spec", {})
+                outcome.sources[job] = frame.get("source", "?")
+                if on_result is not None:
+                    on_result(job, result, outcome.sources[job])
+            elif kind == "error":
+                job = frame.get("job")
+                message = frame.get("error", "unknown server error")
+                if job is None:
+                    # Request-level failure: no per-job frames follow.
+                    raise ServiceError(message)
+                outcome.errors[job] = message
+                outcome.sources.setdefault(
+                    job,
+                    "monitor_error"
+                    if frame.get("code") == "monitor"
+                    else "error",
+                )
+            elif kind == "done":
+                outcome.counters = frame.get("counters", {})
+                for job, source in frame.get("sources", {}).items():
+                    outcome.sources.setdefault(job, source)
+                return outcome
+            else:
+                raise WireError(f"unexpected frame type {kind!r}")

@@ -1,0 +1,592 @@
+"""The sweep service: async job API in front of ``run_spec()``.
+
+Two layers, separable for testing:
+
+* :class:`SweepService` — the job engine.  ``await resolve(spec, ...)``
+  answers one spec through four tiers: in-memory memo, **future-per-hash
+  in-flight dedup** (concurrent identical submissions collapse onto one
+  running job), the persistent content-addressed disk cache shared with
+  :class:`~repro.experiments.runner.SweepRunner`, and finally execution
+  on a pluggable :class:`~repro.service.backends.WorkerBackend`.
+  Warm-started specs reuse the service-wide
+  :class:`~repro.core.checkpoint.CheckpointStore`.
+* :class:`ServiceServer` — the asyncio socket front-end speaking the
+  line-oriented frame protocol of :mod:`repro.telemetry.wire`.
+
+Dedup semantics (the concurrent-dedup guarantee)
+------------------------------------------------
+Submissions are keyed by the spec's content hash (plus the monitor mode
+for monitored jobs).  For a given key, at most one simulation is ever
+in flight; every other submission observes one of:
+
+``memo``
+    already computed this server lifetime (also covers results adopted
+    from streamed live runs);
+``dedup``
+    currently running — the submission awaits the same future;
+``cache``
+    present in the on-disk result cache (possibly from another process);
+``executed`` / ``live``
+    this submission started the simulation (on the backend / in-process
+    with telemetry attached).
+
+Because ``run_spec`` is a pure function of the spec, every tier returns
+the *same* canonical result payload — a served result is byte-identical
+to a direct local ``run_spec()`` of the same spec.
+
+Telemetry streaming and monitors need a **live** event stream, which a
+backend worker or a cache entry cannot provide:
+
+* ``stream=True`` forces a fresh in-process run (events flow to the
+  client through a :class:`~repro.telemetry.wire.WireSink`); its result
+  still lands in the memo and the disk cache, and concurrent plain
+  submissions of the same spec dedup against it.
+* monitored jobs run in-process under
+  :func:`repro.obs.monitors.run_spec_with_monitors`; their results are
+  memoized under a monitor-qualified key and never written to the disk
+  cache (the cache stores unmonitored payloads only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+from typing import Callable, Optional
+
+from repro.core.checkpoint import CheckpointStore
+from repro.core.results import RunResult
+from repro.core.runspec import RunSpec
+from repro.core.simulator import run_spec as execute_run_spec, sweep_specs
+from repro.errors import ConfigError, MonitorError, ReproError, ServiceError
+from repro.experiments.cache import ResultCache
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.wire import (
+    WIRE_SCHEMA,
+    WireSink,
+    decode_frame,
+    encode_frame,
+)
+
+#: Default TCP port of ``python -m repro serve``.
+DEFAULT_PORT = 7341
+
+
+class SweepService:
+    """Job table + dedup + cache tiers over a worker backend."""
+
+    def __init__(
+        self,
+        backend=None,
+        cache_dir=None,
+        use_cache: bool = True,
+    ):
+        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.checkpoint_store = (
+            CheckpointStore(cache_dir) if use_cache else None
+        )
+        if backend is None:
+            from repro.service.backends import InlineBackend
+
+            backend = InlineBackend(checkpoint_store=self.checkpoint_store)
+        elif backend.checkpoint_store is None:
+            # A backend constructed without its own store adopts the
+            # service-wide one, so warm-start prefixes are shared no
+            # matter which worker runs them.
+            backend.checkpoint_store = self.checkpoint_store
+        self.backend = backend
+        #: In-flight jobs: job key -> asyncio.Future[RunResult].
+        self._jobs: dict[str, asyncio.Future] = {}
+        #: Completed jobs this server lifetime: job key -> RunResult.
+        self._memo: dict[str, RunResult] = {}
+        #: Simulations started by this service (backend + live).
+        self.runs_executed = 0
+        #: Submissions that attached to an already-running job.
+        self.dedup_hits = 0
+        #: Submissions answered from the in-memory memo.
+        self.memo_hits = 0
+        #: Live in-process runs (streamed and/or monitored).
+        self.live_runs = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Deterministic counter snapshot (the ``status`` frame body)."""
+        return {
+            "runs_executed": self.runs_executed,
+            "dedup_hits": self.dedup_hits,
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.cache.hits if self.cache is not None else 0,
+            "live_runs": self.live_runs,
+            "inflight": len(self._jobs),
+            "backend": self.backend.name,
+            "caching": self.cache is not None,
+        }
+
+    @staticmethod
+    def job_key(spec: RunSpec, monitors: Optional[str] = None) -> str:
+        """Dedup key: content hash, qualified by the monitor mode.
+
+        Monitored results carry ``monitor_violations`` in their payload,
+        so they must never alias (or be served for) a plain submission.
+        """
+        key = spec.content_hash()
+        return key if monitors is None else f"{key}+monitors:{monitors}"
+
+    # -- resolution ------------------------------------------------------------
+
+    async def resolve(
+        self,
+        spec: RunSpec,
+        monitors: Optional[str] = None,
+        event_cb: Optional[Callable[[dict], None]] = None,
+    ) -> tuple[RunResult, str]:
+        """Answer one spec; returns ``(result, source)``.
+
+        ``monitors`` is ``None``, ``"collect"`` or ``"strict"``;
+        ``event_cb`` (when set) receives one telemetry frame dict per
+        event of a fresh live run, called on the event loop thread.
+        """
+        if monitors not in (None, "collect", "strict"):
+            raise ServiceError(f"unknown monitor mode {monitors!r}")
+        if monitors is not None and spec.warmup_scenario is not None:
+            raise ServiceError(
+                "monitors are not supported for warm-started specs "
+                "(the warm-up prefix runs without an event stream)"
+            )
+        key = self.job_key(spec, monitors)
+        if event_cb is not None:
+            # Streaming needs the complete event stream of a fresh run;
+            # an in-flight job or cached result cannot provide it.
+            return await self._run_live(key, spec, monitors, event_cb)
+
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.memo_hits += 1
+            return memo, "memo"
+        inflight = self._jobs.get(key)
+        if inflight is not None:
+            self.dedup_hits += 1
+            return await inflight, "dedup"
+        if self.cache is not None and monitors is None:
+            cached = self.cache.get(spec.content_hash())
+            if cached is not None:
+                self._memo[key] = cached
+                return cached, "cache"
+
+        # Miss everywhere: this submission starts the simulation.  No
+        # await between the table checks above and the insertion below,
+        # so concurrent submissions on the loop can never double-start.
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._jobs[key] = future
+        try:
+            if monitors is not None:
+                result = await self._execute_monitored(spec, monitors)
+                source = "live"
+            else:
+                self.runs_executed += 1
+                result = await asyncio.wrap_future(
+                    self.backend.submit(spec)
+                )
+                source = "executed"
+            self._memo[key] = result
+            if self.cache is not None and monitors is None:
+                self.cache.put(spec.content_hash(), spec, result)
+            future.set_result(result)
+            return result, source
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Dedup waiters re-raise from the future; retrieving here
+            # silences the "exception never retrieved" warning when the
+            # starting submission was the only one.
+            future.exception()
+            raise
+        finally:
+            self._jobs.pop(key, None)
+
+    async def _execute_monitored(
+        self, spec: RunSpec, monitors: str
+    ) -> RunResult:
+        """Run one monitored job live on an executor thread."""
+        from repro.obs.monitors import run_spec_with_monitors
+
+        self.runs_executed += 1
+        self.live_runs += 1
+        loop = asyncio.get_running_loop()
+        run = functools.partial(
+            run_spec_with_monitors, spec, strict=monitors == "strict"
+        )
+        result, _suite = await loop.run_in_executor(None, run)
+        return result
+
+    async def _run_live(
+        self,
+        key: str,
+        spec: RunSpec,
+        monitors: Optional[str],
+        event_cb: Callable[[dict], None],
+    ) -> tuple[RunResult, str]:
+        """A fresh in-process run streaming its events to ``event_cb``."""
+        self.runs_executed += 1
+        self.live_runs += 1
+        loop = asyncio.get_running_loop()
+
+        def send(frame: dict) -> None:
+            loop.call_soon_threadsafe(event_cb, frame)
+
+        telemetry = Telemetry()
+        telemetry.subscribe(WireSink(send, job=spec.content_hash()))
+
+        # Register so concurrent plain submissions of the same spec
+        # dedup against this live run instead of re-simulating.  If a
+        # job is already in flight under this key, the live run simply
+        # proceeds standalone (the stream still needs its own run).
+        future: Optional[asyncio.Future] = None
+        if key not in self._jobs:
+            future = loop.create_future()
+            self._jobs[key] = future
+        try:
+            if monitors is not None:
+                from repro.obs.monitors import run_spec_with_monitors
+
+                run = functools.partial(
+                    run_spec_with_monitors,
+                    spec,
+                    strict=monitors == "strict",
+                    telemetry=telemetry,
+                )
+                result, _suite = await loop.run_in_executor(None, run)
+            else:
+                run = functools.partial(
+                    execute_run_spec,
+                    spec,
+                    telemetry=telemetry,
+                    checkpoint_store=self.checkpoint_store,
+                )
+                result = await loop.run_in_executor(None, run)
+            self._memo[key] = result
+            if self.cache is not None and monitors is None:
+                self.cache.put(spec.content_hash(), spec, result)
+            if future is not None:
+                future.set_result(result)
+            return result, "live"
+        except BaseException as exc:
+            if future is not None:
+                future.set_exception(exc)
+                future.exception()
+            raise
+        finally:
+            if future is not None and self._jobs.get(key) is future:
+                self._jobs.pop(key, None)
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+class ServiceServer:
+    """Asyncio socket front-end for one :class:`SweepService`.
+
+    One JSON frame per line in both directions (see
+    :mod:`repro.telemetry.wire` and ``docs/SERVICE.md``).  Request
+    frames carry ``op`` + client-chosen ``id``; every response frame
+    echoes the ``id``, so one connection can pipeline requests.
+    """
+
+    def __init__(
+        self,
+        service: SweepService,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket; ``self.port`` is the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` op (or :meth:`stop`) arrives."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._shutdown.wait()
+        self.service.close()
+
+    def stop(self) -> None:
+        self._shutdown.set()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        send_lock = asyncio.Lock()
+
+        async def send(frame: dict) -> None:
+            async with send_lock:
+                writer.write(encode_frame(frame))
+                await writer.drain()
+
+        pending: set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = decode_frame(line)
+                except ReproError as exc:
+                    await send(
+                        {"type": "error", "id": None, "error": str(exc)}
+                    )
+                    continue
+                task = asyncio.create_task(self._dispatch(frame, send))
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+                if frame.get("op") == "shutdown":
+                    break
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Loop teardown on shutdown cancels the close handshake;
+                # the socket is going away either way.
+                pass
+
+    async def _dispatch(self, frame: dict, send) -> None:
+        rid = frame.get("id")
+        op = frame.get("op")
+        try:
+            if op == "ping":
+                await send(self._hello_frame(rid))
+            elif op == "status":
+                await send(
+                    {
+                        "type": "status",
+                        "id": rid,
+                        "counters": self.service.counters(),
+                    }
+                )
+            elif op == "shutdown":
+                await send({"type": "ack", "id": rid, "op": "shutdown"})
+                self.stop()
+            elif op in ("submit", "sweep"):
+                await self._op_submit(frame, rid, send)
+            else:
+                await send(
+                    {
+                        "type": "error",
+                        "id": rid,
+                        "error": f"unknown op {op!r}",
+                    }
+                )
+        except ConnectionError:  # pragma: no cover - client went away
+            pass
+
+    def _hello_frame(self, rid) -> dict:
+        from repro import __version__
+        from repro.core.results import RESULT_SCHEMA
+        from repro.core.runspec import SPEC_SCHEMA
+
+        return {
+            "type": "pong",
+            "id": rid,
+            "wire": WIRE_SCHEMA,
+            "spec_schema": SPEC_SCHEMA,
+            "result_schema": RESULT_SCHEMA,
+            "version": __version__,
+            "backend": self.service.backend.name,
+        }
+
+    # -- submit / sweep --------------------------------------------------------
+
+    @staticmethod
+    def _specs_from_frame(frame: dict) -> list[RunSpec]:
+        """Job decomposition of a request frame.
+
+        ``submit`` carries one ``spec`` payload; ``sweep`` carries
+        either an explicit ``specs`` list or a ``workloads`` x
+        ``scenarios`` matrix with shared ``options`` (forwarded to
+        :func:`repro.core.simulator.sweep_specs`).
+        """
+        if "spec" in frame:
+            return [RunSpec.from_dict(frame["spec"])]
+        if "specs" in frame:
+            payloads = frame["specs"]
+            if not isinstance(payloads, list) or not payloads:
+                raise ServiceError("'specs' must be a non-empty list")
+            return [RunSpec.from_dict(p) for p in payloads]
+        if "workloads" in frame or "scenarios" in frame:
+            options = frame.get("options", {})
+            if not isinstance(options, dict):
+                raise ServiceError("'options' must be an object")
+            return sweep_specs(
+                frame.get("workloads", []),
+                frame.get("scenarios", []),
+                **options,
+            )
+        raise ServiceError(
+            "request needs 'spec', 'specs', or 'workloads'/'scenarios'"
+        )
+
+    async def _op_submit(self, frame: dict, rid, send) -> None:
+        try:
+            specs = self._specs_from_frame(frame)
+        except (ConfigError, ServiceError, ReproError) as exc:
+            await send({"type": "error", "id": rid, "error": str(exc)})
+            return
+        monitors = frame.get("monitors")
+        stream = bool(frame.get("stream"))
+
+        # Streamed events are enqueued (thread-safely, via the loop) and
+        # drained by one writer coroutine so telemetry frames interleave
+        # cleanly with other responses on the connection.
+        queue: Optional[asyncio.Queue] = asyncio.Queue() if stream else None
+
+        def event_cb(event_frame: dict) -> None:
+            event_frame["id"] = rid
+            queue.put_nowait(event_frame)
+
+        async def drain() -> None:
+            while True:
+                item = await queue.get()
+                if item is None:
+                    return
+                await send(item)
+
+        drainer = asyncio.create_task(drain()) if stream else None
+        jobs = [spec.content_hash() for spec in specs]
+        await send({"type": "ack", "id": rid, "jobs": jobs})
+        sources: dict[str, str] = {}
+
+        async def one(spec: RunSpec) -> None:
+            job = spec.content_hash()
+            try:
+                result, source = await self.service.resolve(
+                    spec,
+                    monitors=monitors,
+                    event_cb=event_cb if stream else None,
+                )
+            except MonitorError as exc:
+                sources[job] = "monitor_error"
+                await send(
+                    {
+                        "type": "error",
+                        "id": rid,
+                        "job": job,
+                        "code": "monitor",
+                        "error": str(exc),
+                    }
+                )
+                return
+            except (ReproError, ServiceError) as exc:
+                sources[job] = "error"
+                await send(
+                    {
+                        "type": "error",
+                        "id": rid,
+                        "job": job,
+                        "error": str(exc),
+                    }
+                )
+                return
+            sources[job] = source
+            payload = {
+                "type": "result",
+                "id": rid,
+                "job": job,
+                "source": source,
+                "spec": spec.to_dict(),
+                "result": result.to_dict(),
+            }
+            await send(payload)
+
+        try:
+            await asyncio.gather(*(one(spec) for spec in specs))
+        finally:
+            if drainer is not None:
+                queue.put_nowait(None)
+                await drainer
+        await send(
+            {
+                "type": "done",
+                "id": rid,
+                "jobs": jobs,
+                "sources": sources,
+                "counters": self.service.counters(),
+            }
+        )
+
+
+async def _serve(service, host, port, ready=None) -> ServiceServer:
+    server = ServiceServer(service, host, port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    await server.serve_until_shutdown()
+    return server
+
+
+def serve_forever(
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    on_ready=None,
+) -> None:
+    """Blocking entry point for the ``serve`` CLI."""
+    asyncio.run(_serve(service, host, port, ready=on_ready))
+
+
+def serve_in_thread(
+    service: SweepService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> tuple[ServiceServer, threading.Thread]:
+    """Start a server on a daemon thread; returns once it is listening.
+
+    For tests and embedding: ``server.port`` is the bound port, stop
+    with ``server.stop()`` (thread-safe via the captured loop) and join
+    the returned thread.
+    """
+    started = threading.Event()
+    box: dict = {}
+
+    def ready(server: ServiceServer) -> None:
+        box["server"] = server
+        box["loop"] = asyncio.get_running_loop()
+        started.set()
+
+    def runner() -> None:
+        try:
+            serve_forever(service, host, port, on_ready=ready)
+        except Exception as exc:  # pragma: no cover - startup failures
+            box["error"] = exc
+            started.set()
+
+    thread = threading.Thread(
+        target=runner, name="repro-service", daemon=True
+    )
+    thread.start()
+    started.wait()
+    if "error" in box:
+        raise box["error"]
+    server = box["server"]
+    loop = box["loop"]
+    original_stop = server.stop
+
+    def stop() -> None:
+        loop.call_soon_threadsafe(original_stop)
+
+    server.stop = stop  # type: ignore[method-assign]
+    return server, thread

@@ -40,6 +40,14 @@ from repro.telemetry.timeseries import (
     TimeseriesSample,
     TimeseriesSampler,
 )
+from repro.telemetry.wire import (
+    WIRE_SCHEMA,
+    WireSink,
+    decode_frame,
+    encode_frame,
+    event_from_frame,
+    telemetry_frame,
+)
 
 __all__ = [
     "EVENT_TYPES",
@@ -63,5 +71,11 @@ __all__ = [
     "TimeseriesSample",
     "TimeseriesSampler",
     "TraceEvent",
+    "WIRE_SCHEMA",
+    "WireSink",
+    "decode_frame",
+    "encode_frame",
+    "event_from_frame",
     "read_jsonl",
+    "telemetry_frame",
 ]

@@ -1,0 +1,263 @@
+"""Integration tests for the sweep service.
+
+The acceptance bar for the service layer:
+
+* **Concurrent dedup** — N identical submissions (same spec content
+  hash), from coroutines or from separate socket clients, execute
+  exactly one simulation.
+* **Byte-identity** — a served result is byte-identical to a direct
+  local ``run_spec()`` of the same spec, on every resolution path
+  (executed / dedup / memo / cache / live-streamed / monitored /
+  warm-started).
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.core.simulator import make_run_spec, run_spec, sweep_specs
+from repro.service import (
+    InlineBackend,
+    ServiceClient,
+    SweepService,
+    ThreadBackend,
+    serve_in_thread,
+)
+
+FAST = dict(num_windows=0.25, warmup_windows=0.05, refresh_scale=1024)
+
+
+def _spec(scenario="per_bank", workload="WL-9", **extra):
+    return make_run_spec(workload, scenario, **{**FAST, **extra})
+
+
+def _canon(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+# -- SweepService (job engine, no sockets) -------------------------------------
+
+
+def test_resolve_matches_direct_run_spec(tmp_path):
+    service = SweepService(cache_dir=tmp_path)
+    spec = _spec()
+    result, source = asyncio.run(service.resolve(spec))
+    assert source == "executed"
+    assert _canon(result) == _canon(run_spec(spec))
+
+
+def test_concurrent_identical_submissions_run_once(tmp_path):
+    """The tentpole guarantee: N concurrent submissions, one simulation."""
+    service = SweepService(
+        backend=ThreadBackend(jobs=2), cache_dir=tmp_path
+    )
+    spec = _spec()
+
+    async def fan_out():
+        return await asyncio.gather(
+            *(service.resolve(spec) for _ in range(5))
+        )
+
+    outcomes = asyncio.run(fan_out())
+    sources = sorted(source for _, source in outcomes)
+    assert sources == ["dedup"] * 4 + ["executed"]
+    assert service.runs_executed == 1
+    assert service.dedup_hits == 4
+    expected = _canon(run_spec(spec))
+    assert all(_canon(result) == expected for result, _ in outcomes)
+
+
+def test_memo_then_disk_cache_tiers(tmp_path):
+    spec = _spec()
+    service = SweepService(cache_dir=tmp_path)
+    _, first = asyncio.run(service.resolve(spec))
+    _, second = asyncio.run(service.resolve(spec))
+    assert (first, second) == ("executed", "memo")
+    # A fresh service over the same cache dir hits the disk tier.
+    rebooted = SweepService(cache_dir=tmp_path)
+    result, third = asyncio.run(rebooted.resolve(spec))
+    assert third == "cache"
+    assert _canon(result) == _canon(run_spec(spec))
+    assert rebooted.runs_executed == 0
+
+
+def test_distinct_specs_do_not_dedup(tmp_path):
+    service = SweepService(cache_dir=tmp_path)
+
+    async def both():
+        return await asyncio.gather(
+            service.resolve(_spec("per_bank")),
+            service.resolve(_spec("all_bank")),
+        )
+
+    outcomes = asyncio.run(both())
+    assert [source for _, source in outcomes] == ["executed", "executed"]
+    assert service.runs_executed == 2
+
+
+def test_warm_started_spec_byte_identical(tmp_path):
+    """Warm-start through the service's checkpoint store matches local."""
+    (spec,) = sweep_specs(
+        ["WL-9"], ["codesign"], warmup_scenario="per_bank", **FAST
+    )
+    service = SweepService(cache_dir=tmp_path)
+    result, source = asyncio.run(service.resolve(spec))
+    assert source == "executed"
+    assert _canon(result) == _canon(run_spec(spec))
+    # The warm-up prefix checkpoint landed in the service-wide store,
+    # shared with the backend.
+    assert service.backend.checkpoint_store is service.checkpoint_store
+
+
+def test_monitored_jobs_never_alias_plain_ones(tmp_path):
+    spec = _spec("codesign")
+    service = SweepService(cache_dir=tmp_path)
+
+    async def sequence():
+        plain = await service.resolve(spec)
+        monitored = await service.resolve(spec, monitors="collect")
+        again = await service.resolve(spec, monitors="collect")
+        return plain, monitored, again
+
+    (plain, p_src), (mon, m_src), (again, a_src) = asyncio.run(sequence())
+    assert (p_src, m_src, a_src) == ("executed", "live", "memo")
+    assert mon.monitor_violations == []
+    assert again.monitor_violations == []
+    # Plain payloads never carry the monitor key; monitored ones do.
+    assert "monitor_violations" not in plain.to_dict()
+    assert "monitor_violations" in mon.to_dict()
+
+
+# -- ServiceServer + ServiceClient (socket round-trips) ------------------------
+
+
+@pytest.fixture
+def live(tmp_path):
+    service = SweepService(
+        backend=ThreadBackend(jobs=2), cache_dir=tmp_path / "cache"
+    )
+    server, thread = serve_in_thread(service)
+    yield server, service
+    server.stop()
+    thread.join(timeout=10)
+    service.backend.close()
+
+
+def test_served_result_byte_identical(live):
+    server, _service = live
+    spec = _spec()
+    with ServiceClient(port=server.port) as client:
+        result, source = client.submit(spec)
+    assert source == "executed"
+    assert _canon(result) == _canon(run_spec(spec))
+
+
+def test_two_socket_clients_dedup_one_simulation(live):
+    """Two real clients, same spec, in flight together: one simulation."""
+    server, service = live
+    spec = _spec("codesign")
+    outcomes = {}
+    barrier = threading.Barrier(2)
+
+    def submit(tag):
+        with ServiceClient(port=server.port) as client:
+            barrier.wait()
+            outcomes[tag] = client.submit(spec)
+
+    threads = [
+        threading.Thread(target=submit, args=(t,)) for t in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert set(outcomes) == {"a", "b"}
+    sources = sorted(source for _, source in outcomes.values())
+    assert sources == ["dedup", "executed"]
+    assert service.runs_executed == 1
+    payloads = {_canon(result) for result, _ in outcomes.values()}
+    assert payloads == {_canon(run_spec(spec))}
+
+
+def test_sweep_submission_and_counters(live):
+    server, service = live
+    specs = sweep_specs(["WL-9"], ["all_bank", "per_bank"], **FAST)
+    with ServiceClient(port=server.port) as client:
+        outcome = client.sweep(specs=specs)
+        again = client.sweep(specs=specs)
+    assert outcome.ok and again.ok
+    assert [outcome.sources[j] for j in outcome.jobs] == ["executed"] * 2
+    assert [again.sources[j] for j in again.jobs] == ["memo"] * 2
+    assert again.counters["runs_executed"] == 2
+    assert again.counters["memo_hits"] == 2
+    for spec in specs:
+        job = spec.content_hash()
+        assert _canon(outcome.results[job]) == _canon(run_spec(spec))
+        assert _canon(again.results[job]) == _canon(outcome.results[job])
+
+
+def test_streamed_events_match_local_jsonl(live, tmp_path):
+    """Telemetry streamed over the wire == a local JsonlSink, byte for byte."""
+    from repro.telemetry import JsonlSink, Telemetry
+
+    server, _service = live
+    spec = _spec("per_bank")
+    streamed = []
+    with ServiceClient(port=server.port) as client:
+        result, source = client.submit(
+            spec, stream=True,
+            on_event=lambda event, job: streamed.append(event),
+        )
+    assert source == "live"
+    assert streamed, "expected live telemetry frames"
+
+    local_path = tmp_path / "local.jsonl"
+    telemetry = Telemetry()
+    telemetry.subscribe(JsonlSink(local_path))
+    local_result = run_spec(spec, telemetry=telemetry)
+    telemetry.close()
+
+    streamed_lines = [
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in streamed
+    ]
+    local_lines = local_path.read_text().splitlines()
+    assert streamed_lines == local_lines
+    assert _canon(result) == _canon(local_result)
+
+
+def test_ping_and_status_frames(live):
+    server, _service = live
+    with ServiceClient(port=server.port) as client:
+        hello = client.ping()
+        assert hello["wire"] == 1
+        assert hello["backend"] == "thread"
+        counters = client.status()
+    assert counters["runs_executed"] == 0
+    assert counters["backend"] == "thread"
+
+
+def test_server_side_matrix_decomposition(live):
+    """The server can decompose workloads x scenarios itself."""
+    server, _service = live
+    options = dict(FAST)
+    with ServiceClient(port=server.port) as client:
+        outcome = client.sweep(
+            workloads=["WL-9"],
+            scenarios=["all_bank", "per_bank"],
+            options=options,
+        )
+    assert outcome.ok
+    specs = sweep_specs(["WL-9"], ["all_bank", "per_bank"], **FAST)
+    assert outcome.jobs == [spec.content_hash() for spec in specs]
+
+
+def test_shutdown_via_client(tmp_path):
+    service = SweepService(backend=InlineBackend(), cache_dir=tmp_path)
+    server, thread = serve_in_thread(service)
+    with ServiceClient(port=server.port) as client:
+        client.shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()

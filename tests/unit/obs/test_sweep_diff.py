@@ -1,0 +1,122 @@
+"""Unit tests for sweep-directory diffing (repro.obs.sweepdiff)."""
+
+import json
+
+import pytest
+
+from repro.core.simulator import make_run_spec, run_spec
+from repro.experiments.cache import write_result_entry
+from repro.obs import __main__ as obs_main
+from repro.obs.diff import ToleranceRule
+from repro.obs.sweepdiff import diff_sweep_dirs, index_sweep_dir
+
+FAST = dict(num_windows=0.25, warmup_windows=0.05, refresh_scale=1024)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    """Two executed sweep cells, reused across this module's tests."""
+    out = []
+    for scenario in ("all_bank", "per_bank"):
+        spec = make_run_spec("WL-9", scenario, **FAST)
+        out.append((spec, run_spec(spec)))
+    return out
+
+
+def _write_dir(tmp_path, name, cells):
+    directory = tmp_path / name
+    for spec, result in cells:
+        write_result_entry(directory, spec, result)
+    return directory
+
+
+def test_identical_dirs_exit_zero(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells)
+    outcome = diff_sweep_dirs(a, b)
+    assert outcome.status == "identical"
+    assert outcome.exit_code == 0
+    assert len(outcome.matched) == 2
+    assert not outcome.unmatched_a and not outcome.unmatched_b
+
+
+def test_entries_match_by_hash_not_filename(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells)
+    # Renaming every entry must not change the verdict: the spec inside
+    # the payload is what identifies a cell.
+    for i, path in enumerate(sorted(b.glob("*.json"))):
+        path.rename(b / f"renamed-{i}.json")
+    assert diff_sweep_dirs(a, b).exit_code == 0
+
+
+def test_unmatched_spec_is_a_regression(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells[:1])
+    outcome = diff_sweep_dirs(a, b)
+    assert outcome.status == "regression"
+    assert outcome.exit_code == 2
+    assert len(outcome.unmatched_a) == 1
+    assert "only in A" in outcome.report()
+
+
+def test_leaf_difference_without_rule_is_regression(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells)
+    path = sorted(b.glob("*.json"))[0]
+    payload = json.loads(path.read_text())
+    payload["result"]["avg_read_latency_cycles"] = 999.0
+    path.write_text(json.dumps(payload))
+    assert diff_sweep_dirs(a, b).exit_code == 2
+
+
+def test_tolerance_rule_downgrades_to_within(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells)
+    path = sorted(b.glob("*.json"))[0]
+    payload = json.loads(path.read_text())
+    key = "avg_read_latency_cycles"
+    assert key in payload["result"]
+    payload["result"][key] = payload["result"][key] * (1 + 1e-12)
+    path.write_text(json.dumps(payload))
+    outcome = diff_sweep_dirs(a, b, rules=[ToleranceRule(key, rel_tol=1e-9)])
+    assert outcome.status == "within_tolerance"
+    assert outcome.exit_code == 1
+
+
+def test_non_entry_json_files_are_skipped(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells)
+    (b / "notes.json").write_text(json.dumps({"not": "an entry"}))
+    (b / "broken.json").write_text("{nope")
+    outcome = diff_sweep_dirs(a, b)
+    assert outcome.exit_code == 0
+    assert len(outcome.skipped_b) == 2
+    assert "skipped" in outcome.report()
+
+
+def test_index_labels_and_keys(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    entries, skipped = index_sweep_dir(a)
+    assert not skipped
+    labels = sorted(entry.label for entry in entries.values())
+    assert labels == ["WL-9/all_bank", "WL-9/per_bank"]
+    for key, entry in entries.items():
+        assert entry.key == key == entry.path.stem
+
+
+def test_cli_two_directories(tmp_path, cells, capsys):
+    a = _write_dir(tmp_path, "a", cells)
+    b = _write_dir(tmp_path, "b", cells[:1])
+    assert obs_main.main(["diff", str(a), str(b)]) == 2
+    out = capsys.readouterr().out
+    assert "only in A" in out
+    assert obs_main.main(["diff", str(a), str(a)]) == 0
+
+
+def test_cli_rejects_file_vs_directory(tmp_path, cells):
+    a = _write_dir(tmp_path, "a", cells)
+    lone = tmp_path / "lone.json"
+    lone.write_text("{}")
+    with pytest.raises(SystemExit):
+        obs_main.main(["diff", str(a), str(lone)])

@@ -1,0 +1,97 @@
+"""Unit tests for the line-oriented wire format."""
+
+import json
+
+import pytest
+
+from repro.errors import WireError
+from repro.telemetry.events import DramCommandEvent
+from repro.telemetry.wire import (
+    WIRE_SCHEMA,
+    WireSink,
+    decode_frame,
+    encode_frame,
+    event_from_frame,
+    telemetry_frame,
+)
+
+
+def _event(time=7):
+    return DramCommandEvent(
+        time=time, op="RD", channel=0, rank=0, bank=3,
+        row_hit=True, task_id=2, latency=40, refresh_stall=False,
+    )
+
+
+def test_encode_decode_round_trip():
+    frame = {"type": "ping", "id": 1}
+    line = encode_frame(frame)
+    assert line.endswith(b"\n")
+    decoded = decode_frame(line)
+    assert decoded == {"v": WIRE_SCHEMA, "type": "ping", "id": 1}
+
+
+def test_encode_is_canonical_single_line():
+    line = encode_frame({"b": 1, "a": {"z": 2, "y": 3}})
+    text = line.decode("utf-8")
+    assert text.count("\n") == 1
+    # sort_keys + tight separators: byte-stable across runs.
+    assert text == '{"a":{"y":3,"z":2},"b":1,"v":1}\n'
+
+
+def test_decode_rejects_wrong_version():
+    line = encode_frame({"type": "ping"}).replace(b'"v":1', b'"v":99')
+    with pytest.raises(WireError, match="wire schema mismatch"):
+        decode_frame(line)
+
+
+def test_decode_rejects_missing_version():
+    with pytest.raises(WireError, match="wire schema mismatch"):
+        decode_frame(json.dumps({"type": "ping"}))
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(WireError, match="not valid JSON"):
+        decode_frame(b"{nope")
+    with pytest.raises(WireError, match="JSON object"):
+        decode_frame(b"[1,2,3]")
+    with pytest.raises(WireError, match="not UTF-8"):
+        decode_frame(b"\xff\xfe")
+
+
+def test_telemetry_frame_round_trips_typed_event():
+    event = _event()
+    frame = telemetry_frame(event, job="abc123")
+    assert frame["type"] == "telemetry"
+    assert frame["job"] == "abc123"
+    # Over the wire and back: the typed event survives intact.
+    restored = event_from_frame(decode_frame(encode_frame(frame)))
+    assert restored == event
+
+
+def test_event_from_frame_rejects_other_frames():
+    with pytest.raises(WireError, match="not a telemetry frame"):
+        event_from_frame({"type": "result"})
+
+
+def test_wire_sink_sends_one_frame_per_event():
+    frames = []
+    sink = WireSink(frames.append, job="j1")
+    for t in range(3):
+        sink.emit(_event(time=t))
+    assert sink.sent == 3
+    assert [f["event"]["time"] for f in frames] == [0, 1, 2]
+    assert all(f["job"] == "j1" and f["type"] == "telemetry" for f in frames)
+
+
+def test_wire_sink_frames_match_jsonl_serialization():
+    """The streamed event payload is byte-identical to a JsonlSink line."""
+    frames = []
+    sink = WireSink(frames.append)
+    event = _event()
+    sink.emit(event)
+    streamed = json.dumps(
+        frames[0]["event"], sort_keys=True, separators=(",", ":")
+    )
+    local = json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
+    assert streamed == local
