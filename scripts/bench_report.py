@@ -8,7 +8,7 @@ times, events/sec and ``events_processed``.  Stdlib only.
 Usage::
 
     PYTHONPATH=src python scripts/bench_report.py [--out DIR] [--repeat N]
-        [--check-determinism] [--quick]
+        [--check-determinism] [--quick] [--label SUFFIX]
 
 ``--check-determinism`` runs the operation-count/digest portion twice
 and exits non-zero if any kernel's operation count, the end-to-end
@@ -30,7 +30,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import KERNELS, run_kernel, wl6_codesign_end_to_end  # noqa: E402
+from repro.bench import (  # noqa: E402
+    KERNELS,
+    controller_cost_models,
+    run_kernel,
+    wl6_codesign_end_to_end,
+)
 
 
 def git_revision() -> str:
@@ -55,19 +60,39 @@ def collect(repeat: int, quick: bool) -> dict:
         "git": git_revision(),
         "python": platform.python_version(),
         "kernels": kernels,
+        # Dispatch-work counters from one extra (untimed) run of each
+        # controller kernel — all pure functions of the kernel arguments.
+        "cost_model": controller_cost_models(),
     }
     if not quick:
         report["end_to_end"] = wl6_codesign_end_to_end()
     return report
 
 
+#: Cost-model fields that are externally pinned behavior and join the
+#: exact determinism signature; internal sweep-work counters are instead
+#: ratio-gated with tolerance by scripts/bench_trend.py.
+COST_MODEL_PINNED_FIELDS = (
+    "serviced",
+    "completed",
+    "row_hit_pops",
+    "drain_entries",
+    "drain_exits",
+)
+
+
 def determinism_signature(report: dict) -> dict:
-    """The gated subset: operation counts and result digests only."""
+    """The gated subset: operation counts, result digests and the
+    externally pinned cost-model fields (mirrored in bench_trend.py)."""
     sig = {k["name"]: k["ops"] for k in report["kernels"]}
     end = report.get("end_to_end")
     if end is not None:
         sig["end_to_end.events_processed"] = end["events_processed"]
         sig["end_to_end.result_sha256"] = end["result_sha256"]
+    for name, model in sorted((report.get("cost_model") or {}).items()):
+        for field in COST_MODEL_PINNED_FIELDS:
+            if field in model:
+                sig[f"cost_model.{name}.{field}"] = model[field]
     return sig
 
 
@@ -81,7 +106,14 @@ def main() -> int:
     parser.add_argument(
         "--check-determinism",
         action="store_true",
-        help="run twice; fail if event counts or result digests differ",
+        help="run twice; fail if event counts, result digests or any "
+             "dispatch cost-model counter differ",
+    )
+    parser.add_argument(
+        "--label",
+        default="",
+        help="suffix appended to the report filename "
+             "(BENCH_<date><label>.json) for same-day re-baselines",
     )
     args = parser.parse_args()
 
@@ -99,11 +131,27 @@ def main() -> int:
             print("DETERMINISM FAILURE: runs disagree on", file=sys.stderr)
             print(json.dumps(diff, indent=2), file=sys.stderr)
             return 1
+        # The signature pins the externally visible fields; the double
+        # run must also agree on every internal sweep-work counter.
+        if report["cost_model"] != second["cost_model"]:
+            print(
+                "DETERMINISM FAILURE: dispatch cost models disagree",
+                file=sys.stderr,
+            )
+            print(
+                json.dumps(
+                    {"first": report["cost_model"],
+                     "second": second["cost_model"]},
+                    indent=2,
+                ),
+                file=sys.stderr,
+            )
+            return 1
         report["determinism_checked"] = True
 
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / f"BENCH_{report['date']}.json"
+    out_path = out_dir / f"BENCH_{report['date']}{args.label}.json"
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
     for kernel in report["kernels"]:

@@ -11,12 +11,18 @@ Usage::
     python scripts/bench_trend.py                      # print the table
     python scripts/bench_trend.py --gate --fresh /tmp/out/BENCH_*.json
 
-The gate compares only the *determinism signature* — per-kernel
-operation counts, the end-to-end ``events_processed`` and the result
-digest.  Those are pure functions of the code and must match exactly;
-any drift means an unintended behavior change (or a forgotten
-re-baseline).  Wall times vary with the host and are reported but never
-gated.
+The gate compares the *determinism signature* — per-kernel operation
+counts, the end-to-end ``events_processed``, the result digest and the
+externally pinned dispatch cost-model fields.  Those are pure functions
+of the code and must match exactly; any drift means an unintended
+behavior change (or a forgotten re-baseline).  Signature keys the
+baseline predates (new kernels, new cost-model fields) are informational
+only.  On top of the exact check, the dispatch cost-model *ratios*
+(dead-pick share, stale-skip sweep length, row-hit pop share) are
+compared with tolerances and fail the gate only when they drift in the
+regressing direction — a relative hot-path regression check that still
+lets internal-only scheduler changes through.  Wall times vary with the
+host and are reported but never gated.
 """
 
 from __future__ import annotations
@@ -29,17 +35,48 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+#: Cost-model fields that are externally pinned behavior (service counts,
+#: row-hit outcomes, drain transitions — all visible in timing/results) and
+#: therefore belong in the exact determinism signature.  Internal sweep-work
+#: counters (dead picks, stale skips, compactions) are deliberately NOT
+#: exact-gated: they may shift under internal-only scheduler changes, and
+#: are instead watched as ratios with tolerance (see COST_MODEL_RATIO_GATES).
+COST_MODEL_PINNED_FIELDS = (
+    "serviced",
+    "completed",
+    "row_hit_pops",
+    "drain_entries",
+    "drain_exits",
+)
+
+#: (field, direction, abs_tol, rel_tol) per controller kernel.  Direction
+#: names the regressing drift: ``up`` fails when the fresh ratio rises
+#: above baseline + tolerance, ``down`` when it falls below.  Tolerance is
+#: max(abs_tol, |baseline| * rel_tol) so near-zero baselines are not
+#: impossible to satisfy.
+COST_MODEL_RATIO_GATES = (
+    ("dead_pick_ratio", "up", 0.01, 0.10),
+    ("stale_skips_per_pop", "up", 0.02, 0.10),
+    ("row_hit_pop_ratio", "down", 0.01, 0.10),
+)
+
+
 def determinism_signature(report: dict) -> dict:
-    """Gated subset: operation counts and result digests only.
+    """Gated subset: operation counts, result digests and the externally
+    pinned cost-model fields.
 
     Mirrors ``scripts/bench_report.py`` (scripts are not a package, so
-    the six lines are repeated rather than imported).
+    these lines are repeated rather than imported).
     """
     sig = {k["name"]: k["ops"] for k in report["kernels"]}
     end = report.get("end_to_end")
     if end is not None:
         sig["end_to_end.events_processed"] = end["events_processed"]
         sig["end_to_end.result_sha256"] = end["result_sha256"]
+    for name, model in sorted((report.get("cost_model") or {}).items()):
+        for field in COST_MODEL_PINNED_FIELDS:
+            if field in model:
+                sig[f"cost_model.{name}.{field}"] = model[field]
     return sig
 
 
@@ -115,16 +152,66 @@ def trend_summary(reports: list) -> str:
     return f"trend ({span}): " + ", ".join(parts)
 
 
-def gate(latest: dict, fresh: dict) -> list:
-    """Mismatches between the checked-in and fresh determinism signatures."""
+def gate(latest: dict, fresh: dict) -> tuple[list, list]:
+    """Determinism comparison: ``(problems, notes)``.
+
+    Keys present in both signatures must match exactly, and a key that
+    vanished from the fresh report is lost coverage — both are problems.
+    A key only the fresh report has (a newly added kernel or cost-model
+    field, not yet re-baselined) cannot regress against anything, so it
+    is reported as an informational note instead of failing the gate.
+    """
     baseline_sig = determinism_signature(latest)
     fresh_sig = determinism_signature(fresh)
-    problems = []
+    problems, notes = [], []
     for key in sorted(baseline_sig.keys() | fresh_sig.keys()):
         a, b = baseline_sig.get(key), fresh_sig.get(key)
-        if a != b:
+        if key not in baseline_sig:
+            notes.append(f"{key}: new in fresh ({b!r}); no baseline yet")
+        elif key not in fresh_sig:
+            problems.append(f"{key}: in checked-in report but missing from fresh")
+        elif a != b:
             problems.append(f"{key}: checked-in {a!r} != fresh {b!r}")
-    return problems
+    return problems, notes
+
+
+def cost_model_gate(latest: dict, fresh: dict) -> tuple[list, list]:
+    """Relative hot-path regression check: ``(problems, notes)``.
+
+    Compares the dispatch cost-model *ratios* (scheduling waste per pick,
+    lazy-sweep work per pop, row-hit pop share) per controller kernel
+    against the checked-in baseline with the tolerances in
+    :data:`COST_MODEL_RATIO_GATES`.  Exact equality is not required —
+    internal-only scheduler changes may legitimately shift sweep work —
+    but drift in the regressing direction beyond tolerance fails.
+    """
+    baseline = latest.get("cost_model") or {}
+    current = fresh.get("cost_model") or {}
+    problems, notes = [], []
+    if not baseline:
+        if current:
+            notes.append("cost model: no checked-in baseline yet")
+        return problems, notes
+    for name in sorted(set(baseline) - set(current)):
+        problems.append(f"cost model for {name}: missing from fresh report")
+    for name, model in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            notes.append(f"cost model for {name}: new in fresh; no baseline yet")
+            continue
+        for field, direction, abs_tol, rel_tol in COST_MODEL_RATIO_GATES:
+            if field not in base or field not in model:
+                continue
+            before, after = base[field], model[field]
+            drift = after - before if direction == "up" else before - after
+            allowed = max(abs_tol, abs(before) * rel_tol)
+            if drift > allowed:
+                worse = "rose" if direction == "up" else "fell"
+                problems.append(
+                    f"{name}.{field} {worse} {before} -> {after} "
+                    f"(drift {drift:.6f} > tolerance {allowed:.6f})"
+                )
+    return problems, notes
 
 
 def main(argv=None) -> int:
@@ -168,21 +255,29 @@ def main(argv=None) -> int:
     with open(args.fresh, "r", encoding="utf-8") as f:
         fresh = json.load(f)
     latest = reports[-1]
-    problems = gate(latest, fresh)
+    problems, notes = gate(latest, fresh)
+    ratio_problems, ratio_notes = cost_model_gate(latest, fresh)
     print(
         f"\ngate: fresh {args.fresh} vs checked-in {latest['_path']}"
     )
-    if problems:
-        print("DETERMINISM REGRESSION:", file=sys.stderr)
-        for problem in problems:
-            print(f"  {problem}", file=sys.stderr)
+    for note in notes + ratio_notes:
+        print(f"  note: {note}")
+    if problems or ratio_problems:
+        if problems:
+            print("DETERMINISM REGRESSION:", file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+        if ratio_problems:
+            print("HOT-PATH REGRESSION (cost-model ratios):", file=sys.stderr)
+            for problem in ratio_problems:
+                print(f"  {problem}", file=sys.stderr)
         print(
             "(if the change is intentional, regenerate the checked-in "
             "report with scripts/bench_report.py)",
             file=sys.stderr,
         )
         return 1
-    print("gate: determinism signature matches")
+    print("gate: determinism signature and cost-model ratios within bounds")
     return 0
 
 

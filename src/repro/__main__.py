@@ -190,8 +190,12 @@ def _run_observed(spec, name: str, args, multi: bool, resume=None):
             print(f"    VIOLATION {violation}")
     if profiler is not None:
         out = _suffixed(args.profile, name, multi)
+        report = profiler.report()
+        # Deterministic dispatch-work counters ride along with the wall
+        # profile (docs/PERFORMANCE.md has the field reference).
+        report["dispatch_cost_model"] = system.controller.dispatch_cost_model()
         with open(out, "w") as f:
-            json.dump(profiler.report(), f, indent=2)
+            json.dump(report, f, indent=2)
         print(f"  wrote profile {out}")
         print("  " + profiler.format_table().replace("\n", "\n  "))
     if chrome is not None:

@@ -16,6 +16,7 @@ or event counts.
 from repro.bench.kernels import (
     KERNELS,
     KernelResult,
+    controller_cost_models,
     run_kernel,
     wl6_codesign_end_to_end,
 )
@@ -23,6 +24,7 @@ from repro.bench.kernels import (
 __all__ = [
     "KERNELS",
     "KernelResult",
+    "controller_cost_models",
     "run_kernel",
     "wl6_codesign_end_to_end",
 ]

@@ -111,8 +111,9 @@ def address_decode(decodes: int = 20_000) -> int:
     return decodes if total >= 0 else 0
 
 
-def controller_request_stream(requests: int = 2000) -> int:
-    """FR-FCFS service of a seeded random read stream."""
+def _request_stream(requests: int = 2000) -> tuple[int, MemoryController]:
+    """Body of :func:`controller_request_stream`; returns the controller
+    too so :func:`controller_cost_models` can read its dispatch model."""
     _, timing, org, mapping = _dram_fixture()
     rng = random.Random(7)
     addresses = [
@@ -134,7 +135,124 @@ def controller_request_stream(requests: int = 2000) -> int:
             )
         )
     engine.run_until(50_000_000)
-    return len(done)
+    return len(done), mc
+
+
+def controller_request_stream(requests: int = 2000) -> int:
+    """FR-FCFS service of a seeded random read stream."""
+    return _request_stream(requests)[0]
+
+
+def _drain_storm(requests: int = 2048) -> tuple[int, MemoryController]:
+    """Body of :func:`controller_drain_storm`.
+
+    Requests arrive in waves of 60 writes + 4 reads, the next wave
+    issued only when the previous one has fully completed.  Each wave
+    therefore pushes the pending-write count through the drain high
+    watermark (54) and empties back through the low one (32), toggling
+    write-drain mode exactly once per wave — the hysteresis branch and
+    the drain-priority queue selection stay hot for the whole kernel.
+    """
+    _, timing, org, mapping = _dram_fixture()
+    rng = random.Random(13)
+    engine = Engine()
+    mc = MemoryController(engine, timing, org, mapping)
+    wave_writes = 60
+    wave = wave_writes + 4
+    state = {"issued": 0, "returned": 0}
+
+    def issue_wave() -> None:
+        n = min(wave, requests - state["issued"])
+        state["issued"] += n
+        for i in range(n):
+            address = mapping.frame_offset_to_address(
+                rng.randrange(mapping.total_frames), rng.randrange(64) * 64
+            )
+            rtype = RequestType.WRITE if i < wave_writes else RequestType.READ
+            mc.enqueue(
+                MemoryRequest(
+                    rtype,
+                    address,
+                    mapping.address_to_coordinate(address),
+                    on_complete=complete,
+                )
+            )
+
+    def complete(request: MemoryRequest) -> None:
+        state["returned"] += 1
+        if state["returned"] % wave == 0 and state["issued"] < requests:
+            issue_wave()
+
+    issue_wave()
+    engine.run_until(50_000_000)
+    return state["returned"], mc
+
+
+def controller_drain_storm(requests: int = 2048) -> int:
+    """Write-drain hysteresis churn: completion-paced write waves."""
+    return _drain_storm(requests)[0]
+
+
+def _row_hit_locality(requests: int = 2000) -> tuple[int, MemoryController]:
+    """Body of :func:`controller_row_hit_locality`.
+
+    Eight consecutive-column reads per randomly chosen row: almost every
+    pop comes out of the per-bank open-row index rather than the FIFO
+    fallback, exercising the row-hit fast path end to end.
+    """
+    _, timing, org, mapping = _dram_fixture()
+    rng = random.Random(29)
+    engine = Engine()
+    mc = MemoryController(engine, timing, org, mapping)
+    done: list = []
+    issued = 0
+    while issued < requests:
+        frame = rng.randrange(mapping.total_frames)
+        first_column = rng.randrange(56)
+        burst = min(8, requests - issued)
+        for i in range(burst):
+            address = mapping.frame_offset_to_address(
+                frame, (first_column + i) * 64
+            )
+            mc.enqueue(
+                MemoryRequest(
+                    RequestType.READ,
+                    address,
+                    mapping.address_to_coordinate(address),
+                    on_complete=done.append,
+                )
+            )
+        issued += burst
+    engine.run_until(50_000_000)
+    return len(done), mc
+
+
+def controller_row_hit_locality(requests: int = 2000) -> int:
+    """Row-buffer-friendly read bursts through the open-row index."""
+    return _row_hit_locality(requests)[0]
+
+
+#: Controller kernels whose dispatch cost model the bench report exports.
+_COST_MODEL_KERNELS: dict[str, Callable[[], tuple[int, MemoryController]]] = {
+    "controller_request_stream": _request_stream,
+    "controller_drain_storm": _drain_storm,
+    "controller_row_hit_locality": _row_hit_locality,
+}
+
+
+def controller_cost_models() -> dict[str, dict]:
+    """One extra (untimed) run of each controller kernel, returning its
+    :meth:`MemoryController.dispatch_cost_model` counters keyed by kernel
+    name.  Every value is a pure function of the kernel arguments, so the
+    CI determinism gate can compare them exactly and the trend gate can
+    watch the ratios for relative hot-path regressions."""
+    models: dict[str, dict] = {}
+    for name, impl in _COST_MODEL_KERNELS.items():
+        served, mc = impl()
+        model = mc.dispatch_cost_model()
+        model["completed"] = served
+        models[name] = model
+    return models
 
 
 def refresh_schedule_ticks(scenario: str = "all_bank", windows: int = 4) -> int:
@@ -292,6 +410,8 @@ KERNELS: dict[str, Callable[[], int]] = {
     "engine_far_future_mix": engine_far_future_mix,
     "address_decode": address_decode,
     "controller_request_stream": controller_request_stream,
+    "controller_drain_storm": controller_drain_storm,
+    "controller_row_hit_locality": controller_row_hit_locality,
     "refresh_all_bank_ticks": refresh_schedule_ticks,
     "refresh_same_bank_ticks": lambda: refresh_schedule_ticks("same_bank"),
     "core_compute_fast_forward": core_compute_fast_forward,

@@ -281,6 +281,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time}, current time is {self.now}"
             )
+        if time.__class__ is not int:
+            # Same float-key guard as schedule(); see the comment there.
+            time = int(time)
         if arg is not None:
             pool = self._pool
             if pool:
@@ -290,7 +293,35 @@ class Engine:
             else:
                 event = Event(fn, arg, self)
             fn = event
-        self._insert(int(time), fn)
+        # Mirrors _insert, inlined: schedule_at is the controller hot
+        # path's scheduling call and a second frame is measurable.
+        head_time = self._head_time
+        if head_time is None:
+            times = self._times
+            if not times or time < times[0]:
+                self._head_time = time
+                self._head.append(fn)
+            else:
+                bucket = self._buckets.get(time)
+                if bucket is None:
+                    self._buckets[time] = [fn]
+                    heappush(times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+                else:
+                    bucket.append(fn)
+        elif time == head_time:
+            self._head.append(fn)
+        elif time > head_time:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                self._buckets[time] = [fn]
+                heappush(self._times, time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            else:
+                bucket.append(fn)
+        else:
+            self._buckets[head_time] = self._head
+            heappush(self._times, head_time)  # repro: noqa[RPR004] int keys are totally ordered; ties merge into one bucket
+            self._head = [fn]
+            self._head_time = time
 
     def _insert(self, time: int, entry: Callable) -> None:
         """Append *entry* to the bucket for absolute *time* (cold mirror
@@ -546,12 +577,37 @@ class Engine:
             run_list = []
         n = len(run_list)
         processed = n - index
+        pool = self._pool
         try:
             while True:
                 while index < n:
                     entry = run_list[index]
                     index += 1
-                    entry()
+                    # Inlined Event.__call__ (the arg-carrier unwrap is
+                    # the hottest indirection in a full-system run; the
+                    # bookkeeping order — pool before fire — must match
+                    # Event.__call__ exactly so exception unwinds agree).
+                    if entry.__class__ is Event:
+                        fn = entry.fn
+                        if fn is None:
+                            processed -= 1
+                            if entry.cancelled:
+                                entry.cancelled = False
+                                self._cancelled -= 1
+                                if entry.recyclable and len(pool) < _POOL_MAX:
+                                    pool.append(entry)
+                            continue
+                        arg = entry.arg
+                        entry.fn = None
+                        if entry.recyclable and len(pool) < _POOL_MAX:
+                            pool.append(entry)
+                        if arg is None:
+                            fn()
+                        else:
+                            entry.arg = None
+                            fn(arg)
+                    else:
+                        entry()
                 run_list.clear()
                 index = 0
                 n = 0
@@ -598,12 +654,35 @@ class Engine:
             self._run_index = 0
         n = len(run_list)
         processed = n - index
+        pool = self._pool
         try:
             while True:
                 while index < n:
                     entry = run_list[index]
                     index += 1
-                    entry()
+                    # Inlined Event.__call__; see run_until for why the
+                    # bookkeeping order must match it exactly.
+                    if entry.__class__ is Event:
+                        fn = entry.fn
+                        if fn is None:
+                            processed -= 1
+                            if entry.cancelled:
+                                entry.cancelled = False
+                                self._cancelled -= 1
+                                if entry.recyclable and len(pool) < _POOL_MAX:
+                                    pool.append(entry)
+                            continue
+                        arg = entry.arg
+                        entry.fn = None
+                        if entry.recyclable and len(pool) < _POOL_MAX:
+                            pool.append(entry)
+                        if arg is None:
+                            fn()
+                        else:
+                            entry.arg = None
+                            fn(arg)
+                    else:
+                        entry()
                 run_list.clear()
                 index = 0
                 n = 0

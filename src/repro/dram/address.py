@@ -44,6 +44,10 @@ class DramCoordinate(NamedTuple):
         return (self.channel, self.rank, self.bank)
 
 
+#: Module-level binding of the C-level coordinate constructor (see
+#: address_to_coordinate).
+_coord_make = DramCoordinate._make
+
 #: Frame-number field orders (low/fastest-changing field first).
 #: ``interleaved`` (default): consecutive frames rotate channels then banks
 #: — the DRAM-oblivious layout of Section 2.3, giving any task natural
@@ -103,6 +107,24 @@ class AddressMapping:
         self._field_chain = tuple(
             (field, self._field_sizes[field]) for field in self._fields
         )
+        # All-power-of-two field sizes (every real organization): decode a
+        # frame with four shift/mask pairs instead of the divmod loop.
+        # Stored flat, in channel/rank/bank/row order.
+        sizes = [self._field_sizes[field] for field in self._fields]
+        if all(size & (size - 1) == 0 for size in sizes):
+            shift = 0
+            by_field = {}
+            for field, size in self._field_chain:
+                by_field[field] = (shift, size - 1)
+                shift += size.bit_length() - 1
+            self._decode_shifts: tuple[int, ...] | None = (
+                *by_field["channel"],
+                *by_field["rank"],
+                *by_field["bank"],
+                *by_field["row"],
+            )
+        else:  # pragma: no cover - exotic configs keep the divmod path
+            self._decode_shifts = None
         # Frame -> (channel, rank, bank, row) memo; frames repeat heavily
         # within a run (every access to a page hits the same frame).
         self._frame_cache: dict[int, DramCoordinate] = {}
@@ -139,17 +161,30 @@ class AddressMapping:
             raise AddressMapError(
                 f"frame {frame} out of range [0, {self.total_frames})"
             )
-        values = {}
-        rest = frame
-        for field, size in self._field_chain:
-            rest, values[field] = divmod(rest, size)
-        coord = DramCoordinate(
-            channel=values["channel"],
-            rank=values["rank"],
-            bank=values["bank"],
-            row=values["row"],
-            column=0,
-        )
+        shifts = self._decode_shifts
+        if shifts is not None:
+            cs, cm, rs, rm, bs, bm, ws, wm = shifts
+            coord = DramCoordinate._make(
+                (
+                    (frame >> cs) & cm,
+                    (frame >> rs) & rm,
+                    (frame >> bs) & bm,
+                    (frame >> ws) & wm,
+                    0,
+                )
+            )
+        else:  # pragma: no cover - exotic configs keep the divmod path
+            values = {}
+            rest = frame
+            for field, size in self._field_chain:
+                rest, values[field] = divmod(rest, size)
+            coord = DramCoordinate(
+                channel=values["channel"],
+                rank=values["rank"],
+                bank=values["bank"],
+                row=values["row"],
+                column=0,
+            )
         cache = self._frame_cache
         if len(cache) >= _FRAME_CACHE_MAX:
             cache.clear()
@@ -195,7 +230,10 @@ class AddressMapping:
         coord = self._frame_cache.get(frame)
         if coord is None:
             coord = self.frame_to_coordinate(frame)
-        return DramCoordinate(coord[0], coord[1], coord[2], coord[3], column)
+        # _make is classmethod(tuple.__new__): builds the tuple at C level,
+        # skipping the generated __new__'s Python frame on this per-access
+        # path (bound once at function definition, not per call).
+        return _coord_make((coord[0], coord[1], coord[2], coord[3], column))
 
     def frame_offset_to_address(self, frame: int, offset: int = 0) -> int:
         """Byte address of *offset* within physical frame *frame*."""

@@ -5,6 +5,16 @@ or REF command may start, derived from the JEDEC parameters in
 :class:`repro.dram.timing.DramTiming`.  The controller calls
 :meth:`Bank.service` to schedule one column access, and
 :meth:`Bank.begin_refresh` to start a refresh cycle.
+
+Hot-path layout (see docs/PERFORMANCE.md): the mutable readiness fields
+live in :class:`BankStateArrays` — one flat plain-int list per field,
+indexed by flat bank index and shared by every bank of a controller — so
+the controller's FR-FCFS decision loop reads bank availability with one
+list subscript instead of an attribute chain through a ``Bank`` object.
+``Bank`` keeps its full public API: ``bank.open_row``/``bank.cas_ready``
+etc. are property views into the shared arrays, and the snapshot/restore
+contract is unchanged (per-bank dicts; the arrays are rebuilt by the
+property writes in :meth:`Bank.restore_state`).
 """
 
 from __future__ import annotations
@@ -16,6 +26,47 @@ from repro.dram.request import MemoryRequest
 from repro.dram.timing import DramTiming
 from repro.errors import ProtocolError
 from repro.telemetry.stats import StatsBase
+
+#: ``open_row`` sentinel for "no row open" inside the flat arrays (row
+#: numbers are non-negative, so -1 never matches a request's row).
+ROW_CLOSED = -1
+
+
+class BankStateArrays:
+    """Flat per-bank readiness state shared by every bank of a controller.
+
+    One plain-int list per field, indexed by flat bank index.  Plain
+    lists beat ``array('q')`` here: element reads come back as cached
+    small ints with no boxing, and the controller hot path does orders
+    of magnitude more reads than the snapshot layer does conversions.
+
+    These arrays are the single source of truth — :class:`Bank`
+    attribute access is a property view into them — and the stable ABI
+    an optional compiled selection kernel can slot into later.
+    """
+
+    __slots__ = (
+        "open_row",
+        "cas_ready",
+        "act_ready",
+        "pre_ready",
+        "refresh_until",
+        "refresh_started",
+        "sa_refresh_id",
+        "sa_refresh_until",
+        "sa_refresh_started",
+    )
+
+    def __init__(self, total_banks: int):
+        self.open_row = [ROW_CLOSED] * total_banks
+        self.cas_ready = [0] * total_banks
+        self.act_ready = [0] * total_banks
+        self.pre_ready = [0] * total_banks
+        self.refresh_until = [0] * total_banks
+        self.refresh_started = [0] * total_banks
+        self.sa_refresh_id = [-1] * total_banks
+        self.sa_refresh_until = [0] * total_banks
+        self.sa_refresh_started = [0] * total_banks
 
 
 @dataclass
@@ -43,25 +94,35 @@ class ServiceTiming(NamedTuple):
     row_hit: bool
 
 
+def _state_view(field: str):
+    """Property exposing one flat-array slot as a plain int attribute."""
+
+    def read(self):
+        return getattr(self.arrays, field)[self.slot]
+
+    def write(self, value):
+        getattr(self.arrays, field)[self.slot] = value
+
+    return property(read, write)
+
+
 class Bank:
-    """State machine for a single DRAM bank."""
+    """State machine for a single DRAM bank.
+
+    Mutable readiness state lives in the shared :class:`BankStateArrays`
+    (``arrays``) at index ``slot``; a standalone bank (unit tests,
+    examples) gets a private single-slot store.
+    """
 
     __slots__ = (
         "channel",
         "rank_id",
         "bank_id",
         "flat_index",
-        "open_row",
-        "cas_ready",
-        "act_ready",
-        "pre_ready",
-        "refresh_until",
-        "refresh_started",
         "num_subarrays",
         "rows_per_bank",
-        "sa_refresh_id",
-        "sa_refresh_until",
-        "sa_refresh_started",
+        "arrays",
+        "slot",
         "stats",
     )
 
@@ -73,25 +134,44 @@ class Bank:
         flat_index: int,
         num_subarrays: int = 1,
         rows_per_bank: int = 1,
+        arrays: Optional[BankStateArrays] = None,
+        slot: Optional[int] = None,
     ):
         self.channel = channel
         self.rank_id = rank_id
         self.bank_id = bank_id
         self.flat_index = flat_index
-        self.open_row: Optional[int] = None
-        self.cas_ready = 0  # earliest next CAS to the open row
-        self.act_ready = 0  # earliest next ACT (bank-local: tRC from last ACT)
-        self.pre_ready = 0  # earliest next PRE (tRAS / tRTP / tWR)
-        self.refresh_until = 0  # bank unavailable until this time (refresh)
-        self.refresh_started = 0  # start of the current refresh-busy interval
         # Subarray-granularity refresh (paper Section 7 extension): when a
         # refresh targets one subarray, accesses to the others proceed.
         self.num_subarrays = num_subarrays
         self.rows_per_bank = max(1, rows_per_bank)
-        self.sa_refresh_id = -1
-        self.sa_refresh_until = 0
-        self.sa_refresh_started = 0
+        if arrays is None:
+            arrays = BankStateArrays(1)
+            slot = 0
+        self.arrays = arrays
+        self.slot = flat_index if slot is None else slot
         self.stats = BankStats()
+
+    # Readiness fields: views into the shared flat arrays.  ``open_row``
+    # keeps its Optional[int] surface (None = closed) while the array
+    # stores the ROW_CLOSED sentinel the hot path compares against.
+    cas_ready = _state_view("cas_ready")
+    act_ready = _state_view("act_ready")
+    pre_ready = _state_view("pre_ready")
+    refresh_until = _state_view("refresh_until")
+    refresh_started = _state_view("refresh_started")
+    sa_refresh_id = _state_view("sa_refresh_id")
+    sa_refresh_until = _state_view("sa_refresh_until")
+    sa_refresh_started = _state_view("sa_refresh_started")
+
+    @property
+    def open_row(self) -> Optional[int]:
+        row = self.arrays.open_row[self.slot]
+        return None if row < 0 else row
+
+    @open_row.setter
+    def open_row(self, value: Optional[int]) -> None:
+        self.arrays.open_row[self.slot] = ROW_CLOSED if value is None else value
 
     def subarray_of_row(self, row: int) -> int:
         """Which subarray a row belongs to (contiguous row blocks)."""
@@ -101,10 +181,11 @@ class Bank:
 
     def available_at(self, now: int) -> int:
         """Earliest time a new command sequence may begin."""
-        return max(now, self.refresh_until)
+        refresh_until = self.arrays.refresh_until[self.slot]
+        return now if now > refresh_until else refresh_until
 
     def is_refreshing(self, now: int) -> bool:
-        return now < self.refresh_until
+        return now < self.arrays.refresh_until[self.slot]
 
     # -- demand access --------------------------------------------------------
 
@@ -123,46 +204,53 @@ class Bank:
         The refresh-stall attribution (how long the start was pushed out by
         a refresh-busy bank) is recorded on *request*.
         """
-        refresh_until = self.refresh_until
+        arrays = self.arrays
+        slot = self.slot
+        refresh_until = arrays.refresh_until[slot]
         earliest = now if now > refresh_until else refresh_until
         # Refresh-stall attribution: overlap between the request's wait
         # [arrive, service] and the bank's refresh-busy interval.
         arrive = request.arrive_time
-        started = self.refresh_started
+        started = arrays.refresh_started[slot]
         blocked_from = arrive if arrive > started else started
         refresh_stall = refresh_until - blocked_from
         if refresh_stall < 0:
             refresh_stall = 0
         row = request.coord.row
         # Subarray refresh blocks only requests into the refreshing subarray.
+        sa_refresh_until = arrays.sa_refresh_until[slot]
         if (
-            self.sa_refresh_until > earliest
-            and self.subarray_of_row(row) == self.sa_refresh_id
+            sa_refresh_until > earliest
+            and row * self.num_subarrays // self.rows_per_bank
+            == arrays.sa_refresh_id[slot]
         ):
-            sa_blocked_from = max(arrive, self.sa_refresh_started)
-            refresh_stall += max(0, self.sa_refresh_until - max(earliest, sa_blocked_from))
-            earliest = self.sa_refresh_until
+            sa_blocked_from = max(arrive, arrays.sa_refresh_started[slot])
+            refresh_stall += max(
+                0, sa_refresh_until - max(earliest, sa_blocked_from)
+            )
+            earliest = sa_refresh_until
 
         stats = self.stats
-        if self.open_row == row:
+        open_row = arrays.open_row[slot]
+        if open_row == row:
             # Row hit: CAS only.
             row_hit = True
-            cas_ready = self.cas_ready
+            cas_ready = arrays.cas_ready[slot]
             cas_earliest = earliest if earliest > cas_ready else cas_ready
             stats.row_hits += 1
         else:
             row_hit = False
-            if self.open_row is None:
+            if open_row < 0:
                 # Row closed: ACT + CAS.
-                act_ready = self.act_ready
+                act_ready = arrays.act_ready[slot]
                 act_earliest = earliest if earliest > act_ready else act_ready
                 stats.row_misses += 1
             else:
                 # Row conflict: PRE + ACT + CAS.
-                pre_ready = self.pre_ready
+                pre_ready = arrays.pre_ready[slot]
                 pre_time = earliest if earliest > pre_ready else pre_ready
                 act_earliest = pre_time + timing.tRP
-                act_ready = self.act_ready
+                act_ready = arrays.act_ready[slot]
                 if act_ready > act_earliest:
                     act_earliest = act_ready
                 stats.row_conflicts += 1
@@ -170,9 +258,9 @@ class Bank:
             act_time = rank.earliest_activate(act_earliest, timing)
             rank.record_activate(act_time, timing)
             stats.activations += 1
-            self.open_row = row
-            self.act_ready = act_time + timing.tRC
-            self.pre_ready = act_time + timing.tRAS
+            arrays.open_row[slot] = row
+            arrays.act_ready[slot] = act_time + timing.tRC
+            arrays.pre_ready[slot] = act_time + timing.tRAS
             cas_earliest = act_time + timing.tRCD
 
         is_read = request.is_read
@@ -188,24 +276,26 @@ class Bank:
         cas_time = data_start - cas_to_data
         finish = data_start + timing.tBL
 
-        self.cas_ready = cas_time + timing.tCCD
+        arrays.cas_ready[slot] = cas_time + timing.tCCD
         if is_read:
             ready = cas_time + timing.tRTP
-            if ready > self.pre_ready:
-                self.pre_ready = ready
+            if ready > arrays.pre_ready[slot]:
+                arrays.pre_ready[slot] = ready
             stats.reads += 1
         else:
             ready = data_start + timing.tBL + timing.tWR
-            if ready > self.pre_ready:
-                self.pre_ready = ready
+            if ready > arrays.pre_ready[slot]:
+                arrays.pre_ready[slot] = ready
             stats.writes += 1
 
         if close_row:
             # Closed-row policy: auto-precharge after the access; the next
             # access pays ACT but never a conflict PRE.
-            self.open_row = None
-            self.act_ready = max(self.act_ready, self.pre_ready + timing.tRP)
-            self.stats.precharges += 1
+            arrays.open_row[slot] = ROW_CLOSED
+            pre_closed = arrays.pre_ready[slot] + timing.tRP
+            if pre_closed > arrays.act_ready[slot]:
+                arrays.act_ready[slot] = pre_closed
+            stats.precharges += 1
 
         request.refresh_stall = refresh_stall
         request.row_hit = row_hit
@@ -221,12 +311,18 @@ class Bank:
         An open row must be precharged first; in-flight constraints
         (tRAS/tWR/tRTP already folded into ``pre_ready``) are honored.
         """
-        start = max(now, self.refresh_until)
-        if self.open_row is not None:
-            start = max(start, self.pre_ready) + timing.tRP
+        arrays = self.arrays
+        slot = self.slot
+        refresh_until = arrays.refresh_until[slot]
+        start = now if now > refresh_until else refresh_until
+        if arrays.open_row[slot] >= 0:
+            pre_ready = arrays.pre_ready[slot]
+            start = (start if start > pre_ready else pre_ready) + timing.tRP
         else:
             # A just-issued CAS keeps the bank busy briefly.
-            start = max(start, self.cas_ready)
+            cas_ready = arrays.cas_ready[slot]
+            if cas_ready > start:
+                start = cas_ready
         return start
 
     def begin_refresh(self, start: int, trfc: int, subarray: int | None = None) -> int:
@@ -240,31 +336,36 @@ class Bank:
         """
         if trfc <= 0:
             raise ProtocolError(f"tRFC must be positive, got {trfc}")
+        arrays = self.arrays
+        slot = self.slot
         end = start + trfc
         self.stats.refreshes += 1
         self.stats.refresh_busy_cycles += trfc
+        open_row = arrays.open_row[slot]
         if subarray is not None and self.num_subarrays > 1:
-            if start > self.sa_refresh_until:
-                self.sa_refresh_started = start
-            self.sa_refresh_id = subarray
-            self.sa_refresh_until = max(self.sa_refresh_until, end)
-            if (
-                self.open_row is not None
-                and self.subarray_of_row(self.open_row) == subarray
-            ):
+            if start > arrays.sa_refresh_until[slot]:
+                arrays.sa_refresh_started[slot] = start
+            arrays.sa_refresh_id[slot] = subarray
+            if end > arrays.sa_refresh_until[slot]:
+                arrays.sa_refresh_until[slot] = end
+            if open_row >= 0 and self.subarray_of_row(open_row) == subarray:
                 self.stats.precharges += 1
-                self.open_row = None
+                arrays.open_row[slot] = ROW_CLOSED
             return end
-        if start > self.refresh_until:
+        if start > arrays.refresh_until[slot]:
             # New refresh-busy interval (not back-to-back with the last).
-            self.refresh_started = start
-        if self.open_row is not None:
+            arrays.refresh_started[slot] = start
+        if open_row >= 0:
             self.stats.precharges += 1
-        self.open_row = None
-        self.refresh_until = max(self.refresh_until, end)
-        self.cas_ready = max(self.cas_ready, end)
-        self.act_ready = max(self.act_ready, end)
-        self.pre_ready = max(self.pre_ready, end)
+        arrays.open_row[slot] = ROW_CLOSED
+        if end > arrays.refresh_until[slot]:
+            arrays.refresh_until[slot] = end
+        if end > arrays.cas_ready[slot]:
+            arrays.cas_ready[slot] = end
+        if end > arrays.act_ready[slot]:
+            arrays.act_ready[slot] = end
+        if end > arrays.pre_ready[slot]:
+            arrays.pre_ready[slot] = end
         return end
 
     # -- checkpoint/restore ----------------------------------------------------
@@ -284,6 +385,9 @@ class Bank:
         }
 
     def restore_state(self, state: dict) -> None:
+        # The property writes rebuild this bank's slots of the shared
+        # flat arrays — the arrays are derived state with no snapshot
+        # fields of their own.
         row = state["open_row"]
         self.open_row = None if row is None else int(row)
         self.cas_ready = int(state["cas_ready"])
@@ -318,16 +422,22 @@ class Rank:
     def earliest_activate(self, wanted: int, timing: DramTiming) -> int:
         """Earliest ACT time >= *wanted* honoring tRRD and tFAW."""
         t = wanted
-        if self._act_times:
-            t = max(t, self._act_times[-1] + timing.tRRD)
-            if len(self._act_times) >= self.FAW_WINDOW:
-                t = max(t, self._act_times[-self.FAW_WINDOW] + timing.tFAW)
+        act_times = self._act_times
+        if act_times:
+            last = act_times[-1] + timing.tRRD
+            if last > t:
+                t = last
+            if len(act_times) >= self.FAW_WINDOW:
+                faw = act_times[-self.FAW_WINDOW] + timing.tFAW
+                if faw > t:
+                    t = faw
         return t
 
     def record_activate(self, time: int, timing: DramTiming) -> None:
-        self._act_times.append(time)
-        if len(self._act_times) > self.FAW_WINDOW:
-            del self._act_times[: -self.FAW_WINDOW]
+        act_times = self._act_times
+        act_times.append(time)
+        if len(act_times) > self.FAW_WINDOW:
+            del act_times[: -self.FAW_WINDOW]
 
     # -- checkpoint/restore ----------------------------------------------------
 
@@ -335,7 +445,9 @@ class Rank:
         return {"_act_times": list(self._act_times)}
 
     def restore_state(self, state: dict) -> None:
-        self._act_times = [int(t) for t in state["_act_times"]]
+        # In place: the controller's per-flat activate-window aliases
+        # must keep pointing at this list across a restore.
+        self._act_times[:] = [int(t) for t in state["_act_times"]]
 
     def __repr__(self) -> str:
         return f"Rank(ch{self.channel} rk{self.rank_id})"
@@ -362,13 +474,20 @@ class ChannelBus:
     ) -> int:
         """Grant a burst slot starting at or after *wanted*; returns the
         granted start time and advances the bus state."""
-        start = max(wanted, self.ready)
-        if self.last_was_read is not None:
-            if self.last_was_read != is_read and not self.last_was_read:
+        ready = self.ready
+        start = wanted if wanted > ready else ready
+        last_was_read = self.last_was_read
+        if last_was_read is not None:
+            if last_was_read != is_read and not last_was_read:
                 # write -> read turnaround
-                start = max(start, self.ready + timing.tWTR)
-            if self.last_rank_key is not None and self.last_rank_key != rank_key:
-                start = max(start, self.ready + timing.tRTRS)
+                turnaround = ready + timing.tWTR
+                if turnaround > start:
+                    start = turnaround
+            last_rank_key = self.last_rank_key
+            if last_rank_key is not None and last_rank_key != rank_key:
+                switch = ready + timing.tRTRS
+                if switch > start:
+                    start = switch
         self.ready = start + timing.tBL
         self.last_was_read = is_read
         self.last_rank_key = rank_key

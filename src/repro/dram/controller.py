@@ -3,6 +3,29 @@ batch write draining, shared-bus arbitration and refresh injection.
 
 Matches Table 1: FR-FCFS, open-row policy, 64/64 read/write queues, writes
 drained in batches between low/high watermarks 32/54.
+
+Hot-path layout (docs/PERFORMANCE.md has the full picture):
+
+* Bank readiness lives in controller-owned flat arrays
+  (:class:`repro.dram.bank.BankStateArrays`); ``_pick`` reads
+  ``refresh_until``/``open_row`` with one list subscript and the per-flat
+  ``Rank``/``ChannelBus`` objects come from precomputed lookup lists, so
+  the FR-FCFS decision touches no attribute chains or dict lookups.
+* Each bank queue is a :class:`_BankQueue`: an append-only FIFO with a
+  head cursor plus a row → pending-requests index, both maintained
+  incrementally on enqueue/pop.  Selecting the oldest row hit is a dict
+  probe instead of a linear scan; FIFO fallback pops at the cursor.
+  A request popped through one view is lazily discarded from the other
+  (``MemoryRequest.in_queue``), with amortized-O(1) sweeping.
+* All of this is derived state: snapshots keep the original per-bank
+  req-id list schema, and ``restore_state`` rebuilds the arrays, the
+  row index and the occupancy counters from it, so checkpoint payloads
+  and bit-identity are unchanged.
+
+The dispatch cost model (:meth:`MemoryController.dispatch_cost_model`)
+counts scheduler work deterministically — picks, dead picks, stale-entry
+sweeps, drain transitions — with all common-path quantities derived from
+existing stats so the counters only ever increment off the service path.
 """
 
 from __future__ import annotations
@@ -13,13 +36,18 @@ from typing import Optional
 from repro.config.dram_configs import DramOrganization
 from repro.core.engine import Engine
 from repro.dram.address import AddressMapping
-from repro.dram.bank import Bank, ChannelBus, Rank
+from repro.dram.bank import Bank, BankStateArrays, ChannelBus, Rank
 from repro.dram.request import MemoryRequest
 from repro.dram.timing import DramTiming
 from repro.errors import SimulationError
 from repro.telemetry.events import DramCommandEvent, RefreshCommandEvent
 from repro.telemetry.hub import Telemetry
 from repro.telemetry.stats import StatsBase
+
+#: Compact a bank FIFO once its stale prefix is this long *and* at least
+#: half the list; every swept entry is passed exactly once, so the sweep
+#: plus compaction cost stays amortized O(1) per request.
+_FIFO_COMPACT_MIN = 64
 
 
 @dataclass
@@ -45,6 +73,47 @@ class ControllerStats(StatsBase):
         if self.reads_completed == 0:
             return 0.0
         return self.row_hits / self.reads_completed
+
+
+class _BankQueue:
+    """One bank's read (or write) queue with an incremental row index.
+
+    ``fifo``   append-only arrival order; entries before ``head`` or with
+               ``in_queue`` False are dead.
+    ``head``   cursor of the oldest possibly-live entry.
+    ``by_row`` row number → pending requests to that row, in arrival
+               order (a plain list: cheaper to allocate than a deque,
+               and row lists stay short — one ``pop(0)`` per service);
+               the front live entry is the FR-FCFS row-hit candidate.
+    ``count``  live entries (the queue-occupancy truth the watermarks and
+               the drain/opportunistic branch read).
+
+    ``enqueue`` inlines :meth:`push` on the hot path; keep them in sync.
+    """
+
+    __slots__ = ("fifo", "head", "by_row", "count")
+
+    def __init__(self):
+        self.fifo: list[MemoryRequest] = []
+        self.head = 0
+        self.by_row: dict[int, list[MemoryRequest]] = {}
+        self.count = 0
+
+    def push(self, request: MemoryRequest) -> None:
+        request.in_queue = True
+        self.fifo.append(request)
+        self.count += 1
+        row = request.coord.row
+        by_row = self.by_row
+        pending = by_row.get(row)
+        if pending is None:
+            by_row[row] = [request]
+        else:
+            pending.append(request)
+
+    def live(self) -> list[MemoryRequest]:
+        """Pending requests in arrival order (snapshot/introspection)."""
+        return [r for r in self.fifo[self.head :] if r.in_queue]
 
 
 class MemoryController:
@@ -75,8 +144,12 @@ class MemoryController:
         self.write_drain_low = write_drain_low
         self.write_drain_high = write_drain_high
         self.row_policy = row_policy
+        self._close_row = row_policy == "closed"
 
         total = organization.total_banks
+        # Single source of truth for bank readiness; every Bank is a view
+        # into one slot (see repro.dram.bank docstring).
+        self.bank_state = BankStateArrays(total)
         self.banks: list[Bank] = []
         for flat in range(total):
             channel, rank, bank = mapping.unflatten_bank_index(flat)
@@ -88,6 +161,8 @@ class MemoryController:
                     flat,
                     num_subarrays=organization.subarrays_per_bank,
                     rows_per_bank=mapping.rows_per_bank,
+                    arrays=self.bank_state,
+                    slot=flat,
                 )
             )
         self.ranks: dict[tuple[int, int], Rank] = {
@@ -98,9 +173,60 @@ class MemoryController:
         self.buses: list[ChannelBus] = [
             ChannelBus() for _ in range(organization.channels)
         ]
+        # Hot-path aliases and per-flat lookups: the pick path indexes
+        # these lists instead of chasing bank attributes or dict keys.
+        state = self.bank_state
+        self._refresh_until = state.refresh_until
+        self._refresh_started = state.refresh_started
+        self._open_row = state.open_row
+        self._cas_ready = state.cas_ready
+        self._act_ready = state.act_ready
+        self._pre_ready = state.pre_ready
+        self._sa_refresh_id = state.sa_refresh_id
+        self._sa_refresh_until = state.sa_refresh_until
+        self._sa_refresh_started = state.sa_refresh_started
+        self._rank_of: list[Rank] = [
+            self.ranks[(b.channel, b.rank_id)] for b in self.banks
+        ]
+        self._bus_of: list[ChannelBus] = [
+            self.buses[b.channel] for b in self.banks
+        ]
+        # One shared key tuple per rank (no per-access tuple allocation in
+        # the inlined bus-turnaround check).
+        self._rank_key_of: list[tuple[int, int]] = [
+            (b.channel, b.rank_id) for b in self.banks
+        ]
+        # Per-flat activate-window lists (shared per rank; Rank mutates
+        # the list in place everywhere, including restore_state, so the
+        # alias never goes stale).  Bank stats are deliberately NOT
+        # aliased: System._reset_stats rebinds ``bank.stats`` at the
+        # measurement barrier.
+        self._acts_of = [r._act_times for r in self._rank_of]
+        # Timing parameters as plain ints (DramTiming is a no-slots frozen
+        # dataclass and tRC is a property; the inlined service path cannot
+        # afford either).
+        self._tCL = timing.tCL
+        self._tCWL = timing.tCWL
+        self._tRCD = timing.tRCD
+        self._tRP = timing.tRP
+        self._tRAS = timing.tRAS
+        self._tBL = timing.tBL
+        self._tCCD = timing.tCCD
+        self._tRTP = timing.tRTP
+        self._tWR = timing.tWR
+        self._tWTR = timing.tWTR
+        self._tRRD = timing.tRRD
+        self._tFAW = timing.tFAW
+        self._tRTRS = timing.tRTRS
+        self._tRC = timing.tRC
+        self._num_subarrays = organization.subarrays_per_bank
+        self._rows_per_bank = mapping.rows_per_bank
 
-        self._read_q: list[list[MemoryRequest]] = [[] for _ in range(total)]
-        self._write_q: list[list[MemoryRequest]] = [[] for _ in range(total)]
+        self._rq: list[_BankQueue] = [_BankQueue() for _ in range(total)]
+        self._wq: list[_BankQueue] = [_BankQueue() for _ in range(total)]
+        # Per-bank read+write occupancy, maintained incrementally; the
+        # reusable view handed out by queued_requests_per_bank().
+        self._occupancy: list[int] = [0] * total
         self.read_count = 0
         self.write_count = 0
         self.drain_mode = False
@@ -114,6 +240,27 @@ class MemoryController:
         self._ranks_per_channel = organization.ranks_per_channel
         self._banks_per_rank = organization.banks_per_rank
         self.stats = ControllerStats()
+        # Dispatch cost model: deterministic work counters, incremented
+        # only off the service fast path (dead/deferred picks, lazy-sweep
+        # and drain/batch transitions); everything per-service is derived
+        # from bank/controller stats in dispatch_cost_model().  Process-
+        # local diagnostics: not part of snapshots or RunResult.
+        self._cm_dead_picks = 0
+        self._cm_refresh_deferred_picks = 0
+        self._cm_stale_skips = 0
+        self._cm_fifo_compactions = 0
+        self._cm_drain_entries = 0
+        self._cm_drain_exits = 0
+        self._cm_batched_wakeups = 0
+        self._cm_batched_wakeup_banks = 0
+        # Prebound hot callables: every schedule of a pick/complete would
+        # otherwise allocate a fresh bound-method object.  The instance
+        # attribute shadows the class method with one reusable binding;
+        # the checkpoint codec (fn.__self__/__name__) and the profiler
+        # (fn.__func__) read through it unchanged.
+        self._pick = self._pick
+        self._complete = self._complete
+        self._schedule_at = engine.schedule_at
 
     # -- admission ---------------------------------------------------------------
 
@@ -132,16 +279,35 @@ class MemoryController:
         if request.req_id < 0:
             request.req_id = self._next_req_id
             self._next_req_id += 1
-        request.arrive_time = self.engine.now
+        engine = self.engine
+        request.arrive_time = engine.now
         if request.is_read:
-            self._read_q[flat].append(request)
+            q = self._rq[flat]
             self.read_count += 1
         else:
-            self._write_q[flat].append(request)
+            q = self._wq[flat]
             self.write_count += 1
             if self.write_count >= self.write_drain_high:
-                self.drain_mode = True
-        self._kick(flat)
+                if not self.drain_mode:
+                    self.drain_mode = True
+                    self._cm_drain_entries += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+        # Inlined _BankQueue.push (kept in sync with that method).
+        request.in_queue = True
+        q.fifo.append(request)
+        q.count += 1
+        row = coord.row
+        by_row = q.by_row
+        pending = by_row.get(row)
+        if pending is None:
+            by_row[row] = [request]
+        else:
+            pending.append(request)
+        self._occupancy[flat] += 1
+        if not self._pick_pending[flat]:
+            self._pick_pending[flat] = True
+            # order: the kick appends after any picks already queued this
+            # cycle; same-cycle bucket position is bus-arbitration order.
+            engine.schedule_at(engine.now, self._pick, flat)
 
     # -- refresh entry points (called by refresh schedulers) ----------------------
 
@@ -201,10 +367,13 @@ class MemoryController:
     # -- introspection (used by OOO refresh and AR) --------------------------------
 
     def queued_requests_per_bank(self) -> list[int]:
-        return [
-            len(self._read_q[f]) + len(self._write_q[f])
-            for f in range(self.org.total_banks)
-        ]
+        """Read+write occupancy per flat bank index.
+
+        Returns the controller's incrementally-maintained counter list —
+        a live, reusable view (callers must treat it as read-only), not a
+        fresh allocation; the OOO-refresh tick path reads it every poll.
+        """
+        return self._occupancy
 
     def bus_for_channel(self, channel: int) -> ChannelBus:
         return self.buses[channel]
@@ -236,6 +405,8 @@ class MemoryController:
                 batch = []
             batch.append(flat)
         if batch is not None:
+            self._cm_batched_wakeups += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+            self._cm_batched_wakeup_banks += len(batch)  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
             now = self.engine.now
             # order: one batched wake; _pick_many issues picks in flat-index
             # order, the same same-cycle slot sequence the per-bank pick
@@ -250,71 +421,233 @@ class MemoryController:
                 self._pick(flat)
 
     def _pick(self, flat: int) -> None:
-        """Issue the FR-FCFS-best request for bank *flat*, if any."""
+        """Issue the FR-FCFS-best request for bank *flat*, if any.
+
+        The column-access arithmetic below is :meth:`Bank.service` inlined
+        against the flat arrays and the cached timing ints — kept in
+        lockstep with that method (which stays the authoritative, tested
+        single-bank API); ``tests/unit/test_frfcfs_invariants.py`` and the
+        golden traces pin the equivalence.
+        """
         self._pick_pending[flat] = False
-        bank = self.banks[flat]
-        now = self.engine.now
+        engine = self.engine
+        now = engine.now
 
-        if bank.is_refreshing(now):
-            self._kick(flat, at=bank.refresh_until)
+        until = self._refresh_until[flat]
+        if until > now:
+            self._cm_refresh_deferred_picks += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+            self._pick_pending[flat] = True
+            engine.schedule_at(until, self._pick, flat)
             return
 
-        request = self._select(flat, bank)
+        # -- FR-FCFS select: prefer row hits (oldest first), then FIFO;
+        #    reads before writes except in drain mode, with opportunistic
+        #    writes when the bank has no reads.  The row-hit candidate is
+        #    the front live entry of the open row's by_row list; entries
+        #    popped through the other view are swept lazily here, at most
+        #    once per view per request (_BankQueue documents the
+        #    invariants). --
+        if self.drain_mode:
+            q = self._wq[flat]
+            if not q.count:
+                q = self._rq[flat]
+        else:
+            q = self._rq[flat]
+            if not q.count:
+                q = self._wq[flat]
+        if not q.count:
+            self._cm_dead_picks += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+            return
+
+        open_row = self._open_row
+        cur_row = open_row[flat]
+        request = None
+        if cur_row >= 0:
+            by_row = q.by_row
+            pending = by_row.get(cur_row)
+            if pending is not None:
+                while pending:
+                    cand = pending.pop(0)
+                    if cand.in_queue:
+                        request = cand
+                        break
+                    self._cm_stale_skips += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+                if not pending:
+                    del by_row[cur_row]
+
+        fifo = q.fifo
+        head = q.head
         if request is None:
-            return
+            # FIFO fallback.  A live hit to the open row would be in its
+            # by_row list, so a fallback pop is never a row hit.
+            row_hit = False
+            while True:
+                cand = fifo[head]
+                head += 1
+                if cand.in_queue:
+                    request = cand
+                    break
+                self._cm_stale_skips += 1
+        else:
+            row_hit = True
 
-        rank = self.ranks[(bank.channel, bank.rank_id)]
-        bus = self.buses[bank.channel]
-        timing = self.timing
-        service = bank.service(
-            request, now, timing, rank, bus,
-            close_row=self.row_policy == "closed",
-        )
-        request.start_time = service.cas_time
-        self.engine.schedule_at(service.finish, self._complete, request)
-        if request.is_read:
+        request.in_queue = False
+        q.count -= 1
+        self._occupancy[flat] -= 1
+        # Sweep the dead prefix and compact once it dominates the list.
+        flen = len(fifo)
+        while head < flen and not fifo[head].in_queue:
+            head += 1
+            self._cm_stale_skips += 1
+        if head >= _FIFO_COMPACT_MIN and head + head >= flen:
+            del fifo[:head]
+            head = 0
+            self._cm_fifo_compactions += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+        q.head = head
+
+        # -- inlined Bank.service (refresh gate above guarantees
+        #    until <= now, so the service start is ``now``) --
+        arrive = request.arrive_time
+        started = self._refresh_started[flat]
+        blocked_from = arrive if arrive > started else started
+        refresh_stall = until - blocked_from
+        if refresh_stall < 0:
+            refresh_stall = 0
+        row = request.coord.row
+        earliest = now
+        sa_until = self._sa_refresh_until[flat]
+        if (
+            sa_until > earliest
+            and row * self._num_subarrays // self._rows_per_bank
+            == self._sa_refresh_id[flat]
+        ):
+            sa_started = self._sa_refresh_started[flat]
+            sa_blocked_from = arrive if arrive > sa_started else sa_started
+            base = earliest if earliest > sa_blocked_from else sa_blocked_from
+            extra = sa_until - base
+            if extra > 0:
+                refresh_stall += extra
+            earliest = sa_until
+
+        stats = self.banks[flat].stats
+        if row_hit:
+            # Row hit: CAS only.
+            cas_ready = self._cas_ready[flat]
+            cas_earliest = earliest if earliest > cas_ready else cas_ready
+            stats.row_hits += 1
+        else:
+            act_arr = self._act_ready
+            if cur_row < 0:
+                # Row closed: ACT + CAS.
+                act_ready = act_arr[flat]
+                act_time = earliest if earliest > act_ready else act_ready
+                stats.row_misses += 1
+            else:
+                # Row conflict: PRE + ACT + CAS.
+                pre_ready = self._pre_ready[flat]
+                pre_time = earliest if earliest > pre_ready else pre_ready
+                act_time = pre_time + self._tRP
+                act_ready = act_arr[flat]
+                if act_ready > act_time:
+                    act_time = act_ready
+                stats.row_conflicts += 1
+                stats.precharges += 1
+            # Rank ACT constraints (inlined Rank.earliest_activate +
+            # record_activate; the window list is shared per rank).
+            acts = self._acts_of[flat]
+            if acts:
+                t = acts[-1] + self._tRRD
+                if t > act_time:
+                    act_time = t
+                if len(acts) >= 4:
+                    t = acts[-4] + self._tFAW
+                    if t > act_time:
+                        act_time = t
+            acts.append(act_time)
+            if len(acts) > 4:
+                del acts[:-4]
+            stats.activations += 1
+            open_row[flat] = row
+            act_arr[flat] = act_time + self._tRC
+            self._pre_ready[flat] = act_time + self._tRAS
+            cas_earliest = act_time + self._tRCD
+
+        is_read = request.is_read
+        cas_to_data = self._tCL if is_read else self._tCWL
+        # Inlined ChannelBus.reserve: burst slot on the shared data bus.
+        bus = self._bus_of[flat]
+        wanted = cas_earliest + cas_to_data
+        ready = bus.ready
+        data_start = wanted if wanted > ready else ready
+        last_was_read = bus.last_was_read
+        if last_was_read is not None:
+            if last_was_read != is_read and not last_was_read:
+                # write -> read turnaround
+                turnaround = ready + self._tWTR
+                if turnaround > data_start:
+                    data_start = turnaround
+            last_rank_key = bus.last_rank_key
+            rank_key = self._rank_key_of[flat]
+            if last_rank_key is not None and last_rank_key != rank_key:
+                switch = ready + self._tRTRS
+                if switch > data_start:
+                    data_start = switch
+        else:
+            rank_key = self._rank_key_of[flat]
+        tBL = self._tBL
+        bus.ready = data_start + tBL
+        bus.last_was_read = is_read
+        bus.last_rank_key = rank_key
+        bus.busy_cycles += tBL
+        cas = data_start - cas_to_data
+        finish = data_start + tBL
+
+        self._cas_ready[flat] = cas + self._tCCD
+        pre_arr = self._pre_ready
+        if is_read:
+            ready = cas + self._tRTP
+            if ready > pre_arr[flat]:
+                pre_arr[flat] = ready
+            stats.reads += 1
             self.read_count -= 1
         else:
-            self.write_count -= 1
-            if self.drain_mode and self.write_count <= self.write_drain_low:
+            ready = finish + self._tWR
+            if ready > pre_arr[flat]:
+                pre_arr[flat] = ready
+            stats.writes += 1
+            count = self.write_count - 1
+            self.write_count = count
+            if self.drain_mode and count <= self.write_drain_low:
                 self.drain_mode = False
+                self._cm_drain_exits += 1  # repro: noqa[RPR011] process-local diagnostic; excluded from snapshots by design
+        if self._close_row:
+            # Closed-row policy: auto-precharge after the access.
+            open_row[flat] = -1
+            pre_closed = pre_arr[flat] + self._tRP
+            if pre_closed > self._act_ready[flat]:
+                self._act_ready[flat] = pre_closed
+            stats.precharges += 1
+
+        request.refresh_stall = refresh_stall
+        request.row_hit = row_hit
+        request.start_time = cas
+        schedule_at = self._schedule_at
+        schedule_at(finish, self._complete, request)
         # Next pick once this command has gone out on the command bus.
-        cas = service.cas_time
         nxt = now + 1
         if cas > nxt:
             nxt = cas
-        self._kick(flat, at=nxt)
-
-    def _select(self, flat: int, bank: Bank) -> Optional[MemoryRequest]:
-        """FR-FCFS: prefer row hits, then oldest; reads before writes except
-        in drain mode (writes drained in batches), with opportunistic writes
-        when the bank has no reads."""
-        reads = self._read_q[flat]
-        writes = self._write_q[flat]
-        if self.drain_mode:
-            queues = (writes, reads)
-        else:
-            queues = (reads, writes) if reads else (writes,)
-        for queue in queues:
-            if not queue:
-                continue
-            chosen_idx = 0
-            open_row = bank.open_row
-            if open_row is not None:
-                for i, req in enumerate(queue):
-                    if req.coord.row == open_row:
-                        chosen_idx = i
-                        break
-            return queue.pop(chosen_idx)
-        return None
+        self._pick_pending[flat] = True
+        schedule_at(nxt, self._pick, flat)
 
     def _complete(self, request: MemoryRequest) -> None:
-        request.finish_time = self.engine.now
+        now = self.engine.now
+        request.finish_time = now
         if self.telemetry.enabled:
             coord = request.coord
             self.telemetry.emit(
                 DramCommandEvent(
-                    time=self.engine.now,
+                    time=now,
                     op="RD" if request.is_read else "WR",
                     channel=coord.channel,
                     rank=coord.rank,
@@ -329,16 +662,62 @@ class MemoryController:
         stats = self.stats
         if request.is_read:
             stats.reads_completed += 1
-            stats.read_latency_sum += request.latency
+            # == request.latency, with finish_time == now just written.
+            stats.read_latency_sum += now - request.arrive_time
             if request.row_hit:
                 stats.row_hits += 1
-            if request.refresh_stall > 0:
-                stats.refresh_stall_sum += request.refresh_stall
+            stall = request.refresh_stall
+            if stall > 0:
+                stats.refresh_stall_sum += stall
                 stats.refresh_stalled_reads += 1
         else:
             stats.writes_completed += 1
         if request.on_complete is not None:
             request.on_complete(request)
+
+    # -- dispatch cost model -----------------------------------------------------
+
+    def dispatch_cost_model(self) -> dict:
+        """Deterministic dispatch-work counters (no wall clocks).
+
+        Service-path quantities are derived from bank/controller stats,
+        so the explicit counters only increment on cold branches and the
+        model costs the fast path nothing.  Exported into bench reports
+        and the ``--profile`` report; see docs/PERFORMANCE.md for the
+        field reference.
+        """
+        serviced = 0
+        row_hit_pops = 0
+        for bank in self.banks:
+            bstats = bank.stats
+            serviced += bstats.reads + bstats.writes
+            row_hit_pops += bstats.row_hits
+        dead = self._cm_dead_picks
+        deferred = self._cm_refresh_deferred_picks
+        picks = serviced + dead + deferred
+        return {
+            "picks": picks,
+            "serviced": serviced,
+            "dead_picks": dead,
+            "refresh_deferred_picks": deferred,
+            "row_hit_pops": row_hit_pops,
+            "fifo_pops": serviced - row_hit_pops,
+            "stale_skips": self._cm_stale_skips,
+            "fifo_compactions": self._cm_fifo_compactions,
+            "drain_entries": self._cm_drain_entries,
+            "drain_exits": self._cm_drain_exits,
+            "batched_wakeups": self._cm_batched_wakeups,
+            "batched_wakeup_banks": self._cm_batched_wakeup_banks,
+            # Relative ratios the trend gate tracks: scheduling waste per
+            # pick and lazy-sweep work per pop must not drift upward.
+            "dead_pick_ratio": round(dead / picks, 6) if picks else 0.0,
+            "row_hit_pop_ratio": (
+                round(row_hit_pops / serviced, 6) if serviced else 0.0
+            ),
+            "stale_skips_per_pop": (
+                round(self._cm_stale_skips / serviced, 6) if serviced else 0.0
+            ),
+        }
 
     # -- checkpoint/restore ----------------------------------------------------
 
@@ -348,18 +727,22 @@ class MemoryController:
         together with the in-flight ones referenced by engine events."""
         out: list[MemoryRequest] = []
         for flat in range(self.org.total_banks):
-            out.extend(self._read_q[flat])
-            out.extend(self._write_q[flat])
+            out.extend(self._rq[flat].live())
+            out.extend(self._wq[flat].live())
         return out
 
-    def snapshot_state(self) -> dict:
+    def snapshot_state(self) -> dict:  # repro: noqa[RPR010] _read_q/_write_q are the frozen schema names; queues live in _rq/_wq
         """Serializable mutable state.  Queued requests are referenced by
         ``req_id``; the request objects themselves are serialized once by
         the system layer (they may also be referenced by in-flight
-        completion events)."""
+        completion events).  The flat bank-state arrays, row indexes and
+        occupancy counters are derived state — rebuilt on restore, never
+        serialized — so the snapshot schema is unchanged from the
+        pre-array controller.  Cost-model counters are process-local
+        diagnostics and are deliberately excluded."""
         return {
-            "_read_q": [[r.req_id for r in q] for q in self._read_q],
-            "_write_q": [[r.req_id for r in q] for q in self._write_q],
+            "_read_q": [[r.req_id for r in q.live()] for q in self._rq],
+            "_write_q": [[r.req_id for r in q.live()] for q in self._wq],
             "read_count": self.read_count,
             "write_count": self.write_count,
             "drain_mode": self.drain_mode,
@@ -378,13 +761,15 @@ class MemoryController:
         self, state: dict, requests: dict[int, MemoryRequest]
     ) -> None:
         """Inverse of :meth:`snapshot_state`; *requests* maps req_id to the
-        already-rebuilt request objects."""
-        self._read_q = [
-            [requests[int(rid)] for rid in q] for q in state["_read_q"]
-        ]
-        self._write_q = [
-            [requests[int(rid)] for rid in q] for q in state["_write_q"]
-        ]
+        already-rebuilt request objects.  Rebuilds every derived view:
+        bank queues (FIFO + row index + in_queue flags), occupancy
+        counters, and — via the Bank property writes — the flat
+        readiness arrays."""
+        self._rq = self._rebuild_queues(state["_read_q"], requests)
+        self._wq = self._rebuild_queues(state["_write_q"], requests)
+        occupancy = self._occupancy
+        for flat in range(self.org.total_banks):
+            occupancy[flat] = self._rq[flat].count + self._wq[flat].count
         self.read_count = int(state["read_count"])
         self.write_count = int(state["write_count"])
         self.drain_mode = bool(state["drain_mode"])
@@ -397,6 +782,18 @@ class MemoryController:
         for bus, bus_state in zip(self.buses, state["buses"]):
             bus.restore_state(bus_state)
         self.stats = ControllerStats.from_dict(state["stats"])
+
+    @staticmethod
+    def _rebuild_queues(
+        id_lists: list[list[int]], requests: dict[int, MemoryRequest]
+    ) -> list[_BankQueue]:
+        queues = []
+        for ids in id_lists:
+            q = _BankQueue()
+            for rid in ids:
+                q.push(requests[int(rid)])
+            queues.append(q)
+        return queues
 
     def __repr__(self) -> str:
         return (

@@ -12,8 +12,9 @@ sys.modules["bench_trend"] = bench_trend
 _spec.loader.exec_module(bench_trend)
 
 
-def report(date, ops=5000, events=385525, digest="abc", wall=1.0):
-    return {
+def report(date, ops=5000, events=385525, digest="abc", wall=1.0,
+           cost_model=None):
+    out = {
         "schema": 1,
         "date": date,
         "git": "deadbee",
@@ -27,6 +28,23 @@ def report(date, ops=5000, events=385525, digest="abc", wall=1.0):
             "events_processed": events, "result_sha256": digest,
             "reads_completed": 1,
         },
+    }
+    if cost_model is not None:
+        out["cost_model"] = cost_model
+    return out
+
+
+def model(serviced=2000, dead_ratio=0.008, stale=0.99, row_hits=0.55):
+    return {
+        "picks": serviced + 16,
+        "serviced": serviced,
+        "completed": serviced,
+        "row_hit_pops": int(serviced * row_hits),
+        "drain_entries": 0,
+        "drain_exits": 0,
+        "dead_pick_ratio": dead_ratio,
+        "stale_skips_per_pop": stale,
+        "row_hit_pop_ratio": row_hits,
     }
 
 
@@ -60,13 +78,104 @@ def test_trajectory_table_has_one_row_per_report(tmp_path):
 def test_gate_passes_on_matching_signature(tmp_path):
     checked_in = report("2026-01-01", wall=1.0)
     fresh = report("2026-01-02", wall=50.0)  # wall drift is fine
-    assert bench_trend.gate(checked_in, fresh) == []
+    assert bench_trend.gate(checked_in, fresh) == ([], [])
 
 
 def test_gate_fails_on_count_or_digest_drift(tmp_path):
     checked_in = report("2026-01-01")
-    assert bench_trend.gate(checked_in, report("2026-01-02", ops=5001))
-    assert bench_trend.gate(checked_in, report("2026-01-02", digest="zzz"))
+    assert bench_trend.gate(checked_in, report("2026-01-02", ops=5001))[0]
+    assert bench_trend.gate(checked_in, report("2026-01-02", digest="zzz"))[0]
+
+
+def test_gate_treats_baseline_absent_keys_as_informational():
+    """A fresh report with kernels/cost-model fields the baseline predates
+    must note them, not fail — otherwise adding a kernel requires an
+    impossible simultaneous re-baseline."""
+    checked_in = report("2026-01-01")
+    fresh = report("2026-01-02", cost_model={"controller_request_stream": model()})
+    fresh["kernels"].append(
+        {"name": "brand_new_kernel", "ops": 7, "wall_seconds": 0.1,
+         "ops_per_sec": 70}
+    )
+    problems, notes = bench_trend.gate(checked_in, fresh)
+    assert problems == []
+    assert any("brand_new_kernel" in n for n in notes)
+    assert any("cost_model.controller_request_stream" in n for n in notes)
+
+
+def test_gate_fails_when_fresh_loses_coverage():
+    checked_in = report("2026-01-01")
+    fresh = report("2026-01-02")
+    fresh["kernels"] = []  # the kernel vanished
+    problems, _ = bench_trend.gate(checked_in, fresh)
+    assert any("missing from fresh" in p for p in problems)
+
+
+def test_signature_pins_cost_model_behavior_fields():
+    a = report("2026-01-01", cost_model={"controller_request_stream": model()})
+    b = report(
+        "2026-01-02",
+        cost_model={"controller_request_stream": model(row_hits=0.60)},
+    )
+    problems, _ = bench_trend.gate(a, b)
+    assert any("row_hit_pops" in p for p in problems)
+
+
+def test_cost_model_gate_passes_within_tolerance():
+    a = report("2026-01-01", cost_model={"k": model(dead_ratio=0.008)})
+    b = report("2026-01-02", cost_model={"k": model(dead_ratio=0.012)})
+    problems, notes = bench_trend.cost_model_gate(a, b)
+    assert problems == [] and notes == []
+
+
+def test_cost_model_gate_fails_on_regressing_drift():
+    a = report("2026-01-01", cost_model={"k": model(dead_ratio=0.008)})
+    worse = report("2026-01-02", cost_model={"k": model(dead_ratio=0.10)})
+    problems, _ = bench_trend.cost_model_gate(a, worse)
+    assert any("dead_pick_ratio" in p for p in problems)
+
+    sweepy = report("2026-01-02", cost_model={"k": model(stale=2.5)})
+    problems, _ = bench_trend.cost_model_gate(a, sweepy)
+    assert any("stale_skips_per_pop" in p for p in problems)
+
+
+def test_cost_model_gate_ignores_improvements():
+    a = report("2026-01-01", cost_model={"k": model(dead_ratio=0.10, stale=2.0)})
+    better = report(
+        "2026-01-02", cost_model={"k": model(dead_ratio=0.001, stale=0.1)}
+    )
+    assert bench_trend.cost_model_gate(a, better) == ([], [])
+
+
+def test_cost_model_gate_without_baseline_is_informational():
+    a = report("2026-01-01")  # predates cost models entirely
+    b = report("2026-01-02", cost_model={"k": model()})
+    problems, notes = bench_trend.cost_model_gate(a, b)
+    assert problems == []
+    assert any("no checked-in baseline" in n for n in notes)
+
+
+def test_cost_model_gate_fails_when_kernel_model_vanishes():
+    a = report("2026-01-01", cost_model={"k": model()})
+    b = report("2026-01-02", cost_model={})
+    problems, _ = bench_trend.cost_model_gate(a, b)
+    assert any("missing from fresh" in p for p in problems)
+
+
+def test_cli_gate_fails_on_hot_path_ratio_regression(tmp_path, capsys):
+    write_reports(
+        tmp_path, report("2026-01-01", cost_model={"k": model(dead_ratio=0.008)})
+    )
+    fresh_dir = tmp_path / "fresh"
+    fresh_dir.mkdir()
+    write_reports(
+        fresh_dir, report("2026-01-02", cost_model={"k": model(dead_ratio=0.2)})
+    )
+    fresh = str(fresh_dir / "BENCH_2026-01-02.json")
+    assert bench_trend.main(
+        ["--dir", str(tmp_path), "--gate", "--fresh", fresh]
+    ) == 1
+    assert "HOT-PATH REGRESSION" in capsys.readouterr().err
 
 
 def test_cli_gate_exit_codes(tmp_path, capsys):
