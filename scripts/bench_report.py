@@ -34,6 +34,7 @@ from repro.bench import (  # noqa: E402
     KERNELS,
     controller_cost_models,
     run_kernel,
+    service_tier_histograms,
     wl6_codesign_end_to_end,
 )
 
@@ -63,6 +64,10 @@ def collect(repeat: int, quick: bool) -> dict:
         # Dispatch-work counters from one extra (untimed) run of each
         # controller kernel — all pure functions of the kernel arguments.
         "cost_model": controller_cost_models(),
+        # Per-tier service latency-histogram snapshots (deterministic half
+        # only).  Informational: bench_trend.py renders them but the
+        # determinism signature deliberately excludes them.
+        "service": service_tier_histograms(),
     }
     if not quick:
         report["end_to_end"] = wl6_codesign_end_to_end()

@@ -152,6 +152,31 @@ def trend_summary(reports: list) -> str:
     return f"trend ({span}): " + ", ".join(parts)
 
 
+def service_tier_summary(report: dict) -> str:
+    """Per-tier request counts from the report's ``service`` section.
+
+    Informational only: the service histograms sit outside the
+    determinism signature, so this never gates — it just shows how the
+    newest report's bench submissions resolved (execute / memo / cache)
+    and how many simulated-cycle buckets each tier's histogram filled.
+    """
+    service = report.get("service")
+    if not service:
+        return "service tiers: (not recorded in this report)"
+    parts = []
+    for phase in sorted(service):
+        snapshot = service[phase]
+        tiers = snapshot.get("tiers", {})
+        cycles = snapshot.get("cycles", {})
+        tier_bits = ", ".join(
+            f"{tier}={tiers[tier]}"
+            f" ({len(cycles.get(tier, {}).get('buckets', {}))} bkt)"
+            for tier in sorted(tiers)
+        )
+        parts.append(f"{phase}: {tier_bits or 'no requests'}")
+    return "service tiers (informational): " + "; ".join(parts)
+
+
 def gate(latest: dict, fresh: dict) -> tuple[list, list]:
     """Determinism comparison: ``(problems, notes)``.
 
@@ -247,6 +272,7 @@ def main(argv=None) -> int:
         return 1
     print(trajectory_table(reports))
     print(trend_summary(reports))
+    print(service_tier_summary(reports[-1]))
 
     if not args.gate:
         return 0

@@ -14,6 +14,16 @@ non-decreasing within each track (the sinks see events in simulation
 order), and refresh-stretch slices never overlap (the same-bank schedule
 refreshes one bank at a time).  Exits non-zero with one message per
 violation.
+
+With ``--expect-spans`` the file is a *service* trace (written by
+``python -m repro submit --trace-spans``): at least one span slice
+(``cat == "span"`` on the service process) is required and the
+simulation-track requirements (refresh stretches, per-core quantum
+picks) are relaxed — span traces carry only the serving-path lanes.
+Span slices are exempt from the per-track monotonic-start check in both
+modes: they are exported sorted by (trace, job, span id), a
+deterministic order, while their timestamps are wall-clock and may
+legitimately interleave across concurrent jobs.
 """
 
 import argparse
@@ -24,7 +34,7 @@ REQUIRED_TOP = {"traceEvents", "displayTimeUnit", "metadata"}
 PHASES = {"X", "M", "i"}
 
 
-def validate(payload) -> list:
+def validate(payload, expect_spans: bool = False) -> list:
     errors = []
     if not isinstance(payload, dict):
         return [f"top level must be a JSON object, got {type(payload).__name__}"]
@@ -39,6 +49,7 @@ def validate(payload) -> list:
     named_tracks = set()
     slice_tracks = set()
     stretch_slices = 0
+    span_slices = 0
     last_ts = {}  # (pid, tid) -> latest slice start seen on that track
     stretches = []  # (begin, end, name) of every refresh-stretch slice
     for i, event in enumerate(events):
@@ -66,8 +77,11 @@ def validate(payload) -> list:
                 errors.append(f"{where}: dur must be a non-negative integer")
             track = (event.get("pid"), event.get("tid"))
             slice_tracks.add(track)
+            is_span = event.get("cat") == "span"
+            if is_span:
+                span_slices += 1
             ts = event.get("ts")
-            if isinstance(ts, int):
+            if isinstance(ts, int) and not is_span:
                 prev = last_ts.get(track)
                 if prev is not None and ts < prev:
                     errors.append(
@@ -97,6 +111,10 @@ def validate(payload) -> list:
     for pid, tid in sorted(slice_tracks, key=str):
         if pid not in named_pids:
             errors.append(f"slices on unnamed process pid={pid}")
+    if expect_spans:
+        if span_slices == 0:
+            errors.append("no span slices (cat 'span'); tracing was off?")
+        return errors
     if stretch_slices == 0:
         errors.append("no refresh-stretch slices (name 'refresh b<bank>')")
     cpu_tracks = {t for t in slice_tracks if t[0] != 1}
@@ -108,10 +126,15 @@ def validate(payload) -> list:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("trace", help="path to a --trace output file")
+    parser.add_argument(
+        "--expect-spans", action="store_true",
+        help="validate a serving-path span trace: require at least one "
+             "cat='span' slice, skip the simulation-track requirements",
+    )
     args = parser.parse_args(argv)
     with open(args.trace) as f:
         payload = json.load(f)
-    errors = validate(payload)
+    errors = validate(payload, expect_spans=args.expect_spans)
     for message in errors:
         print(f"{args.trace}: {message}", file=sys.stderr)
     if not errors:

@@ -14,10 +14,14 @@ Usage::
         --out results/           # hash-keyed spec+result entries
 
     python -m repro serve --backend thread --port 7341   # sweep service
+    python -m repro serve --metrics-port 9100 --log-jsonl service.log \
+        --span-jsonl spans.jsonl                         # ... observed
     python -m repro submit WL-6 codesign                 # ... and use it
     python -m repro submit --workloads WL-6 --scenarios all_bank,codesign \
         --stream events.jsonl --out results/
+    python -m repro submit WL-6 codesign --trace-spans spans-trace.json
     python -m repro submit --ping
+    python -m repro submit --metrics                     # scrape in-band
 
 (For regenerating the paper's figures, use ``python -m repro.experiments``.)
 
@@ -360,6 +364,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--backend", default="thread",
                          choices=["inline", "thread", "process"],
                          help="where simulations execute (default: thread)")
+    serve_p.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="also serve the Prometheus text exposition "
+                              "over HTTP on this port (GET /metrics; "
+                              "0 picks a free port)")
+    serve_p.add_argument("--log-jsonl", metavar="PATH", default=None,
+                         help="append structured JSONL service logs "
+                              "(one record per line, with trace context)")
+    serve_p.add_argument("--span-jsonl", metavar="PATH", default=None,
+                         help="write every closed tracing span as JSON "
+                              "lines (reload with repro.telemetry.read_jsonl)")
     serve_p.set_defaults(func=_cmd_serve, parser=serve_p)
 
     submit_p = sub.add_parser(
@@ -386,11 +401,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit_p.add_argument("--port", type=int, default=None,
                           help="service port (default 7341)")
     submit_p.add_argument("--connect-retries", type=int, default=0, metavar="N",
-                          help="retry the initial connection N times "
-                               "(0.2s apart) before giving up")
+                          help="retry the initial connection N times with "
+                               "bounded exponential backoff (0.2s doubling "
+                               "to 2s) before giving up")
     submit_p.add_argument("--stream", metavar="PATH", default=None,
                           help="stream live telemetry and write it as "
                                "canonical JSON lines to PATH")
+    submit_p.add_argument("--trace-spans", metavar="PATH", default=None,
+                          help="trace the submission end-to-end and write "
+                               "the per-tier span lanes as Chrome "
+                               "trace-event JSON (load in Perfetto)")
     submit_p.add_argument("--monitors", nargs="?", const="collect",
                           choices=["collect", "strict"], default=None,
                           help="run invariant monitors server-side "
@@ -406,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "backend) and exit")
     submit_p.add_argument("--status", action="store_true",
                           help="print the server counter snapshot and exit")
+    submit_p.add_argument("--metrics", action="store_true",
+                          help="print the server metrics frame (counters, "
+                               "deterministic/wall histograms, recent spans, "
+                               "Prometheus text) as JSON and exit")
     submit_p.add_argument("--shutdown", action="store_true",
                           help="ask the server to stop serving and exit")
     submit_p.set_defaults(func=_cmd_submit, parser=submit_p)
@@ -584,17 +608,44 @@ def _cmd_sweep(args) -> int:
 def _cmd_serve(args) -> int:
     from repro.service import SweepService, make_backend
     from repro.service.server import DEFAULT_PORT, serve_forever
+    from repro.tracing import StructuredLog
 
     backend = make_backend(args.backend, jobs=args.jobs)
+    log = StructuredLog(path=args.log_jsonl) if args.log_jsonl else None
+    span_sink = JsonlSink(args.span_jsonl) if args.span_jsonl else None
     service = SweepService(
-        backend=backend, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        backend=backend,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        log=log,
+        span_sink=span_sink,
     )
+    metrics_server = None
+    if args.metrics_port is not None:
+        from repro.service.metrics import start_metrics_http
+
+        metrics_server = start_metrics_http(
+            service.metrics,
+            service.counters,
+            info={
+                "backend": backend.name,
+                "caching": str(service.cache is not None).lower(),
+            },
+            host=args.host,
+            port=args.metrics_port,
+        )
 
     def ready(server) -> None:
+        exposition = (
+            f", metrics on :{metrics_server.server_address[1]}"
+            if metrics_server is not None
+            else ""
+        )
         print(
             f"repro service listening on {server.host}:{server.port} "
             f"(backend={backend.name}, "
-            f"caching={'on' if service.cache is not None else 'off'})",
+            f"caching={'on' if service.cache is not None else 'off'}"
+            f"{exposition})",
             flush=True,
         )
 
@@ -604,6 +655,8 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         pass
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
         backend.close()
     return 0
 
@@ -615,7 +668,7 @@ def _cmd_submit(args) -> int:
     from repro.service.server import DEFAULT_PORT
 
     port = args.port if args.port is not None else DEFAULT_PORT
-    utility = args.ping or args.status or args.shutdown
+    utility = args.ping or args.status or args.metrics or args.shutdown
     if not utility:
         if args.workload is not None and args.scenario is not None:
             workloads = [args.workload]
@@ -659,6 +712,9 @@ def _cmd_submit(args) -> int:
         if args.status:
             print(json.dumps(client.status(), indent=2, sort_keys=True))
             return 0
+        if args.metrics:
+            print(json.dumps(client.metrics(), indent=2, sort_keys=True))
+            return 0
         if args.shutdown:
             client.shutdown()
             print("server shutting down")
@@ -686,6 +742,7 @@ def _cmd_submit(args) -> int:
                 monitors=args.monitors,
                 on_event=on_event,
                 on_result=on_result,
+                trace=args.trace_spans is not None,
             )
         except (ServiceError, ReproError) as exc:
             print(f"service error: {exc}", file=sys.stderr)
@@ -694,6 +751,16 @@ def _cmd_submit(args) -> int:
             if stream_file is not None:
                 stream_file.close()
                 print(f"  wrote events {args.stream}")
+
+    if args.trace_spans is not None:
+        sink = ChromeTraceSink()
+        for span in outcome.spans:
+            sink.emit(span)
+        sink.write(args.trace_spans)
+        print(
+            f"  wrote span trace {args.trace_spans} "
+            f"({len(outcome.spans)} spans, trace {outcome.trace})"
+        )
 
     by_hash = {spec.content_hash(): spec for spec in specs}
     if args.out:

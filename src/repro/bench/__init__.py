@@ -18,6 +18,7 @@ from repro.bench.kernels import (
     KernelResult,
     controller_cost_models,
     run_kernel,
+    service_tier_histograms,
     wl6_codesign_end_to_end,
 )
 
@@ -26,5 +27,6 @@ __all__ = [
     "KernelResult",
     "controller_cost_models",
     "run_kernel",
+    "service_tier_histograms",
     "wl6_codesign_end_to_end",
 ]

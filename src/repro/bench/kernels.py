@@ -351,6 +351,96 @@ def checkpoint_roundtrip(rounds: int = 10, refresh_scale: int = 512) -> int:
     return ops
 
 
+# -- service -----------------------------------------------------------------
+
+
+def _service_spec():
+    from repro.core.simulator import make_run_spec
+
+    return make_run_spec(
+        "WL-9",
+        "per_bank",
+        num_windows=0.1,
+        warmup_windows=0.02,
+        refresh_scale=1024,
+    )
+
+
+def service_roundtrip(submissions: int = 6) -> int:
+    """In-process submit loop through the full service resolution path.
+
+    Drives one :class:`~repro.service.server.SweepService` (inline
+    backend, tempdir cache) through the execute tier and then
+    ``submissions - 1`` memo hits, then reboots a fresh service over the
+    same cache directory for one disk-cache hit.  Returns requests
+    served — a pure function of *submissions* — while the wall time
+    captures per-request service overhead (key hashing, tier checks,
+    metrics observation) rather than simulation work.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.service.server import SweepService
+
+    spec = _service_spec()
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-")
+    served = 0
+    try:
+        service = SweepService(cache_dir=cache_dir)
+
+        async def drive(svc, count):
+            n = 0
+            for _ in range(count):
+                await svc.resolve(spec)
+                n += 1
+            return n
+
+        served += asyncio.run(drive(service, submissions))
+        rebooted = SweepService(cache_dir=cache_dir)
+        served += asyncio.run(drive(rebooted, 1))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return served
+
+
+def service_tier_histograms(submissions: int = 6) -> dict:
+    """One extra (untimed) :func:`service_roundtrip`-shaped run, returning
+    the deterministic half of each service's metrics snapshot keyed
+    ``first`` / ``rebooted``.
+
+    Tier counts and simulated-cycle histograms are pure functions of the
+    arguments (executed=1, memo=submissions-1, cache=1, one cycle bucket
+    each); wall-latency histograms are deliberately excluded.  The bench
+    report records these outside the determinism signature — per-tier
+    latency shape is trend information, not a gate.
+    """
+    import asyncio
+    import shutil
+    import tempfile
+
+    from repro.service.server import SweepService
+
+    spec = _service_spec()
+    cache_dir = tempfile.mkdtemp(prefix="bench-service-")
+    try:
+        service = SweepService(cache_dir=cache_dir)
+
+        async def drive(svc, count):
+            for _ in range(count):
+                await svc.resolve(spec)
+
+        asyncio.run(drive(service, submissions))
+        rebooted = SweepService(cache_dir=cache_dir)
+        asyncio.run(drive(rebooted, 1))
+        return {
+            "first": service.metrics.deterministic_snapshot(),
+            "rebooted": rebooted.metrics.deterministic_snapshot(),
+        }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
 # -- end-to-end --------------------------------------------------------------
 
 
@@ -416,6 +506,7 @@ KERNELS: dict[str, Callable[[], int]] = {
     "refresh_same_bank_ticks": lambda: refresh_schedule_ticks("same_bank"),
     "core_compute_fast_forward": core_compute_fast_forward,
     "checkpoint_roundtrip": checkpoint_roundtrip,
+    "service_roundtrip": service_roundtrip,
 }
 
 

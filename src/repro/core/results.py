@@ -83,6 +83,11 @@ class RunResult:
     #: ``to_dict`` entirely so unmonitored result JSON is byte-identical
     #: to the pre-monitor layout.
     monitor_violations: list | None = None
+    #: Trace id of the traced service submission that produced this
+    #: result (``repro.tracing``).  ``None`` — the untraced default —
+    #: is omitted from ``to_dict`` so cached result JSON and content
+    #: hashes are byte-identical with and without the tracing layer.
+    trace_id: str | None = None
 
     @property
     def hmean_ipc(self) -> float:
@@ -109,7 +114,9 @@ class RunResult:
         data = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("tasks", "energy", "timeseries", "monitor_violations")
+            if f.name
+            not in ("tasks", "energy", "timeseries", "monitor_violations",
+                    "trace_id")
         }
         data["tasks"] = [t.to_dict() for t in self.tasks]
         data["energy"] = self.energy.to_dict() if self.energy is not None else None
@@ -120,6 +127,8 @@ class RunResult:
             data["monitor_violations"] = [
                 v.to_dict() for v in self.monitor_violations
             ]
+        if self.trace_id is not None:
+            data["trace_id"] = self.trace_id
         return data
 
     @classmethod

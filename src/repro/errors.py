@@ -47,3 +47,7 @@ class WireError(ReproError):
 
 class ServiceError(ReproError):
     """The sweep service rejected a request or failed to execute a job."""
+
+
+class ServiceUnavailable(ServiceError):
+    """No server answered within the client's connect-retry budget."""

@@ -12,6 +12,11 @@ one side count as regressions (:mod:`repro.obs.sweepdiff`).
 more JSONL event shards (in argument order) through the Chrome trace
 builder — concatenating a pre-checkpoint shard with its resumed
 continuation reproduces the uninterrupted run's trace byte-for-byte.
+
+``python -m repro.obs top HOST:PORT`` polls a running sweep service's
+``status`` + ``metrics`` ops and renders a live dashboard: per-tier
+hit-rates, in-flight jobs, latency-histogram sparklines, and the
+slowest recent spans (:mod:`repro.obs.top`).
 """
 
 from __future__ import annotations
@@ -41,6 +46,46 @@ def _parse_rule(text: str, kind: str) -> ToleranceRule:
     if kind == "rel":
         return ToleranceRule(pattern, rel_tol=tol)
     return ToleranceRule(pattern, abs_tol=tol)
+
+
+def _cmd_top(args, parser) -> int:
+    """Poll-and-render loop for the ``top`` dashboard."""
+    import time
+
+    from repro.errors import ServiceError
+    from repro.obs.top import render_top
+    from repro.service.client import ServiceClient
+
+    host, sep, port_text = args.server.rpartition(":")
+    if not sep:
+        host, port_text = "127.0.0.1", args.server
+    try:
+        port = int(port_text)
+    except ValueError:
+        parser.error(f"bad server address {args.server!r}; want HOST:PORT")
+    frames = 0
+    try:
+        with ServiceClient(host, port, connect_retries=2) as client:
+            while args.iterations is None or frames < args.iterations:
+                counters = client.status()
+                metrics = client.metrics()
+                frame = render_top(
+                    counters, metrics, target=f"{host}:{port}"
+                )
+                if not args.no_clear and frames:
+                    # Redraw in place: home the cursor and clear below.
+                    print("\x1b[H\x1b[J", end="")
+                print(frame, flush=True)
+                frames += 1
+                if args.iterations is not None and frames >= args.iterations:
+                    break
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -101,7 +146,28 @@ def main(argv=None) -> int:
     trace.add_argument("--include-dram-commands", action="store_true",
                        help="keep high-volume per-command DRAM slices")
 
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running sweep service",
+        description=(
+            "Poll a running `python -m repro serve` instance and render "
+            "tier hit-rates, in-flight jobs, latency-histogram "
+            "sparklines, and the slowest recent spans."
+        ),
+    )
+    top.add_argument("server", metavar="HOST:PORT",
+                     help="service address (HOST:PORT, or just PORT "
+                          "for 127.0.0.1)")
+    top.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                     help="seconds between polls (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="render N frames then exit (default: until ^C)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of redrawing in place")
+
     args = parser.parse_args(argv)
+    if args.command == "top":
+        return _cmd_top(args, parser)
     if args.command == "trace":
         from repro.telemetry.sinks import ChromeTraceSink, read_jsonl
 

@@ -19,8 +19,13 @@ unique spec no matter how many clients ask:
 :mod:`repro.service.client`
     :class:`ServiceClient`, the blocking client used by
     ``python -m repro submit`` and :func:`repro.api.submit`.
+:mod:`repro.service.metrics`
+    :class:`ServiceMetrics` — per-tier hit counts and fixed-bucket
+    latency histograms, with a Prometheus text exposition served both
+    in-band (the ``metrics`` op) and over HTTP (``--metrics-port``).
 
-See ``docs/SERVICE.md`` for the protocol and dedup semantics.
+See ``docs/SERVICE.md`` for the protocol and dedup semantics, and
+``docs/OBSERVABILITY.md`` §8 for tracing the serving path.
 """
 
 from repro.service.backends import (
@@ -32,7 +37,8 @@ from repro.service.backends import (
     WorkerBackend,
     make_backend,
 )
-from repro.service.client import ServiceClient, SweepOutcome
+from repro.service.client import ServiceClient, SweepOutcome, backoff_schedule
+from repro.service.metrics import ServiceMetrics, start_metrics_http
 from repro.service.server import ServiceServer, SweepService, serve_in_thread
 
 __all__ = [
@@ -41,11 +47,14 @@ __all__ = [
     "ProcessPoolBackend",
     "RemoteBackend",
     "ServiceClient",
+    "ServiceMetrics",
     "ServiceServer",
     "SweepOutcome",
     "SweepService",
     "ThreadBackend",
     "WorkerBackend",
+    "backoff_schedule",
     "make_backend",
     "serve_in_thread",
+    "start_metrics_http",
 ]

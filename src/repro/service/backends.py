@@ -44,8 +44,47 @@ from typing import Optional
 from repro.core.checkpoint import CheckpointStore
 from repro.core.results import RunResult
 from repro.core.runspec import RunSpec
-from repro.core.simulator import run_spec as execute_run_spec
+from repro.core.simulator import (
+    build_system_from_spec,
+    run_spec as execute_run_spec,
+    warm_start_state,
+)
 from repro.errors import ServiceError
+from repro.tracing import JobTrace
+
+
+def traced_run_spec(
+    spec: RunSpec,
+    checkpoint_store: Optional[CheckpointStore],
+    trace: JobTrace,
+    parent: Optional[int] = None,
+) -> RunResult:
+    """:func:`~repro.core.simulator.run_spec` wrapped in tracing spans.
+
+    Opens a ``run_spec`` root span (child of the service's ``execute``
+    span via *parent*) and, on the warm-start path, a ``restore`` child
+    covering the prefix snapshot fetch/replay.  The execution itself is
+    step-for-step identical to the untraced ``run_spec`` — same build,
+    same run call, same kwargs — so results stay bit-identical with
+    tracing on.
+    """
+    with trace.span("run_spec", parent=parent) as root:
+        if spec.warmup_scenario is not None:
+            with trace.span("restore", parent=root.span_id) as restore:
+                state, provenance = warm_start_state(spec, checkpoint_store)
+                restore.set(detail=provenance)
+            system = build_system_from_spec(spec)
+            result = system.run(resume_state=state)
+        else:
+            system = build_system_from_spec(spec)
+            result = system.run(
+                num_windows=spec.num_windows,
+                warmup_windows=spec.warmup_windows,
+                sample_windows=spec.sample_windows,
+            )
+        root.set(cycles=result.simulated_cycles,
+                 detail=spec.content_hash())
+    return result
 
 
 class WorkerBackend:
@@ -60,13 +99,30 @@ class WorkerBackend:
     #: Registry name (set by subclasses; shown in ``status`` frames).
     name = "abstract"
 
-    def submit(self, spec: RunSpec) -> "Future[RunResult]":
+    def submit(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> "Future[RunResult]":
+        """Run *spec*; with a :class:`~repro.tracing.JobTrace` the worker
+        opens ``run_spec``/``restore`` spans parented under *parent*
+        (the service's ``execute`` span)."""
         raise NotImplementedError
 
     def close(self) -> None:
         """Release worker resources (default: nothing to do)."""
 
-    def _execute(self, spec: RunSpec) -> RunResult:
+    def _execute(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> RunResult:
+        if trace is not None:
+            return traced_run_spec(
+                spec, self.checkpoint_store, trace, parent
+            )
         return execute_run_spec(
             spec, checkpoint_store=self.checkpoint_store
         )
@@ -80,10 +136,15 @@ class InlineBackend(WorkerBackend):
 
     name = "inline"
 
-    def submit(self, spec: RunSpec) -> "Future[RunResult]":
+    def submit(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> "Future[RunResult]":
         future: Future = Future()
         try:
-            future.set_result(self._execute(spec))
+            future.set_result(self._execute(spec, trace, parent))
         except Exception as exc:  # surfaced through the future, like a pool
             future.set_exception(exc)
         return future
@@ -105,12 +166,17 @@ class ThreadBackend(WorkerBackend):
         self.jobs = jobs
         self._pool: Optional[ThreadPoolExecutor] = None
 
-    def submit(self, spec: RunSpec) -> "Future[RunResult]":
+    def submit(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> "Future[RunResult]":
         if self._pool is None:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.jobs, thread_name_prefix="repro-svc"
             )
-        return self._pool.submit(self._execute, spec)
+        return self._pool.submit(self._execute, spec, trace, parent)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -125,6 +191,12 @@ class ProcessPoolBackend(WorkerBackend):
     checkpoint store bound — exactly the shape
     :meth:`~repro.experiments.runner.SweepRunner.prefetch` ships to its
     pool, so warm-start prefixes are shared on disk across workers.
+
+    Worker-side spans are skipped on this backend: a
+    :class:`~repro.tracing.JobTrace` holds a live emit callable and
+    does not pickle.  The service-level ``execute`` span still bounds
+    the whole remote execution, so traces stay causally complete —
+    just without the in-worker breakdown.
     """
 
     name = "process"
@@ -146,7 +218,12 @@ class ProcessPoolBackend(WorkerBackend):
         self.jobs = jobs
         self._pool: Optional[ProcessPoolExecutor] = None
 
-    def submit(self, spec: RunSpec) -> "Future[RunResult]":
+    def submit(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> "Future[RunResult]":
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         execute = functools.partial(
@@ -181,7 +258,12 @@ class RemoteBackend(WorkerBackend):
         super().__init__(checkpoint_store)
         self.target = target
 
-    def submit(self, spec: RunSpec) -> "Future[RunResult]":
+    def submit(
+        self,
+        spec: RunSpec,
+        trace: Optional[JobTrace] = None,
+        parent: Optional[int] = None,
+    ) -> "Future[RunResult]":
         raise ServiceError(
             f"RemoteBackend({self.target!r}): multi-host dispatch is not "
             "implemented yet; use the 'thread' or 'process' backend"

@@ -8,6 +8,18 @@ Concurrency across clients is the server's job — open one client per
 thread/process and let the future-per-hash table collapse duplicate
 work.
 
+Connecting retries with bounded exponential backoff (``retry_delay``
+doubling up to ``retry_max_delay`` — jitterless, so the schedule is
+deterministic and testable) and raises
+:class:`~repro.errors.ServiceUnavailable` once the budget is spent.
+
+Tracing (wire v2): pass ``trace=True`` to ``submit``/``sweep`` and the
+client mints a deterministic trace id — ``sha256(request digest :
+submission counter)`` — that the server threads through every
+resolution tier and stamps onto the served result copy
+(``RunResult.trace_id``).  Closed spans stream back as ``span`` frames
+and land on :attr:`SweepOutcome.spans`.
+
 >>> from repro.service import ServiceClient
 >>> with ServiceClient(port=7341) as client:          # doctest: +SKIP
 ...     result, source = client.submit(spec)
@@ -18,18 +30,38 @@ work.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.results import RunResult
 from repro.core.runspec import RunSpec
-from repro.errors import MonitorError, ServiceError, WireError
+from repro.errors import (
+    MonitorError,
+    ServiceError,
+    ServiceUnavailable,
+    WireError,
+)
+from repro.telemetry.events import SpanEvent, TraceEvent
 from repro.telemetry.wire import decode_frame, encode_frame
+from repro.tracing import mint_trace_id, request_digest
 
 from repro.service.server import DEFAULT_PORT
 
 #: ``on_event`` callback signature: (event payload dict, job hash).
 EventCallback = Callable[[dict, Optional[str]], None]
+
+#: ``on_span`` callback signature: one closed span as it streams in.
+SpanCallback = Callable[[SpanEvent], None]
+
+
+def backoff_schedule(
+    retries: int, base: float, cap: float
+) -> list[float]:
+    """The deterministic connect-retry delays: ``base`` doubling per
+    attempt, clipped at ``cap``.  No jitter — tests assert the exact
+    schedule, and a local service has no thundering herd to spread."""
+    return [min(cap, base * (2 ** i)) for i in range(retries)]
 
 
 @dataclass
@@ -39,7 +71,10 @@ class SweepOutcome:
     ``results`` is keyed by spec content hash; ``jobs`` preserves the
     server's submission order; ``sources`` records how each job was
     answered (``executed``/``live``/``cache``/``memo``/``dedup``);
-    ``errors`` maps failed jobs to their error messages.
+    ``errors`` maps failed jobs to their error messages.  For traced
+    submissions, ``trace`` is the minted trace id and ``spans`` holds
+    the streamed :class:`~repro.telemetry.events.SpanEvent` records in
+    arrival order.
     """
 
     jobs: list[str] = field(default_factory=list)
@@ -48,6 +83,8 @@ class SweepOutcome:
     sources: dict[str, str] = field(default_factory=dict)
     errors: dict[str, str] = field(default_factory=dict)
     counters: dict = field(default_factory=dict)
+    trace: Optional[str] = None
+    spans: list[SpanEvent] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -70,9 +107,12 @@ class ServiceClient:
         timeout: Optional[float] = None,
         connect_retries: int = 0,
         retry_delay: float = 0.2,
+        retry_max_delay: float = 2.0,
     ):
         self.host = host
         self.port = port
+        delays = backoff_schedule(connect_retries, retry_delay,
+                                  retry_max_delay)
         last_error: Optional[Exception] = None
         for attempt in range(connect_retries + 1):
             try:
@@ -83,16 +123,15 @@ class ServiceClient:
             except OSError as exc:
                 last_error = exc
                 if attempt < connect_retries:
-                    import time
-
-                    time.sleep(retry_delay)
+                    time.sleep(delays[attempt])
         else:
-            raise ServiceError(
-                f"cannot connect to repro service at {host}:{port}: "
-                f"{last_error}"
+            raise ServiceUnavailable(
+                f"cannot connect to repro service at {host}:{port} "
+                f"after {connect_retries + 1} attempt(s): {last_error}"
             )
         self._file = self._sock.makefile("rb")
         self._next_id = 0
+        self._trace_seq = 0
 
     # -- transport -------------------------------------------------------------
 
@@ -130,6 +169,11 @@ class ServiceClient:
             if frame.get("id") in (rid, None):
                 return frame
 
+    def _mint_trace(self, request: dict) -> str:
+        """Deterministic per-submission trace id (see module docstring)."""
+        self._trace_seq += 1
+        return mint_trace_id(request_digest(request), self._trace_seq)
+
     # -- small ops -------------------------------------------------------------
 
     def ping(self) -> dict:
@@ -148,6 +192,17 @@ class ServiceClient:
             raise WireError(f"expected status, got {frame.get('type')!r}")
         return frame["counters"]
 
+    def metrics(self) -> dict:
+        """The server's metrics frame: lifetime ``counters``, the
+        gate-safe ``deterministic`` snapshot (tier hits + simulated-
+        cycles histograms), the artifact-only ``wall`` histograms,
+        ``recent_spans``, and the Prometheus ``text`` exposition."""
+        rid = self._send({"op": "metrics"})
+        frame = self._recv_for(rid)
+        if frame.get("type") != "metrics":
+            raise WireError(f"expected metrics, got {frame.get('type')!r}")
+        return frame
+
     def shutdown(self) -> None:
         """Ask the server to stop serving (acknowledged, then closed)."""
         rid = self._send({"op": "shutdown"})
@@ -161,23 +216,30 @@ class ServiceClient:
         stream: bool = False,
         monitors: Optional[str] = None,
         on_event: Optional[EventCallback] = None,
+        trace: bool = False,
+        on_span: Optional[SpanCallback] = None,
     ) -> tuple[RunResult, str]:
         """Submit one spec; blocks until its result frame arrives.
 
         Returns ``(result, source)``.  With ``stream=True`` each
         telemetry frame's event payload is passed to ``on_event`` as it
-        arrives.  A strict-monitored violation raises
+        arrives.  With ``trace=True`` the submission is traced
+        end-to-end and the result carries ``trace_id``.  A
+        strict-monitored violation raises
         :class:`~repro.errors.MonitorError`; other server-side failures
         raise :class:`~repro.errors.ServiceError`.
         """
+        request = {
+            "op": "submit",
+            "spec": spec.to_dict(),
+            "stream": bool(stream or on_event),
+            "monitors": monitors,
+        }
         outcome = self._submit_frames(
-            {
-                "op": "submit",
-                "spec": spec.to_dict(),
-                "stream": bool(stream or on_event),
-                "monitors": monitors,
-            },
+            request,
             on_event=on_event,
+            on_span=on_span,
+            trace=trace or on_span is not None,
         )
         if outcome.errors:
             job, message = next(iter(outcome.errors.items()))
@@ -197,6 +259,8 @@ class ServiceClient:
         monitors: Optional[str] = None,
         on_event: Optional[EventCallback] = None,
         on_result: Optional[Callable[[str, RunResult, str], None]] = None,
+        trace: bool = False,
+        on_span: Optional[SpanCallback] = None,
     ) -> SweepOutcome:
         """Submit a whole sweep; blocks until the ``done`` frame.
 
@@ -204,7 +268,8 @@ class ServiceClient:
         ``workloads`` x ``scenarios`` matrix (``options`` forwards
         keyword arguments to
         :func:`repro.core.simulator.sweep_specs`).  ``on_result`` fires
-        per shard in completion order.
+        per shard in completion order.  With ``trace=True`` every shard
+        is traced under one trace id (``outcome.trace``/``.spans``).
         """
         frame: dict = {"op": "sweep", "stream": bool(stream or on_event)}
         if monitors is not None:
@@ -217,7 +282,11 @@ class ServiceClient:
             if options:
                 frame["options"] = options
         return self._submit_frames(
-            frame, on_event=on_event, on_result=on_result
+            frame,
+            on_event=on_event,
+            on_result=on_result,
+            on_span=on_span,
+            trace=trace or on_span is not None,
         )
 
     def _submit_frames(
@@ -225,9 +294,14 @@ class ServiceClient:
         request: dict,
         on_event: Optional[EventCallback] = None,
         on_result=None,
+        on_span: Optional[SpanCallback] = None,
+        trace: bool = False,
     ) -> SweepOutcome:
-        rid = self._send(request)
         outcome = SweepOutcome()
+        if trace:
+            outcome.trace = self._mint_trace(request)
+            request = {**request, "trace": outcome.trace}
+        rid = self._send(request)
         while True:
             frame = self._recv_for(rid)
             kind = frame.get("type")
@@ -236,6 +310,11 @@ class ServiceClient:
             elif kind == "telemetry":
                 if on_event is not None:
                     on_event(frame["event"], frame.get("job"))
+            elif kind == "span":
+                span = TraceEvent.from_dict(frame["span"])
+                outcome.spans.append(span)
+                if on_span is not None:
+                    on_span(span)
             elif kind == "result":
                 job = frame["job"]
                 result = RunResult.from_dict(frame["result"])

@@ -44,14 +44,33 @@ backend worker or a cache entry cannot provide:
 * monitored jobs run in-process under
   :func:`repro.obs.monitors.run_spec_with_monitors`; their results are
   memoized under a monitor-qualified key and never written to the disk
-  cache (the cache stores unmonitored payloads only).
+  cache (the cache stores unmonitored payloads only).  Monitored
+  resolutions count under their own ``monitored_*`` counters so the
+  plain counters stay attributable to plain traffic.
+
+Observability (PR 10)
+---------------------
+Every resolution is observed by an always-on
+:class:`~repro.service.metrics.ServiceMetrics` (per-tier hit counts,
+simulated-cycles histograms, wall-latency histograms).  When the client
+opted into tracing (a ``trace`` id on the request frame, wire v2), the
+service opens one span per resolution step — ``resolve`` root, then
+``memo``/``dedup``/``cache``/``execute``/``live`` children, with
+``run_spec``/``restore`` grandchildren inside the worker — and stamps
+the served result copy with the trace id (the memo and the disk cache
+always store the *unstamped* payload, so caching stays byte-identical
+with tracing on or off).  A dedup-joined traced submission is stamped
+with the trace id of the submission that *started* the execution
+(``_trace_ids``), which is the causal truth the spans tell.
 """
 
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import functools
 import threading
+from collections import deque
 from typing import Callable, Optional
 
 from repro.core.checkpoint import CheckpointStore
@@ -60,16 +79,24 @@ from repro.core.runspec import RunSpec
 from repro.core.simulator import run_spec as execute_run_spec, sweep_specs
 from repro.errors import ConfigError, MonitorError, ReproError, ServiceError
 from repro.experiments.cache import ResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.telemetry.events import SpanEvent
 from repro.telemetry.hub import Telemetry
 from repro.telemetry.wire import (
+    SUPPORTED_WIRE_SCHEMAS,
     WIRE_SCHEMA,
     WireSink,
     decode_frame,
     encode_frame,
+    span_frame,
 )
+from repro.tracing import JobTrace, StructuredLog, monotonic_us
 
 #: Default TCP port of ``python -m repro serve``.
 DEFAULT_PORT = 7341
+
+#: Closed spans kept in memory for ``metrics``/``obs top`` (newest last).
+RECENT_SPANS = 64
 
 
 class SweepService:
@@ -80,6 +107,8 @@ class SweepService:
         backend=None,
         cache_dir=None,
         use_cache: bool = True,
+        log: Optional[StructuredLog] = None,
+        span_sink=None,
     ):
         self.cache = ResultCache(cache_dir) if use_cache else None
         self.checkpoint_store = (
@@ -95,33 +124,65 @@ class SweepService:
             # matter which worker runs them.
             backend.checkpoint_store = self.checkpoint_store
         self.backend = backend
+        self.log = log
+        #: Optional :class:`~repro.telemetry.sinks.EventSink` receiving
+        #: every closed span (``serve --span-jsonl`` / Chrome export).
+        self.span_sink = span_sink
+        #: Per-tier latency histograms and hit counts (always on).
+        self.metrics = ServiceMetrics()
         #: In-flight jobs: job key -> asyncio.Future[RunResult].
         self._jobs: dict[str, asyncio.Future] = {}
         #: Completed jobs this server lifetime: job key -> RunResult.
         self._memo: dict[str, RunResult] = {}
-        #: Simulations started by this service (backend + live).
+        #: Trace id of the traced submission that started each job
+        #: (lives as long as the memo entry it annotates).
+        self._trace_ids: dict[str, str] = {}
+        #: Newest closed spans, for the ``metrics`` op / ``obs top``.
+        self.recent_spans: deque[SpanEvent] = deque(maxlen=RECENT_SPANS)
+        #: Plain (unmonitored) simulations started (backend + live).
         self.runs_executed = 0
-        #: Submissions that attached to an already-running job.
+        #: Plain submissions that attached to an already-running job.
         self.dedup_hits = 0
-        #: Submissions answered from the in-memory memo.
+        #: Plain submissions answered from the in-memory memo.
         self.memo_hits = 0
-        #: Live in-process runs (streamed and/or monitored).
+        #: Plain live in-process runs (streamed).
         self.live_runs = 0
+        #: Monitored simulations started (always live, never cached).
+        self.monitored_runs = 0
+        #: Monitored submissions answered from the memo.
+        self.monitored_memo_hits = 0
+        #: Monitored submissions that attached to a running job.
+        self.monitored_dedup_hits = 0
 
     # -- introspection ---------------------------------------------------------
 
     def counters(self) -> dict:
-        """Deterministic counter snapshot (the ``status`` frame body)."""
+        """Deterministic counter snapshot (the ``status`` frame body).
+
+        Monitored jobs (keyed ``<hash>+monitors:<mode>``) count under
+        ``monitored_*`` so per-tier attribution survives mixing plain
+        and monitored traffic — these values match the ``metrics``
+        exposition exactly (``executed + live == runs_executed`` etc.).
+        """
         return {
             "runs_executed": self.runs_executed,
             "dedup_hits": self.dedup_hits,
             "memo_hits": self.memo_hits,
             "disk_hits": self.cache.hits if self.cache is not None else 0,
             "live_runs": self.live_runs,
+            "monitored_runs": self.monitored_runs,
+            "monitored_memo_hits": self.monitored_memo_hits,
+            "monitored_dedup_hits": self.monitored_dedup_hits,
             "inflight": len(self._jobs),
             "backend": self.backend.name,
             "caching": self.cache is not None,
         }
+
+    def record_span(self, event: SpanEvent) -> None:
+        """Retain one closed span and forward it to the span sink."""
+        self.recent_spans.append(event)
+        if self.span_sink is not None:
+            self.span_sink.emit(event)
 
     @staticmethod
     def job_key(spec: RunSpec, monitors: Optional[str] = None) -> str:
@@ -140,12 +201,15 @@ class SweepService:
         spec: RunSpec,
         monitors: Optional[str] = None,
         event_cb: Optional[Callable[[dict], None]] = None,
+        trace: Optional[JobTrace] = None,
     ) -> tuple[RunResult, str]:
         """Answer one spec; returns ``(result, source)``.
 
         ``monitors`` is ``None``, ``"collect"`` or ``"strict"``;
         ``event_cb`` (when set) receives one telemetry frame dict per
         event of a fresh live run, called on the event loop thread.
+        ``trace`` (when set) opens per-tier spans and stamps the served
+        result copy with its trace id.
         """
         if monitors not in (None, "collect", "strict"):
             raise ServiceError(f"unknown monitor mode {monitors!r}")
@@ -155,23 +219,97 @@ class SweepService:
                 "(the warm-up prefix runs without an event stream)"
             )
         key = self.job_key(spec, monitors)
+        t0 = monotonic_us()
+        root = trace.span("resolve") if trace is not None else None
+        try:
+            result, source = await self._resolve_tiers(
+                key, spec, monitors, event_cb, trace, root
+            )
+        except BaseException as exc:
+            if root is not None:
+                root.set(detail=f"error:{type(exc).__name__}").close()
+            if self.log is not None:
+                self.log.error(
+                    "resolve failed",
+                    trace=trace.trace_id if trace is not None else None,
+                    job=key,
+                    error=str(exc),
+                )
+            raise
+        tier = source if monitors is None else f"monitored_{source}"
+        self.metrics.observe(
+            tier, result.simulated_cycles, max(0, monotonic_us() - t0)
+        )
+        if root is not None:
+            root.set(cycles=result.simulated_cycles, detail=tier).close()
+        if self.log is not None:
+            self.log.info(
+                "served",
+                trace=trace.trace_id if trace is not None else None,
+                job=key,
+                tier=tier,
+                cycles=result.simulated_cycles,
+            )
+        if trace is not None:
+            # The stamped copy is what the client sees; the memo and
+            # the disk cache keep the unstamped original.  A dedup join
+            # inherits the trace id of the execution it attached to.
+            result = dataclasses.replace(
+                result, trace_id=self._trace_ids.get(key, trace.trace_id)
+            )
+        return result, source
+
+    async def _resolve_tiers(
+        self,
+        key: str,
+        spec: RunSpec,
+        monitors: Optional[str],
+        event_cb: Optional[Callable[[dict], None]],
+        trace: Optional[JobTrace],
+        root,
+    ) -> tuple[RunResult, str]:
         if event_cb is not None:
             # Streaming needs the complete event stream of a fresh run;
             # an in-flight job or cached result cannot provide it.
-            return await self._run_live(key, spec, monitors, event_cb)
+            return await self._run_live(
+                key, spec, monitors, event_cb, trace, root
+            )
 
         memo = self._memo.get(key)
         if memo is not None:
-            self.memo_hits += 1
+            if monitors is None:
+                self.memo_hits += 1
+            else:
+                self.monitored_memo_hits += 1
+            if trace is not None:
+                trace.span("memo", parent=root.span_id).set(
+                    cycles=memo.simulated_cycles, detail=key
+                ).close()
             return memo, "memo"
         inflight = self._jobs.get(key)
         if inflight is not None:
-            self.dedup_hits += 1
-            return await inflight, "dedup"
+            if monitors is None:
+                self.dedup_hits += 1
+            else:
+                self.monitored_dedup_hits += 1
+            if trace is None:
+                return await inflight, "dedup"
+            span = trace.span("dedup", parent=root.span_id)
+            try:
+                result = await inflight
+            except BaseException:
+                span.set(detail="error").close()
+                raise
+            span.set(cycles=result.simulated_cycles, detail=key).close()
+            return result, "dedup"
         if self.cache is not None and monitors is None:
             cached = self.cache.get(spec.content_hash())
             if cached is not None:
                 self._memo[key] = cached
+                if trace is not None:
+                    trace.span("cache", parent=root.span_id).set(
+                        cycles=cached.simulated_cycles, detail=key
+                    ).close()
                 return cached, "cache"
 
         # Miss everywhere: this submission starts the simulation.  No
@@ -180,15 +318,38 @@ class SweepService:
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._jobs[key] = future
+        if trace is not None:
+            self._trace_ids[key] = trace.trace_id
         try:
             if monitors is not None:
-                result = await self._execute_monitored(spec, monitors)
+                if trace is not None:
+                    with trace.span("execute", parent=root.span_id) as span:
+                        result = await self._execute_monitored(spec, monitors)
+                        span.set(
+                            cycles=result.simulated_cycles, detail=key
+                        )
+                else:
+                    result = await self._execute_monitored(spec, monitors)
                 source = "live"
             else:
                 self.runs_executed += 1
-                result = await asyncio.wrap_future(
-                    self.backend.submit(spec)
-                )
+                if trace is not None:
+                    span = trace.span("execute", parent=root.span_id)
+                    try:
+                        result = await asyncio.wrap_future(
+                            self.backend.submit(
+                                spec, trace=trace, parent=span.span_id
+                            )
+                        )
+                    except BaseException:
+                        span.set(detail="error").close()
+                        raise
+                    span.set(cycles=result.simulated_cycles, detail=key)
+                    span.close()
+                else:
+                    result = await asyncio.wrap_future(
+                        self.backend.submit(spec)
+                    )
                 source = "executed"
             self._memo[key] = result
             if self.cache is not None and monitors is None:
@@ -211,8 +372,7 @@ class SweepService:
         """Run one monitored job live on an executor thread."""
         from repro.obs.monitors import run_spec_with_monitors
 
-        self.runs_executed += 1
-        self.live_runs += 1
+        self.monitored_runs += 1
         loop = asyncio.get_running_loop()
         run = functools.partial(
             run_spec_with_monitors, spec, strict=monitors == "strict"
@@ -226,10 +386,15 @@ class SweepService:
         spec: RunSpec,
         monitors: Optional[str],
         event_cb: Callable[[dict], None],
+        trace: Optional[JobTrace] = None,
+        root=None,
     ) -> tuple[RunResult, str]:
         """A fresh in-process run streaming its events to ``event_cb``."""
-        self.runs_executed += 1
-        self.live_runs += 1
+        if monitors is None:
+            self.runs_executed += 1
+            self.live_runs += 1
+        else:
+            self.monitored_runs += 1
         loop = asyncio.get_running_loop()
 
         def send(frame: dict) -> None:
@@ -246,6 +411,13 @@ class SweepService:
         if key not in self._jobs:
             future = loop.create_future()
             self._jobs[key] = future
+            if trace is not None:
+                self._trace_ids[key] = trace.trace_id
+        span = (
+            trace.span("live", parent=root.span_id)
+            if trace is not None
+            else None
+        )
         try:
             if monitors is not None:
                 from repro.obs.monitors import run_spec_with_monitors
@@ -265,6 +437,9 @@ class SweepService:
                     checkpoint_store=self.checkpoint_store,
                 )
                 result = await loop.run_in_executor(None, run)
+            if span is not None:
+                span.set(cycles=result.simulated_cycles, detail=key)
+                span.close()
             self._memo[key] = result
             if self.cache is not None and monitors is None:
                 self.cache.put(spec.content_hash(), spec, result)
@@ -272,6 +447,8 @@ class SweepService:
                 future.set_result(result)
             return result, "live"
         except BaseException as exc:
+            if span is not None:
+                span.set(detail="error").close()
             if future is not None:
                 future.set_exception(exc)
                 future.exception()
@@ -282,6 +459,10 @@ class SweepService:
 
     def close(self) -> None:
         self.backend.close()
+        if self.span_sink is not None:
+            self.span_sink.close()
+        if self.log is not None:
+            self.log.close()
 
 
 class ServiceServer:
@@ -291,6 +472,8 @@ class ServiceServer:
     :mod:`repro.telemetry.wire` and ``docs/SERVICE.md``).  Request
     frames carry ``op`` + client-chosen ``id``; every response frame
     echoes the ``id``, so one connection can pipeline requests.
+    Responses are encoded in the wire-schema version the request
+    carried, so v1 clients interoperate with a v2 server.
     """
 
     def __init__(
@@ -313,6 +496,10 @@ class ServiceServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.service.log is not None:
+            self.service.log.info(
+                "listening", host=self.host, port=self.port
+            )
 
     async def serve_until_shutdown(self) -> None:
         """Serve until a ``shutdown`` op (or :meth:`stop`) arrives."""
@@ -330,9 +517,9 @@ class ServiceServer:
     async def _handle_connection(self, reader, writer) -> None:
         send_lock = asyncio.Lock()
 
-        async def send(frame: dict) -> None:
+        async def send(frame: dict, version: int = WIRE_SCHEMA) -> None:
             async with send_lock:
-                writer.write(encode_frame(frame))
+                writer.write(encode_frame(frame, version=version))
                 await writer.drain()
 
         pending: set[asyncio.Task] = set()
@@ -348,7 +535,12 @@ class ServiceServer:
                         {"type": "error", "id": None, "error": str(exc)}
                     )
                     continue
-                task = asyncio.create_task(self._dispatch(frame, send))
+                version = frame.get("v", WIRE_SCHEMA)
+
+                async def reply(out: dict, _v: int = version) -> None:
+                    await send(out, version=_v)
+
+                task = asyncio.create_task(self._dispatch(frame, reply))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
                 if frame.get("op") == "shutdown":
@@ -378,6 +570,8 @@ class ServiceServer:
                         "counters": self.service.counters(),
                     }
                 )
+            elif op == "metrics":
+                await send(self._metrics_frame(rid))
             elif op == "shutdown":
                 await send({"type": "ack", "id": rid, "op": "shutdown"})
                 self.stop()
@@ -403,10 +597,33 @@ class ServiceServer:
             "type": "pong",
             "id": rid,
             "wire": WIRE_SCHEMA,
+            "wire_supported": list(SUPPORTED_WIRE_SCHEMAS),
             "spec_schema": SPEC_SCHEMA,
             "result_schema": RESULT_SCHEMA,
             "version": __version__,
             "backend": self.service.backend.name,
+        }
+
+    def _metrics_frame(self, rid) -> dict:
+        """The ``metrics`` op body: structured snapshots + Prometheus
+        text.  ``deterministic`` is gate-safe; ``wall`` and the span
+        wall fields are artifacts."""
+        service = self.service
+        counters = service.counters()
+        info = {
+            "backend": service.backend.name,
+            "caching": str(service.cache is not None).lower(),
+        }
+        return {
+            "type": "metrics",
+            "id": rid,
+            "counters": counters,
+            "deterministic": service.metrics.deterministic_snapshot(),
+            "wall": service.metrics.wall_snapshot(),
+            "recent_spans": [e.to_dict() for e in service.recent_spans],
+            "text": service.metrics.render_prometheus(
+                counters=counters, info=info
+            ),
         }
 
     # -- submit / sweep --------------------------------------------------------
@@ -448,15 +665,41 @@ class ServiceServer:
             return
         monitors = frame.get("monitors")
         stream = bool(frame.get("stream"))
+        trace_id = frame.get("trace")
+        if trace_id is not None and not isinstance(trace_id, str):
+            await send(
+                {"type": "error", "id": rid, "error": "'trace' must be a string"}
+            )
+            return
 
-        # Streamed events are enqueued (thread-safely, via the loop) and
-        # drained by one writer coroutine so telemetry frames interleave
-        # cleanly with other responses on the connection.
-        queue: Optional[asyncio.Queue] = asyncio.Queue() if stream else None
+        # Streamed events and closed spans are enqueued (thread-safely,
+        # via the loop) and drained by one writer coroutine so these
+        # frames interleave cleanly with other responses.
+        queue: Optional[asyncio.Queue] = (
+            asyncio.Queue() if stream or trace_id is not None else None
+        )
+        loop = asyncio.get_running_loop()
 
         def event_cb(event_frame: dict) -> None:
             event_frame["id"] = rid
             queue.put_nowait(event_frame)
+
+        def make_trace(job: str) -> Optional[JobTrace]:
+            if trace_id is None:
+                return None
+
+            def emit(event: SpanEvent) -> None:
+                def deliver() -> None:
+                    self.service.record_span(event)
+                    out = span_frame(event, job=job)
+                    out["id"] = rid
+                    queue.put_nowait(out)
+
+                # Spans may close on worker threads; marshal onto the
+                # loop so queueing and record order stay consistent.
+                loop.call_soon_threadsafe(deliver)
+
+            return JobTrace(trace_id, job, emit)
 
         async def drain() -> None:
             while True:
@@ -465,9 +708,18 @@ class ServiceServer:
                     return
                 await send(item)
 
-        drainer = asyncio.create_task(drain()) if stream else None
+        drainer = asyncio.create_task(drain()) if queue is not None else None
         jobs = [spec.content_hash() for spec in specs]
         await send({"type": "ack", "id": rid, "jobs": jobs})
+        if self.service.log is not None:
+            self.service.log.info(
+                "submit",
+                trace=trace_id,
+                op=frame.get("op"),
+                jobs=len(jobs),
+                stream=stream,
+                monitors=monitors,
+            )
         sources: dict[str, str] = {}
 
         async def one(spec: RunSpec) -> None:
@@ -477,6 +729,7 @@ class ServiceServer:
                     spec,
                     monitors=monitors,
                     event_cb=event_cb if stream else None,
+                    trace=make_trace(job),
                 )
             except MonitorError as exc:
                 sources[job] = "monitor_error"
@@ -518,15 +771,16 @@ class ServiceServer:
             if drainer is not None:
                 queue.put_nowait(None)
                 await drainer
-        await send(
-            {
-                "type": "done",
-                "id": rid,
-                "jobs": jobs,
-                "sources": sources,
-                "counters": self.service.counters(),
-            }
-        )
+        done = {
+            "type": "done",
+            "id": rid,
+            "jobs": jobs,
+            "sources": sources,
+            "counters": self.service.counters(),
+        }
+        if trace_id is not None:
+            done["trace"] = trace_id
+        await send(done)
 
 
 async def _serve(service, host, port, ready=None) -> ServiceServer:

@@ -20,6 +20,7 @@ from repro.telemetry.events import (
     RefreshStretchBeginEvent,
     RefreshStretchEndEvent,
     SchedulerPickEvent,
+    SpanEvent,
     TaskMigrationEvent,
     TraceEvent,
 )
@@ -33,6 +34,7 @@ from repro.telemetry.sinks import (
     NullSink,
     RingBufferSink,
     read_jsonl,
+    strip_span_walls,
 )
 from repro.telemetry.stats import StatsBase
 from repro.telemetry.timeseries import (
@@ -41,11 +43,14 @@ from repro.telemetry.timeseries import (
     TimeseriesSampler,
 )
 from repro.telemetry.wire import (
+    SUPPORTED_WIRE_SCHEMAS,
     WIRE_SCHEMA,
     WireSink,
     decode_frame,
     encode_frame,
     event_from_frame,
+    span_frame,
+    span_from_frame,
     telemetry_frame,
 )
 
@@ -63,7 +68,9 @@ __all__ = [
     "RefreshStretchBeginEvent",
     "RefreshStretchEndEvent",
     "RingBufferSink",
+    "SUPPORTED_WIRE_SCHEMAS",
     "SchedulerPickEvent",
+    "SpanEvent",
     "StatsBase",
     "TaskMigrationEvent",
     "Telemetry",
@@ -77,5 +84,8 @@ __all__ = [
     "encode_frame",
     "event_from_frame",
     "read_jsonl",
+    "span_frame",
+    "span_from_frame",
+    "strip_span_walls",
     "telemetry_frame",
 ]

@@ -153,6 +153,46 @@ class TaskMigrationEvent(TraceEvent):
     dst_cpu: int
 
 
+@dataclass(frozen=True)
+class SpanEvent(TraceEvent):
+    """One closed span of the service request path.
+
+    Spans are minted by :mod:`repro.tracing` (the only request-path
+    module allowed to read the wall clock); this class is just the
+    serializable record, so it lives with the other events and rides
+    the same sinks and wire frames.
+
+    The fields split along the ``bench_report`` convention:
+
+    * deterministic — ``time`` (the span id: sequential in open order
+      within one ``(trace_id, job)``), ``trace_id``, ``name`` (the tier
+      tag: ``resolve``/``memo``/``dedup``/``cache``/``execute``/
+      ``run_spec``/``restore``/``live``), ``job``, ``parent``,
+      ``cycles`` (simulated cycles of the served result) and ``detail``
+      — pure functions of the request stream, safe to gate on;
+    * wall-clock — ``wall_start_us``/``wall_dur_us`` are artifact-only
+      and never gated (strip with
+      :func:`repro.telemetry.sinks.strip_span_walls` before comparing
+      traces byte-for-byte).
+    """
+
+    kind: ClassVar[str] = "trace.span"
+
+    trace_id: str = ""
+    name: str = ""
+    job: str = ""
+    parent: Optional[int] = None
+    cycles: int = 0
+    detail: str = ""
+    wall_start_us: int = 0
+    wall_dur_us: int = 0
+
+    @property
+    def span_id(self) -> int:
+        """Alias: a span's ``time`` is its id, not a simulation cycle."""
+        return self.time
+
+
 #: ``kind`` tag -> event class (used by :meth:`TraceEvent.from_dict`).
 EVENT_TYPES: dict[str, type[TraceEvent]] = {
     cls.kind: cls
@@ -164,5 +204,6 @@ EVENT_TYPES: dict[str, type[TraceEvent]] = {
         SchedulerPickEvent,
         PageAllocEvent,
         TaskMigrationEvent,
+        SpanEvent,
     )
 }

@@ -32,6 +32,7 @@ from repro.telemetry.events import (
     RefreshStretchBeginEvent,
     RefreshStretchEndEvent,
     SchedulerPickEvent,
+    SpanEvent,
     TaskMigrationEvent,
     TraceEvent,
 )
@@ -157,23 +158,40 @@ class ChromeTraceSink(EventSink):
       named after the running task, with conflict/refresh-bank details in
       ``args``; idle quanta are skipped;
     * task migrations appear as instant ("i") events on the destination
-      core's track.
+      core's track;
+    * pid 3 ``service`` / tid *lane* — one slice per closed tracing span
+      (:class:`~repro.telemetry.events.SpanEvent`), laid out in per-tier
+      lanes (``SPAN_LANES``) so a whole sweep's resolution path renders
+      as parallel swimlanes.  Span ``ts``/``dur`` come from the span's
+      wall-clock fields (normalized so the earliest span starts at 0)
+      and are therefore artifact-only: strip them with
+      :func:`strip_span_walls` before comparing traces byte-for-byte.
 
     DRAM command events are high-volume and skipped unless
     ``include_dram_commands=True``.
 
-    The output is a pure function of the event stream: two identical runs
-    produce byte-identical files.
+    The simulation tracks (pids 1–2) are a pure function of the event
+    stream: two identical runs produce byte-identical files.  Span
+    slices are additionally sorted by ``(trace_id, job, span id)`` at
+    export, because concurrent jobs close spans in nondeterministic
+    wall order.
     """
 
     PID_DRAM = 1
     PID_CPU = 2
+    PID_SERVICE = 3
     TID_STRETCH = 0
     TID_REFRESH_CMD = 1
+
+    #: Span names with dedicated service lanes, in lane (tid) order.
+    #: Unknown names share the overflow lane after the last entry.
+    SPAN_LANES = ("resolve", "memo", "dedup", "cache", "execute",
+                  "run_spec", "restore", "live")
 
     def __init__(self, include_dram_commands: bool = False):
         self.include_dram_commands = include_dram_commands
         self._slices: list[dict] = []
+        self._span_events: list[SpanEvent] = []
         self._open_stretch: Optional[tuple[int, int]] = None  # (bank, begin)
         self._cores: set[int] = set()
         self.dropped = 0  # events outside the track layout (e.g. allocs)
@@ -261,6 +279,8 @@ class ChromeTraceSink(EventSink):
                     "refresh_stall": event.refresh_stall,
                 },
             })
+        elif isinstance(event, SpanEvent):
+            self._span_events.append(event)
         else:
             self.dropped += 1
 
@@ -285,7 +305,59 @@ class ChromeTraceSink(EventSink):
             events.append(
                 meta(self.PID_CPU, core, "thread_name", f"core {core}")
             )
+        if self._span_events:
+            events.append(meta(self.PID_SERVICE, None, "process_name",
+                               "service"))
+            for tid in sorted({self._span_lane(s.name)
+                               for s in self._span_events}):
+                if tid < len(self.SPAN_LANES):
+                    lane = self.SPAN_LANES[tid]
+                else:
+                    lane = "other"
+                events.append(meta(self.PID_SERVICE, tid, "thread_name",
+                                   lane))
         return events
+
+    @classmethod
+    def _span_lane(cls, name: str) -> int:
+        try:
+            return cls.SPAN_LANES.index(name)
+        except ValueError:
+            return len(cls.SPAN_LANES)
+
+    def _span_slices(self) -> list[dict]:
+        """Span slices in deterministic order with normalized wall times.
+
+        Sorted by ``(trace_id, job, span id)`` — never by wall time —
+        and shifted so the earliest span starts at ts 0, which keeps the
+        trace small and makes the *structure* reproducible even though
+        the ts/dur values themselves are wall artifacts.
+        """
+        if not self._span_events:
+            return []
+        base = min(s.wall_start_us for s in self._span_events)
+        ordered = sorted(self._span_events,
+                         key=lambda s: (s.trace_id, s.job, s.span_id))
+        slices = []
+        for span in ordered:
+            slices.append({
+                "name": span.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": span.wall_start_us - base,
+                "dur": span.wall_dur_us,
+                "pid": self.PID_SERVICE,
+                "tid": self._span_lane(span.name),
+                "args": {
+                    "trace": span.trace_id,
+                    "job": span.job,
+                    "span": span.span_id,
+                    "parent": span.parent,
+                    "cycles": span.cycles,
+                    "detail": span.detail,
+                },
+            })
+        return slices
 
     def trace(self) -> dict:
         """The complete Chrome trace object (an unfinished stretch at the
@@ -293,7 +365,8 @@ class ChromeTraceSink(EventSink):
         return {
             "displayTimeUnit": "ms",
             "metadata": {"unit": "1 ts = 1 CPU cycle"},
-            "traceEvents": self._metadata() + self._slices,
+            "traceEvents": self._metadata() + self._slices
+            + self._span_slices(),
         }
 
     def to_json(self) -> str:
@@ -304,3 +377,20 @@ class ChromeTraceSink(EventSink):
         with open(path, "w", encoding="utf-8") as f:
             f.write(self.to_json())
             f.write("\n")
+
+
+def strip_span_walls(trace: dict) -> dict:
+    """Copy of a Chrome trace with span wall fields zeroed.
+
+    Span slices (``cat == "span"``) carry wall-clock ``ts``/``dur``;
+    zeroing them leaves only the deterministic structure (names, lanes,
+    args, order), which is what two identical submissions must agree on
+    byte-for-byte.  Simulation slices are untouched — their timestamps
+    are simulated cycles and already deterministic.
+    """
+    stripped = dict(trace)
+    stripped["traceEvents"] = [
+        {**ev, "ts": 0, "dur": 0} if ev.get("cat") == "span" else ev
+        for ev in trace.get("traceEvents", [])
+    ]
+    return stripped

@@ -13,6 +13,17 @@ it: spec and result payloads carry their own schema versions
 tags.  A server answers a ``pong`` hello frame on ``ping`` so clients
 can check compatibility before submitting work.
 
+Version negotiation
+-------------------
+v2 added trace-context propagation (a ``trace`` key on request frames,
+``span`` frames streamed back) and the ``metrics`` op.  Both sides of a
+connection accept every version in :data:`SUPPORTED_WIRE_SCHEMAS`, and
+the server replies to each request *in the version the request carried*
+(``encode_frame(..., version=...)``), so a v1 client keeps working
+against a v2 server: it never sends the v2-only keys, and every frame it
+receives is tagged ``v=1``.  Only a frame from outside the supported
+range is rejected with a ``WireError``.
+
 :class:`WireSink` is the bridge from the in-process event stream to the
 wire: an :class:`~repro.telemetry.sinks.EventSink` (the PR 3 sink
 interface) that renders each event as a ``telemetry`` frame and hands it
@@ -28,22 +39,39 @@ from typing import Callable, Optional
 
 from repro.errors import WireError
 from repro.telemetry.events import TraceEvent
+
 from repro.telemetry.sinks import EventSink
 
 #: Version tag of the line-oriented frame layout.  Bump on incompatible
-#: changes to frame structure; servers reject frames from another version
-#: with an ``error`` frame rather than guessing.
-WIRE_SCHEMA = 1
+#: changes to frame structure; v2 added trace/span context and the
+#: ``metrics`` op (all additive — see SUPPORTED_WIRE_SCHEMAS).
+WIRE_SCHEMA = 2
+
+#: Frame versions this side decodes.  The server replies in the sender's
+#: version, so old clients interoperate for as long as their version
+#: stays in this tuple.
+SUPPORTED_WIRE_SCHEMAS = (1, 2)
 
 #: Hard cap on one encoded frame (guards the server against unbounded
 #: lines from a confused client; generous for any real spec or result).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
 
-def encode_frame(frame: dict) -> bytes:
-    """Canonical single-line encoding of *frame* (adds the ``v`` tag)."""
+def encode_frame(frame: dict, version: Optional[int] = None) -> bytes:
+    """Canonical single-line encoding of *frame* (adds the ``v`` tag).
+
+    ``version`` selects the tag for peers negotiated down to an older
+    schema; the default is this side's :data:`WIRE_SCHEMA`.
+    """
     if "v" not in frame:
-        frame = {"v": WIRE_SCHEMA, **frame}
+        if version is None:
+            version = WIRE_SCHEMA
+        if version not in SUPPORTED_WIRE_SCHEMAS:
+            raise WireError(
+                f"cannot encode wire schema v={version!r}; "
+                f"supported: {SUPPORTED_WIRE_SCHEMAS}"
+            )
+        frame = {"v": version, **frame}
     text = json.dumps(frame, sort_keys=True, separators=(",", ":"))
     return text.encode("utf-8") + b"\n"
 
@@ -52,7 +80,8 @@ def decode_frame(line: bytes | str) -> dict:
     """Parse one received line into a frame dict.
 
     Raises :class:`~repro.errors.WireError` on anything that is not a
-    single JSON object of a compatible wire-schema version.
+    single JSON object of a supported wire-schema version.  The decoded
+    frame keeps its ``v`` tag so the receiver can reply in kind.
     """
     if isinstance(line, bytes):
         if len(line) > MAX_FRAME_BYTES:
@@ -70,17 +99,21 @@ def decode_frame(line: bytes | str) -> dict:
             f"frame must be a JSON object, got {type(frame).__name__}"
         )
     version = frame.get("v")
-    if version != WIRE_SCHEMA:
+    if version not in SUPPORTED_WIRE_SCHEMAS:
         raise WireError(
             f"wire schema mismatch: got v={version!r}, "
-            f"this side speaks v={WIRE_SCHEMA}"
+            f"this side speaks v={SUPPORTED_WIRE_SCHEMAS}"
         )
     return frame
 
 
 def telemetry_frame(event: TraceEvent, job: Optional[str] = None) -> dict:
-    """The ``telemetry`` frame carrying one typed event."""
-    frame = {"v": WIRE_SCHEMA, "type": "telemetry", "event": event.to_dict()}
+    """The ``telemetry`` frame carrying one typed event.
+
+    The ``v`` tag is added at encode time (by the sending side, in the
+    peer's negotiated version), not here.
+    """
+    frame = {"type": "telemetry", "event": event.to_dict()}
     if job is not None:
         frame["job"] = job
     return frame
@@ -91,6 +124,22 @@ def event_from_frame(frame: dict) -> TraceEvent:
     if frame.get("type") != "telemetry" or "event" not in frame:
         raise WireError(f"not a telemetry frame: {frame.get('type')!r}")
     return TraceEvent.from_dict(frame["event"])
+
+
+def span_frame(event: TraceEvent, job: Optional[str] = None) -> dict:
+    """The v2 ``span`` frame carrying one closed tracing span."""
+    frame = {"type": "span", "span": event.to_dict()}
+    if job is not None:
+        frame["job"] = job
+    return frame
+
+
+def span_from_frame(frame: dict) -> TraceEvent:
+    """Reconstruct the :class:`~repro.telemetry.events.SpanEvent` inside
+    a ``span`` frame."""
+    if frame.get("type") != "span" or "span" not in frame:
+        raise WireError(f"not a span frame: {frame.get('type')!r}")
+    return TraceEvent.from_dict(frame["span"])
 
 
 class WireSink(EventSink):

@@ -1,0 +1,33 @@
+"""Causal tracing for the serving path.
+
+This package is the *only* part of the request path that reads the wall
+clock: :mod:`repro.tracing.spans` mints deterministic trace ids and
+span ids, measures wall durations as artifact-only fields, and emits
+:class:`~repro.telemetry.events.SpanEvent` records through the PR 3
+sink interface; :mod:`repro.tracing.log` provides structured JSONL
+logging that carries the same trace context.
+
+It deliberately lives *outside* the analyzer's ``pure_packages`` scope
+(RPR001/RPR013): simulation code must never import it.  The serving
+layer (``repro.service``) is its sole consumer.
+"""
+
+from repro.tracing.spans import (
+    TRACE_ID_LEN,
+    JobTrace,
+    Span,
+    mint_trace_id,
+    monotonic_us,
+    request_digest,
+)
+from repro.tracing.log import StructuredLog
+
+__all__ = [
+    "TRACE_ID_LEN",
+    "JobTrace",
+    "Span",
+    "StructuredLog",
+    "mint_trace_id",
+    "monotonic_us",
+    "request_digest",
+]

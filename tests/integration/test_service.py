@@ -68,6 +68,31 @@ def test_concurrent_identical_submissions_run_once(tmp_path):
     expected = _canon(run_spec(spec))
     assert all(_canon(result) == expected for result, _ in outcomes)
 
+    # Traced fan-out over a distinct spec: the joiners' results carry
+    # the trace id of the one submission that executed.
+    from repro.tracing import JobTrace, mint_trace_id
+
+    traced_spec = _spec("all_bank")
+    job = traced_spec.content_hash()
+    traces = [
+        JobTrace(mint_trace_id("fan", i), job, lambda event: None)
+        for i in range(5)
+    ]
+
+    async def traced_fan_out():
+        return await asyncio.gather(
+            *(service.resolve(traced_spec, trace=t) for t in traces)
+        )
+
+    traced = asyncio.run(traced_fan_out())
+    assert sorted(s for _, s in traced) == ["dedup"] * 4 + ["executed"]
+    executor_trace = next(
+        t.trace_id
+        for t, (_, source) in zip(traces, traced)
+        if source == "executed"
+    )
+    assert {r.trace_id for r, _ in traced} == {executor_trace}
+
 
 def test_memo_then_disk_cache_tiers(tmp_path):
     spec = _spec()
@@ -128,6 +153,14 @@ def test_monitored_jobs_never_alias_plain_ones(tmp_path):
     # Plain payloads never carry the monitor key; monitored ones do.
     assert "monitor_violations" not in plain.to_dict()
     assert "monitor_violations" in mon.to_dict()
+    # Satellite: monitored traffic counts under its own counters and
+    # never inflates the plain ones.
+    counters = service.counters()
+    assert counters["runs_executed"] == 1
+    assert counters["memo_hits"] == 0
+    assert counters["monitored_runs"] == 1
+    assert counters["monitored_memo_hits"] == 1
+    assert counters["monitored_dedup_hits"] == 0
 
 
 # -- ServiceServer + ServiceClient (socket round-trips) ------------------------
@@ -232,7 +265,8 @@ def test_ping_and_status_frames(live):
     server, _service = live
     with ServiceClient(port=server.port) as client:
         hello = client.ping()
-        assert hello["wire"] == 1
+        assert hello["wire"] == 2
+        assert 1 in hello["wire_supported"]
         assert hello["backend"] == "thread"
         counters = client.status()
     assert counters["runs_executed"] == 0

@@ -1,0 +1,45 @@
+"""Unit tests for the client's bounded-exponential connect backoff."""
+
+import socket
+
+import pytest
+
+import repro.service.client as client_mod
+from repro.errors import ServiceError, ServiceUnavailable
+from repro.service.client import ServiceClient, backoff_schedule
+
+
+def _dead_port() -> int:
+    """A port nothing is listening on (bound then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_backoff_schedule_doubles_and_caps():
+    assert backoff_schedule(0, 0.2, 2.0) == []
+    assert backoff_schedule(5, 0.2, 2.0) == [0.2, 0.4, 0.8, 1.6, 2.0]
+    assert backoff_schedule(3, 1.0, 1.0) == [1.0, 1.0, 1.0]
+
+
+def test_connect_failure_sleeps_the_schedule(monkeypatch):
+    slept = []
+    monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+    with pytest.raises(ServiceUnavailable, match="after 4 attempt"):
+        ServiceClient(port=_dead_port(), connect_retries=3,
+                      retry_delay=0.2, retry_max_delay=0.5)
+    # One sleep per retry, none after the final attempt.
+    assert slept == [0.2, 0.4, 0.5]
+
+
+def test_no_retries_fails_fast(monkeypatch):
+    slept = []
+    monkeypatch.setattr(client_mod.time, "sleep", slept.append)
+    with pytest.raises(ServiceUnavailable, match="after 1 attempt"):
+        ServiceClient(port=_dead_port(), connect_retries=0)
+    assert slept == []
+
+
+def test_service_unavailable_is_a_service_error():
+    """Callers catching ServiceError keep working across the change."""
+    assert issubclass(ServiceUnavailable, ServiceError)

@@ -5,13 +5,16 @@ import json
 import pytest
 
 from repro.errors import WireError
-from repro.telemetry.events import DramCommandEvent
+from repro.telemetry.events import DramCommandEvent, SpanEvent
 from repro.telemetry.wire import (
+    SUPPORTED_WIRE_SCHEMAS,
     WIRE_SCHEMA,
     WireSink,
     decode_frame,
     encode_frame,
     event_from_frame,
+    span_frame,
+    span_from_frame,
     telemetry_frame,
 )
 
@@ -36,11 +39,26 @@ def test_encode_is_canonical_single_line():
     text = line.decode("utf-8")
     assert text.count("\n") == 1
     # sort_keys + tight separators: byte-stable across runs.
-    assert text == '{"a":{"y":3,"z":2},"b":1,"v":1}\n'
+    assert text == '{"a":{"y":3,"z":2},"b":1,"v":2}\n'
+
+
+def test_encode_can_downgrade_for_old_peers():
+    """The server replies to a v1 request in v1 (version negotiation)."""
+    line = encode_frame({"type": "pong"}, version=1)
+    assert decode_frame(line) == {"v": 1, "type": "pong"}
+    with pytest.raises(WireError, match="cannot encode"):
+        encode_frame({"type": "pong"}, version=99)
+
+
+def test_decode_accepts_every_supported_version():
+    assert WIRE_SCHEMA in SUPPORTED_WIRE_SCHEMAS
+    for version in SUPPORTED_WIRE_SCHEMAS:
+        frame = decode_frame(encode_frame({"type": "ping"}, version=version))
+        assert frame["v"] == version
 
 
 def test_decode_rejects_wrong_version():
-    line = encode_frame({"type": "ping"}).replace(b'"v":1', b'"v":99')
+    line = encode_frame({"type": "ping"}).replace(b'"v":2', b'"v":99')
     with pytest.raises(WireError, match="wire schema mismatch"):
         decode_frame(line)
 
@@ -72,6 +90,19 @@ def test_telemetry_frame_round_trips_typed_event():
 def test_event_from_frame_rejects_other_frames():
     with pytest.raises(WireError, match="not a telemetry frame"):
         event_from_frame({"type": "result"})
+
+
+def test_span_frame_round_trips_span_event():
+    span = SpanEvent(
+        time=3, trace_id="t" * 16, name="execute", job="abc123",
+        parent=0, cycles=1024, detail="k", wall_start_us=5, wall_dur_us=9,
+    )
+    frame = span_frame(span, job="abc123")
+    assert frame["type"] == "span" and frame["job"] == "abc123"
+    restored = span_from_frame(decode_frame(encode_frame(frame)))
+    assert restored == span
+    with pytest.raises(WireError, match="not a span frame"):
+        span_from_frame({"type": "telemetry"})
 
 
 def test_wire_sink_sends_one_frame_per_event():

@@ -222,3 +222,89 @@ def test_chrome_trace_declares_track_names():
     names = {e["args"]["name"] for e in meta}
     assert {"dram", "cpu", "refresh stretches", "refresh commands"} <= names
     assert "core 1" in names
+
+
+# -- span track ----------------------------------------------------------------
+
+
+def _span(span_id, name, trace_id="a" * 16, job="job1", parent=None,
+          wall_start=100, wall_dur=10, cycles=0, detail=""):
+    from repro.telemetry import SpanEvent
+
+    return SpanEvent(
+        time=span_id, trace_id=trace_id, name=name, job=job, parent=parent,
+        cycles=cycles, detail=detail,
+        wall_start_us=wall_start, wall_dur_us=wall_dur,
+    )
+
+
+def test_span_slices_land_on_the_service_process():
+    sink = ChromeTraceSink()
+    sink.emit(_span(0, "resolve", wall_start=150, wall_dur=40))
+    sink.emit(_span(1, "execute", parent=0, wall_start=160, wall_dur=25,
+                    cycles=20_000, detail="hash"))
+    trace = sink.trace()
+    spans = [e for e in trace["traceEvents"] if e.get("cat") == "span"]
+    assert len(spans) == 2
+    assert all(s["pid"] == ChromeTraceSink.PID_SERVICE for s in spans)
+    lanes = {s["name"]: s["tid"] for s in spans}
+    assert lanes["resolve"] == ChromeTraceSink.SPAN_LANES.index("resolve")
+    assert lanes["execute"] == ChromeTraceSink.SPAN_LANES.index("execute")
+    # Wall times normalize to the earliest span start.
+    assert [s["ts"] for s in spans] == [0, 10]
+    execute = next(s for s in spans if s["name"] == "execute")
+    assert execute["args"] == {
+        "trace": "a" * 16, "job": "job1", "span": 1, "parent": 0,
+        "cycles": 20_000, "detail": "hash",
+    }
+    # Metadata names the service process and each used lane.
+    meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+    names = {e["args"]["name"] for e in meta}
+    assert "service" in names and "resolve" in names and "execute" in names
+
+
+def test_span_slices_sort_by_trace_job_and_id_not_wall():
+    sink = ChromeTraceSink()
+    # Emit out of deterministic order, with wall times reversed.
+    sink.emit(_span(1, "execute", job="j2", wall_start=50))
+    sink.emit(_span(0, "resolve", job="j2", wall_start=900))
+    sink.emit(_span(0, "resolve", job="j1", wall_start=500))
+    spans = [e for e in sink.trace()["traceEvents"]
+             if e.get("cat") == "span"]
+    assert [(s["args"]["job"], s["args"]["span"]) for s in spans] == [
+        ("j1", 0), ("j2", 0), ("j2", 1)
+    ]
+
+
+def test_unknown_span_name_falls_to_the_other_lane():
+    sink = ChromeTraceSink()
+    sink.emit(_span(0, "not-a-lane"))
+    (span,) = [e for e in sink.trace()["traceEvents"]
+               if e.get("cat") == "span"]
+    assert span["tid"] == len(ChromeTraceSink.SPAN_LANES)
+    meta = [e for e in sink.trace()["traceEvents"] if e["ph"] == "M"]
+    assert "other" in {e["args"]["name"] for e in meta}
+
+
+def test_strip_span_walls_leaves_only_deterministic_structure():
+    from repro.telemetry import strip_span_walls
+
+    def build(gap, dur):
+        sink = ChromeTraceSink()
+        sink.emit(sample_events()[0])  # simulation event rides along
+        sink.emit(sample_events()[4])
+        sink.emit(_span(0, "resolve", wall_start=1000, wall_dur=dur))
+        sink.emit(_span(1, "execute", parent=0,
+                        wall_start=1000 + gap, wall_dur=2))
+        return sink.trace()
+
+    a, b = build(3, 7), build(450, 9000)
+    assert a != b  # wall fields differ...
+    stripped_a, stripped_b = strip_span_walls(a), strip_span_walls(b)
+    assert json.dumps(stripped_a, sort_keys=True) == json.dumps(
+        stripped_b, sort_keys=True
+    )  # ...and stripping removes exactly that difference.
+    # Simulation slices keep their (simulated-cycle) timestamps.
+    stretch = [e for e in stripped_a["traceEvents"]
+               if e.get("cat") == "refresh"]
+    assert stretch and stretch[0]["dur"] == 500

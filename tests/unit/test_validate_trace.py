@@ -86,3 +86,47 @@ def test_missing_stretches_flagged():
     payload = trace([pick(0)])
     errors = validate(payload)
     assert any("no refresh-stretch slices" in e for e in errors)
+
+
+def span(ts, name="resolve", span_id=0, parent=None, dur=10):
+    return {
+        "name": name, "cat": "span", "ph": "X", "ts": ts, "dur": dur,
+        "pid": 3, "tid": 0,
+        "args": {"trace": "a" * 16, "job": "j1", "span": span_id,
+                 "parent": parent, "cycles": 0, "detail": ""},
+    }
+
+
+def span_trace(events):
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": {},
+        "traceEvents": [
+            meta(3, None, "process_name", "service"),
+            meta(3, 0, "thread_name", "resolve"),
+        ] + events,
+    }
+
+
+def test_expect_spans_accepts_a_span_only_trace():
+    payload = span_trace([span(0), span(5, span_id=1, parent=0)])
+    assert validate(payload, expect_spans=True) == []
+
+
+def test_expect_spans_requires_at_least_one_span():
+    payload = trace([stretch(0, 50, 0), pick(0)])
+    errors = validate(payload, expect_spans=True)
+    assert any("no span slices" in e for e in errors)
+
+
+def test_span_slices_exempt_from_monotonic_check():
+    # Span export order is (trace, job, span id), not wall time — a
+    # wall-backwards span sequence is legal in both modes.
+    payload = trace([stretch(0, 50, 0), pick(0)])
+    payload["traceEvents"] += [
+        meta(3, None, "process_name", "service"),
+        meta(3, 0, "thread_name", "resolve"),
+        span(100, span_id=0), span(20, span_id=1, parent=0),
+    ]
+    assert validate(payload) == []
+    assert validate(payload, expect_spans=True) == []

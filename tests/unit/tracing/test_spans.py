@@ -1,0 +1,118 @@
+"""Unit tests for deterministic trace ids and span lifecycles."""
+
+import pytest
+
+from repro.tracing import (
+    TRACE_ID_LEN,
+    JobTrace,
+    mint_trace_id,
+    request_digest,
+)
+
+
+class FakeClock:
+    """Injectable nanosecond clock advancing a fixed step per call."""
+
+    def __init__(self, start_ns=1_000_000, step_ns=5_000):
+        self.now = start_ns
+        self.step = step_ns
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _trace(events, clock=None):
+    return JobTrace(
+        "t" * TRACE_ID_LEN, "job1", events.append,
+        clock=clock or FakeClock(),
+    )
+
+
+def test_mint_trace_id_is_deterministic_and_sequenced():
+    a1 = mint_trace_id("seed", 1)
+    a2 = mint_trace_id("seed", 2)
+    assert a1 == mint_trace_id("seed", 1)
+    assert a1 != a2
+    assert len(a1) == TRACE_ID_LEN
+    assert a1 != mint_trace_id("other", 1)
+
+
+def test_request_digest_ignores_transport_keys():
+    payload = {"spec": {"workload": "WL-9"}, "monitors": "collect"}
+    with_transport = {"id": 42, "v": 2, "stream": True, **payload}
+    assert request_digest(payload) == request_digest(with_transport)
+    assert request_digest(payload) != request_digest(
+        {**payload, "monitors": "strict"}
+    )
+
+
+def test_span_ids_sequential_in_open_order():
+    events = []
+    trace = _trace(events)
+    root = trace.span("resolve")
+    child = trace.span("execute", parent=root.span_id)
+    grandchild = trace.span("run_spec", parent=child.span_id)
+    assert (root.span_id, child.span_id, grandchild.span_id) == (0, 1, 2)
+    # Close out of open order: ids keep the allocation order.
+    grandchild.close()
+    child.close()
+    root.close()
+    assert [e.span_id for e in events] == [2, 1, 0]
+    assert [e.parent for e in events] == [1, 0, None]
+    assert all(e.trace_id == "t" * TRACE_ID_LEN for e in events)
+    assert all(e.job == "job1" for e in events)
+
+
+def test_span_emits_once_and_rejects_double_close():
+    events = []
+    trace = _trace(events)
+    span = trace.span("memo")
+    span.set(cycles=4096, detail="abc").close()
+    assert len(events) == 1
+    assert (events[0].cycles, events[0].detail) == (4096, "abc")
+    with pytest.raises(RuntimeError, match="already closed"):
+        span.close()
+
+
+def test_span_context_manager_closes_on_exit():
+    events = []
+    trace = _trace(events)
+    with trace.span("cache") as span:
+        span.set(detail="hit")
+    assert [e.name for e in events] == ["cache"]
+    assert events[0].detail == "hit"
+
+
+def test_wall_fields_come_from_injected_clock():
+    events = []
+    clock = FakeClock(start_ns=2_000_000, step_ns=7_000)
+    trace = _trace(events, clock=clock)
+    trace.span("execute").close()
+    (event,) = events
+    assert event.wall_start_us == 2_000_000 // 1000
+    assert event.wall_dur_us == 7_000 // 1000
+
+
+def test_deterministic_fields_agree_across_different_clocks():
+    """Two runs with different wall clocks differ ONLY in wall fields."""
+
+    def run(clock):
+        events = []
+        trace = _trace(events, clock=clock)
+        with trace.span("resolve") as root:
+            with trace.span("execute", parent=root.span_id) as ex:
+                ex.set(cycles=100, detail="k")
+            root.set(cycles=100, detail="executed")
+        return events
+
+    fast = run(FakeClock(step_ns=1_000))
+    slow = run(FakeClock(start_ns=9_000_000, step_ns=900_000))
+    wall = {"wall_start_us", "wall_dur_us"}
+
+    def det(event):
+        return {k: v for k, v in event.to_dict().items() if k not in wall}
+
+    assert [det(e) for e in fast] == [det(e) for e in slow]
+    assert [e.to_dict() for e in fast] != [e.to_dict() for e in slow]
